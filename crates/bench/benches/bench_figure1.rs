@@ -1,0 +1,31 @@
+//! Criterion bench: cost of regenerating Figure 1's curves (solver
+//! throughput for the three ν_max inversions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1");
+    for &points in &[10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("generate", points), &points, |b, &n| {
+            b.iter(|| consistency_core::figure1::generate(black_box(n)).unwrap());
+        });
+    }
+    group.bench_function("nu_max_for_c(3.0)", |b| {
+        b.iter(|| consistency_core::numax::nu_max_for_c(black_box(3.0)).unwrap());
+    });
+    group.bench_function("pss_exact_numax(n=1e5,D=1e13,c=3)", |b| {
+        b.iter(|| {
+            consistency_core::pss::exact_consistency_nu_max(
+                black_box(100_000),
+                black_box(10_000_000_000_000),
+                black_box(3.0),
+            )
+            .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: the DESIGN.md ablation between binomial sampling
+//! strategies inside the mining oracle (direct Bernoulli vs BINV vs
+//! quantile inversion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use probability::binomial::Binomial;
+use probability::rng::Xoshiro256PlusPlus;
+use std::hint::black_box;
+
+fn bench_binomial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_sample");
+    // (n, p) spanning the three sampling regimes.
+    let cases = [
+        ("direct/n=16", 16u64, 0.3),
+        ("binv/np=0.08", 10_000u64, 8e-6),
+        ("binv/np=10", 10_000u64, 1e-3),
+        ("quantile/np=500", 10_000u64, 0.05),
+    ];
+    for (label, n, p) in cases {
+        let dist = Binomial::new(n, p).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &dist, |b, d| {
+            let mut rng = Xoshiro256PlusPlus::seed_from_u64(9);
+            b.iter(|| black_box(d.sample(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_tail_functions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binomial_tails");
+    let d = Binomial::new(100_000, 1e-4).unwrap();
+    group.bench_function("cdf_incomplete_beta", |b| {
+        b.iter(|| d.cdf(black_box(12)).unwrap());
+    });
+    group.bench_function("ln_pmf", |b| {
+        b.iter(|| d.ln_pmf(black_box(12)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_binomial, bench_tail_functions);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: simulator round throughput across population size,
+//! Δ, and adversary strategy — the budget that sizes every Monte-Carlo
+//! experiment in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nakamoto_sim::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
+use nakamoto_sim::config::SimConfig;
+use nakamoto_sim::execution::run_simulation;
+use std::hint::black_box;
+
+const ROUNDS: u64 = 20_000;
+
+fn bench_round_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(ROUNDS));
+    // Each iteration simulates 20k rounds; keep the sample budget small
+    // so the full suite stays in CI range.
+    group.sample_size(10);
+    for &n in &[100u64, 1_000, 10_000] {
+        let cfg = SimConfig::new(n, 0.25, 1.0 / (3.0 * n as f64 * 4.0), 4, 1).unwrap();
+        group.bench_with_input(BenchmarkId::new("immediate_release", n), &cfg, |b, cfg| {
+            b.iter(|| {
+                run_simulation(
+                    black_box(*cfg),
+                    Box::new(ImmediateReleaseAdversary::new()),
+                    ROUNDS,
+                )
+            });
+        });
+    }
+    let cfg = SimConfig::new(1_000, 0.25, 1.0 / (3.0 * 1_000.0 * 4.0), 4, 1).unwrap();
+    group.bench_function("private_chain/1000", |b| {
+        b.iter(|| run_simulation(black_box(cfg), Box::new(PrivateChainAdversary::new(4)), ROUNDS));
+    });
+    group.bench_function("balance/1000", |b| {
+        b.iter(|| run_simulation(black_box(cfg), Box::new(BalanceAdversary::new(4)), ROUNDS));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_loop);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench: the DESIGN.md ablation between stationary-
+//! distribution solvers on the suffix chain `C_F` — closed form (O(Δ))
+//! vs GTH (O(Δ³)) vs power iteration (O(Δ·steps)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use markov::stationary::{stationary_gth, stationary_power, PowerConfig};
+use std::hint::black_box;
+
+fn bench_solvers(c: &mut Criterion) {
+    let alpha = 0.2;
+    let mut group = c.benchmark_group("stationary");
+    for &delta in &[4u64, 16, 64] {
+        let chain = consistency_core::suffix_chain::build_chain(alpha, delta).unwrap();
+        group.bench_with_input(BenchmarkId::new("closed_form", delta), &delta, |b, &d| {
+            b.iter(|| consistency_core::suffix_chain::closed_form_stationary(black_box(alpha), d).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("gth", delta), &delta, |b, _| {
+            b.iter(|| stationary_gth(black_box(&chain)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("power", delta), &delta, |b, _| {
+            b.iter(|| {
+                stationary_power(
+                    black_box(&chain),
+                    PowerConfig {
+                        tol: 1e-12,
+                        damping: 0.5,
+                        ..PowerConfig::default()
+                    },
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

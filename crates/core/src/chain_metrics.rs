@@ -1,0 +1,147 @@
+//! Chain growth and chain quality — the two companion properties the
+//! paper's Section II surveys and names as future work for its proof
+//! technique. We provide the standard analytic bounds and wire them to
+//! the simulator for validation.
+//!
+//! * **Chain growth** (Pass–Seeman–Shelat style): over any window, the
+//!   honest chain grows at rate at least `g = ᾱ·α/(ᾱ + αΔ)`-shaped; we
+//!   expose the common lower bound `α/(1 + αΔ)` (an `H` round grows the
+//!   chain unless it falls in another block's Δ-shadow) and the
+//!   immediate-release exact rate `α_h + νnp`.
+//! * **Chain quality**: the fraction of honest blocks in any window of
+//!   an honest chain is at least `1 − ν/µ`-shaped in the synchronous
+//!   limit; the Δ-delay bound degrades with `αΔ`.
+
+use crate::params::ProtocolParams;
+
+/// Lower bound on chain growth rate (blocks per round) in the Δ-delay
+/// model: `α / (1 + α·Δ)`. Every honest success grows the chain unless
+/// it lands within Δ rounds of an earlier unpropagated success.
+pub fn growth_lower_bound(params: &ProtocolParams) -> f64 {
+    let alpha = params.alpha();
+    alpha / (1.0 + alpha * params.delta() as f64)
+}
+
+/// Upper bound on chain growth rate: `α + pνn` (every honest `H` round
+/// plus every adversarial success can contribute at most one height).
+pub fn growth_upper_bound(params: &ProtocolParams) -> f64 {
+    params.alpha() + crate::theorem1::adversary_rate(params)
+}
+
+/// Exact growth rate under immediate-release behaviour with a single
+/// honest group (validated against the simulator): `α + pνn` with the
+/// adversary's sequential blocks all counting.
+pub fn growth_immediate_release(params: &ProtocolParams) -> f64 {
+    params.alpha() + crate::theorem1::adversary_rate(params)
+}
+
+/// Chain-quality lower bound in the ideal (synchronous, immediate
+/// publish) regime: honest share of the chain `α/(α + pνn)`.
+pub fn quality_ideal(params: &ProtocolParams) -> f64 {
+    let alpha = params.alpha();
+    alpha / (alpha + crate::theorem1::adversary_rate(params))
+}
+
+/// Pessimistic quality lower bound under withholding in the Δ-delay
+/// model: the adversary can waste one honest block per adversarial
+/// block (by matching), so the honest share drops to
+/// `max(0, (α·ᾱ^Δ − pνn) / α·ᾱ^Δ)`-shaped. We expose the standard
+/// `1 − pνn/(α·ᾱ^Δ)` form, clamped to `[0, 1]`.
+pub fn quality_adversarial_lower_bound(params: &ProtocolParams) -> f64 {
+    let effective_honest =
+        (params.delta() as f64 * params.ln_alpha_bar()).exp() * params.alpha();
+    if effective_honest <= 0.0 {
+        return 0.0;
+    }
+    (1.0 - crate::theorem1::adversary_rate(params) / effective_honest).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ProtocolParams;
+    use nakamoto_sim::adversary::{ImmediateReleaseAdversary, PrivateChainAdversary};
+    use nakamoto_sim::execution::run_simulation;
+
+    fn params() -> ProtocolParams {
+        ProtocolParams::new(200, 4, 1e-3, 0.25).unwrap()
+    }
+
+    #[test]
+    fn growth_bounds_ordered() {
+        for &c in &[0.5, 1.0, 5.0, 50.0] {
+            for &nu in &[0.1, 0.4] {
+                let p = ProtocolParams::from_c(500, 8, c, nu).unwrap();
+                assert!(growth_lower_bound(&p) <= growth_upper_bound(&p));
+                assert!(growth_lower_bound(&p) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn growth_lower_bound_tightens_with_larger_c() {
+        // Slower mining (larger c) → smaller αΔ → bounds converge.
+        let fast = ProtocolParams::from_c(500, 8, 0.5, 0.2).unwrap();
+        let slow = ProtocolParams::from_c(500, 8, 50.0, 0.2).unwrap();
+        let gap = |p: &ProtocolParams| {
+            (growth_upper_bound(p) - growth_lower_bound(p)) / growth_upper_bound(p)
+        };
+        assert!(gap(&slow) < gap(&fast));
+    }
+
+    #[test]
+    fn quality_ideal_near_mu_for_small_p() {
+        // α ≈ µnp, so quality_ideal ≈ µnp/(µnp + νnp) = µ.
+        let p = ProtocolParams::from_c(1_000, 8, 20.0, 0.3).unwrap();
+        assert!((quality_ideal(&p) - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn adversarial_quality_below_ideal() {
+        let p = params();
+        assert!(quality_adversarial_lower_bound(&p) <= quality_ideal(&p));
+    }
+
+    #[test]
+    fn simulated_growth_within_bounds() {
+        let p = params();
+        let cfg = p.to_sim_config(2025);
+        let report = run_simulation(cfg, Box::new(ImmediateReleaseAdversary::new()), 200_000);
+        let g = report.chain_growth_rate();
+        assert!(
+            g >= growth_lower_bound(&p) * 0.95,
+            "growth {g} below lower bound {}",
+            growth_lower_bound(&p)
+        );
+        assert!(
+            g <= growth_upper_bound(&p) * 1.05,
+            "growth {g} above upper bound {}",
+            growth_upper_bound(&p)
+        );
+    }
+
+    #[test]
+    fn simulated_quality_between_bounds() {
+        let p = params();
+        let cfg = p.to_sim_config(2026);
+        let honest = run_simulation(cfg, Box::new(ImmediateReleaseAdversary::new()), 200_000);
+        assert!(
+            (honest.chain_quality() - quality_ideal(&p)).abs() < 0.05,
+            "quality {} vs ideal {}",
+            honest.chain_quality(),
+            quality_ideal(&p)
+        );
+        let attacked_cfg = p.to_sim_config(2027);
+        let attacked = run_simulation(
+            attacked_cfg,
+            Box::new(PrivateChainAdversary::new(p.delta())),
+            200_000,
+        );
+        assert!(
+            attacked.chain_quality() >= quality_adversarial_lower_bound(&p) - 0.05,
+            "attacked quality {} below pessimistic bound {}",
+            attacked.chain_quality(),
+            quality_adversarial_lower_bound(&p)
+        );
+    }
+}

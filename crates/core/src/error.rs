@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Error type for the consistency analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A model parameter violates the paper's constraints (Eqs. 1–3).
+    InvalidParameter {
+        /// Parameter name (e.g. `"nu"`).
+        name: &'static str,
+        /// Description of the violated constraint.
+        message: String,
+    },
+    /// A numerical solver failed.
+    Numerical(probability::Error),
+    /// A Markov-chain computation failed.
+    Markov(markov::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::Numerical(e) => write!(f, "numerical failure: {e}"),
+            Error::Markov(e) => write!(f, "markov failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Numerical(e) => Some(e),
+            Error::Markov(e) => Some(e),
+            Error::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<probability::Error> for Error {
+    fn from(e: probability::Error) -> Self {
+        Error::Numerical(e)
+    }
+}
+
+impl From<markov::Error> for Error {
+    fn from(e: markov::Error) -> Self {
+        Error::Markov(e)
+    }
+}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = Error::invalid("nu", "must be below 1/2");
+        assert!(e.to_string().contains("nu"));
+        assert!(std::error::Error::source(&e).is_none());
+
+        let inner = probability::Error::NoBracket { lo: 0.0, hi: 1.0 };
+        let e: Error = inner.into();
+        assert!(e.to_string().contains("numerical"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let inner = markov::Error::BadShape {
+            message: "empty".into(),
+        };
+        let e: Error = inner.into();
+        assert!(e.to_string().contains("markov"));
+    }
+}

@@ -1,0 +1,188 @@
+//! Figure 1: maximum tolerable adversarial fraction `ν_max` versus
+//! `c = 1/(pnΔ)` for three bounds — this paper's neat bound (magenta),
+//! PSS consistency (blue) and the PSS attack (red).
+//!
+//! The paper plots `c ∈ [0.1, 100]` on a log axis with `n = 10⁵` and
+//! `Δ = 10¹³`.
+
+use crate::{numax, pss, Result};
+
+/// Figure 1's published axis range.
+pub const C_MIN: f64 = 0.1;
+/// Figure 1's published axis range.
+pub const C_MAX: f64 = 100.0;
+/// Figure 1's `n`.
+pub const FIGURE1_N: u64 = 100_000;
+/// Figure 1's `Δ`.
+pub const FIGURE1_DELTA: u64 = 10_000_000_000_000;
+
+/// One point of Figure 1: the three curves evaluated at `c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure1Point {
+    /// The x-coordinate `c = 1/(pnΔ)`.
+    pub c: f64,
+    /// This paper's bound (magenta): `ν` solving `2µ/ln(µ/ν) = c`.
+    pub ours: f64,
+    /// PSS consistency (blue): `½(2−c+√(c²−2c))`; 0 below `c = 2`.
+    pub pss_consistency: f64,
+    /// PSS attack (red): `(2c+1−√(4c²+1))/2`.
+    pub pss_attack: f64,
+}
+
+/// Generates `n_points` log-spaced samples of Figure 1 over
+/// `[C_MIN, C_MAX]`.
+///
+/// # Errors
+///
+/// Propagates solver failures (not observed on the published range).
+///
+/// ```
+/// use consistency_core::figure1::generate;
+/// let pts = generate(50)?;
+/// assert_eq!(pts.len(), 50);
+/// // Magenta strictly above blue everywhere (the paper's headline).
+/// assert!(pts.iter().all(|p| p.ours >= p.pss_consistency));
+/// # Ok::<(), consistency_core::Error>(())
+/// ```
+pub fn generate(n_points: usize) -> Result<Vec<Figure1Point>> {
+    generate_range(C_MIN, C_MAX, n_points)
+}
+
+/// Generates log-spaced samples over a custom `c` range.
+///
+/// # Errors
+///
+/// Returns [`crate::Error::InvalidParameter`] for an empty or invalid
+/// range.
+pub fn generate_range(c_min: f64, c_max: f64, n_points: usize) -> Result<Vec<Figure1Point>> {
+    if !(c_min > 0.0 && c_max > c_min) {
+        return Err(crate::Error::invalid(
+            "c_min",
+            format!("need 0 < c_min < c_max, got [{c_min}, {c_max}]"),
+        ));
+    }
+    if n_points < 2 {
+        return Err(crate::Error::invalid("n_points", "need at least 2 points"));
+    }
+    let ln_lo = c_min.ln();
+    let ln_hi = c_max.ln();
+    let mut out = Vec::with_capacity(n_points);
+    for i in 0..n_points {
+        let t = i as f64 / (n_points - 1) as f64;
+        let c = (ln_lo + t * (ln_hi - ln_lo)).exp();
+        out.push(point_at(c)?);
+    }
+    Ok(out)
+}
+
+/// Evaluates the three curves at one `c`.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn point_at(c: f64) -> Result<Figure1Point> {
+    Ok(Figure1Point {
+        c,
+        ours: numax::nu_max_for_c(c)?,
+        pss_consistency: pss::consistency_nu_max(c).unwrap_or(0.0),
+        pss_attack: pss::attack_nu_threshold(c),
+    })
+}
+
+/// Renders the curve data as the tab-separated table printed by the
+/// `figure1` bench binary.
+pub fn to_table(points: &[Figure1Point]) -> String {
+    let mut s = String::from("c\tours(magenta)\tpss_consistency(blue)\tpss_attack(red)\n");
+    for p in points {
+        s.push_str(&format!(
+            "{:.6}\t{:.6}\t{:.6}\t{:.6}\n",
+            p.c, p.ours, p.pss_consistency, p.pss_attack
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_ordered_as_in_paper() {
+        // Magenta strictly above blue, red strictly above magenta, for
+        // every sampled c (the gap the paper's future-work discusses).
+        let pts = generate(200).unwrap();
+        for p in &pts {
+            assert!(
+                p.ours >= p.pss_consistency,
+                "c={}: ours {} < blue {}",
+                p.c,
+                p.ours,
+                p.pss_consistency
+            );
+            assert!(
+                p.pss_attack > p.ours,
+                "c={}: red {} ≤ ours {}",
+                p.c,
+                p.pss_attack,
+                p.ours
+            );
+        }
+        // Strict separation once the blue line is non-trivial.
+        for p in pts.iter().filter(|p| p.c > 2.1) {
+            assert!(p.ours > p.pss_consistency);
+        }
+    }
+
+    #[test]
+    fn endpoints_match_axis() {
+        let pts = generate(100).unwrap();
+        assert!((pts.first().unwrap().c - C_MIN).abs() < 1e-12);
+        assert!((pts.last().unwrap().c - C_MAX).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blue_zero_below_two() {
+        let pts = generate_range(0.1, 1.9, 20).unwrap();
+        assert!(pts.iter().all(|p| p.pss_consistency == 0.0));
+    }
+
+    #[test]
+    fn all_curves_monotone_in_c() {
+        let pts = generate(100).unwrap();
+        for w in pts.windows(2) {
+            assert!(w[1].ours >= w[0].ours);
+            assert!(w[1].pss_consistency >= w[0].pss_consistency);
+            assert!(w[1].pss_attack >= w[0].pss_attack);
+        }
+    }
+
+    #[test]
+    fn known_values_on_curves() {
+        // At c = 3: ours solves 2µ/ln(µ/ν) = 3; blue = ½(−1+√3);
+        // red = ½(7−√37).
+        let p = point_at(3.0).unwrap();
+        let blue_expected = 0.5 * (2.0 - 3.0 + 3f64.sqrt());
+        let red_expected = 0.5 * (7.0 - 37f64.sqrt());
+        assert!((p.pss_consistency - blue_expected).abs() < 1e-12);
+        assert!((p.pss_attack - red_expected).abs() < 1e-12);
+        let g = 2.0 * (1.0 - p.ours) / ((1.0 - p.ours) / p.ours).ln();
+        assert!((g - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let pts = generate_range(1.0, 10.0, 3).unwrap();
+        let table = to_table(&pts);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("c\t"));
+        assert!(lines[1].starts_with("1.000000\t"));
+    }
+
+    #[test]
+    fn range_validation() {
+        assert!(generate_range(0.0, 1.0, 10).is_err());
+        assert!(generate_range(2.0, 1.0, 10).is_err());
+        assert!(generate_range(1.0, 2.0, 1).is_err());
+    }
+}

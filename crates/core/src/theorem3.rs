@@ -1,0 +1,189 @@
+//! Theorem 3: the split form of Theorem 2's condition, plus the paper's
+//! explicit constants δ₄ (Eq. 60) and δ₁ (Eq. 61) that thread through
+//! Lemmas 2–8.
+//!
+//! Consistency holds when constants `0 < ε₁ < 1`, `ε₂ > 0` satisfy
+//!
+//! * Ineq. (50): `p·n ≤ ε₁·ln(µ/ν) / ((ln(µ/ν)+1)·µ)` and
+//! * Ineq. (51): `c ≥ (2µ/ln(µ/ν) + 1/Δ)·(1+ε₂)/(1−ε₁)`.
+
+use crate::params::ProtocolParams;
+use crate::{Error, Result};
+
+/// Validated `(ε₁, ε₂)` pair together with the derived constants
+/// δ₄ (Eq. 60) and δ₁ (Eq. 61) for a given adversarial fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constants {
+    /// Theorem 3's ε₁ (controls the p·n budget).
+    pub eps1: f64,
+    /// Theorem 3's ε₂ (slack above the neat bound).
+    pub eps2: f64,
+    /// Eq. (60): `δ₄ = (ε₁+ε₂)L / (ε₁+ε₂+(1−ε₁)(L+1))`, `L = ln(µ/ν)`.
+    pub delta4: f64,
+    /// Eq. (61): `δ₁ = (1+δ₄)(1 − ε₁L/(L+1)) − 1`.
+    pub delta1: f64,
+}
+
+impl Constants {
+    /// Computes the constants for `(ε₁, ε₂, ν)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `0 < ε₁ < 1`, `ε₂ > 0`
+    /// and `0 < ν < ½`.
+    pub fn new(eps1: f64, eps2: f64, nu: f64) -> Result<Self> {
+        if !(eps1 > 0.0 && eps1 < 1.0) || eps1.is_nan() {
+            return Err(Error::invalid("eps1", format!("must lie in (0,1), got {eps1}")));
+        }
+        if !(eps2 > 0.0) || eps2.is_nan() {
+            return Err(Error::invalid("eps2", format!("must be positive, got {eps2}")));
+        }
+        if !(nu > 0.0 && nu < 0.5) {
+            return Err(Error::invalid("nu", format!("must lie in (0, 1/2), got {nu}")));
+        }
+        let mu = 1.0 - nu;
+        let ell = (mu / nu).ln();
+        let delta4 = (eps1 + eps2) * ell / (eps1 + eps2 + (1.0 - eps1) * (ell + 1.0));
+        let delta1 = (1.0 + delta4) * (1.0 - eps1 * ell / (ell + 1.0)) - 1.0;
+        Ok(Constants {
+            eps1,
+            eps2,
+            delta4,
+            delta1,
+        })
+    }
+}
+
+/// Ineq. (50)'s right-hand side: the admissible `p·n` budget.
+///
+/// # Panics
+///
+/// Panics unless `0 < ε₁ < 1` and `0 < ν < ½`.
+pub fn pn_budget(nu: f64, eps1: f64) -> f64 {
+    assert!(eps1 > 0.0 && eps1 < 1.0, "ε₁ must lie in (0, 1)");
+    assert!(nu > 0.0 && nu < 0.5, "ν must lie in (0, 1/2)");
+    let mu = 1.0 - nu;
+    let ell = (mu / nu).ln();
+    eps1 * ell / ((ell + 1.0) * mu)
+}
+
+/// Checks Ineq. (50): `p·n ≤ pn_budget`.
+pub fn pn_condition_holds(params: &ProtocolParams, eps1: f64) -> bool {
+    params.p() * params.n() as f64 <= pn_budget(params.nu(), eps1)
+}
+
+/// Ineq. (51)'s right-hand side.
+///
+/// # Panics
+///
+/// Panics unless `0 < ε₁ < 1`, `ε₂ > 0`, `0 < ν < ½`.
+pub fn c_bound(nu: f64, delta: u64, eps1: f64, eps2: f64) -> f64 {
+    assert!(eps1 > 0.0 && eps1 < 1.0, "ε₁ must lie in (0, 1)");
+    assert!(eps2 > 0.0, "ε₂ must be positive");
+    let neat = crate::theorem2::neat_bound(nu);
+    (neat + 1.0 / delta as f64) * (1.0 + eps2) / (1.0 - eps1)
+}
+
+/// Checks Ineq. (51).
+pub fn c_condition_holds(params: &ProtocolParams, eps1: f64, eps2: f64) -> bool {
+    params.c() >= c_bound(params.nu(), params.delta(), eps1, eps2)
+}
+
+/// Checks Theorem 3's full condition (both Ineq. 50 and 51).
+pub fn holds(params: &ProtocolParams, eps1: f64, eps2: f64) -> bool {
+    pn_condition_holds(params, eps1) && c_condition_holds(params, eps1, eps2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ProtocolParams;
+
+    #[test]
+    fn constants_positive_for_admissible_inputs() {
+        // The paper proves δ₄ > 0 and δ₁ > 0 (display 62–63).
+        for &eps1 in &[0.01, 0.3, 0.9] {
+            for &eps2 in &[0.01, 1.0, 10.0] {
+                for &nu in &[0.01, 0.25, 0.49] {
+                    let c = Constants::new(eps1, eps2, nu).unwrap();
+                    assert!(c.delta4 > 0.0, "δ₄ ≤ 0 at ε₁={eps1}, ε₂={eps2}, ν={nu}");
+                    assert!(c.delta1 > 0.0, "δ₁ ≤ 0 at ε₁={eps1}, ε₂={eps2}, ν={nu}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn delta4_below_ln_mu_over_nu() {
+        // Remark 5 / Ineq. (73): δ₄ < ln(µ/ν) always.
+        for &nu in &[0.05f64, 0.2, 0.4, 0.49] {
+            let ell = ((1.0 - nu) / nu).ln();
+            let c = Constants::new(0.5, 0.5, nu).unwrap();
+            assert!(c.delta4 < ell, "δ₄ = {} ≥ L = {ell}", c.delta4);
+        }
+    }
+
+    #[test]
+    fn delta4_above_lemma3_threshold() {
+        // Display (62): δ₄ > ε₁L/(1+(1−ε₁)L).
+        for &nu in &[0.05f64, 0.2, 0.45] {
+            for &eps1 in &[0.1, 0.5, 0.9] {
+                let eps2 = 0.25;
+                let ell = ((1.0 - nu) / nu).ln();
+                let c = Constants::new(eps1, eps2, nu).unwrap();
+                let threshold = eps1 * ell / (1.0 + (1.0 - eps1) * ell);
+                assert!(
+                    c.delta4 > threshold,
+                    "δ₄ = {} ≤ threshold {threshold}",
+                    c.delta4
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constants_validation() {
+        assert!(Constants::new(0.0, 0.1, 0.2).is_err());
+        assert!(Constants::new(1.0, 0.1, 0.2).is_err());
+        assert!(Constants::new(0.5, 0.0, 0.2).is_err());
+        assert!(Constants::new(0.5, 0.1, 0.6).is_err());
+    }
+
+    #[test]
+    fn theorem3_combination_equals_theorem2_inequality_11() {
+        // Section VI-B: (50) ∧ (51) ⇔ Ineq. (11). Verify the ⇔ on a grid.
+        for &nu in &[0.1, 0.3] {
+            for &c in &[0.5, 2.0, 5.0, 50.0] {
+                for &delta in &[10u64, 10_000] {
+                    let params = ProtocolParams::from_c(10_000, delta, c, nu).unwrap();
+                    let eps1 = 0.2;
+                    let eps2 = 0.1;
+                    let t3 = holds(&params, eps1, eps2);
+                    // Ineq. (11) is c ≥ max{branch1, branch2}. Note
+                    // pn ≤ ε₁L/((L+1)µ) ⇔ c ≥ (L+1)µ/(ε₁ΔL).
+                    let t2 = crate::theorem2::holds(&params, eps1, eps2).unwrap();
+                    assert_eq!(t3, t2, "mismatch at ν={nu}, c={c}, Δ={delta}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pn_condition_equivalent_to_c_form() {
+        // pn ≤ ε₁L/((L+1)µ) ⇔ c = 1/(pnΔ) ≥ (L+1)µ/(ε₁ΔL).
+        let params = ProtocolParams::from_c(1_000, 100, 2.0, 0.3).unwrap();
+        let eps1 = 0.3;
+        let mu = params.mu();
+        let ell = params.ln_mu_over_nu();
+        let lhs = pn_condition_holds(&params, eps1);
+        let rhs = params.c() >= (ell + 1.0) * mu / (eps1 * params.delta() as f64 * ell);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn larger_eps1_relaxes_pn_but_tightens_c() {
+        let nu = 0.25;
+        assert!(pn_budget(nu, 0.8) > pn_budget(nu, 0.1));
+        assert!(c_bound(nu, 100, 0.8, 0.1) > c_bound(nu, 100, 0.1, 0.1));
+    }
+}

@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Error type for Markov-chain construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A transition row does not sum to one (within tolerance) or holds a
+    /// negative / non-finite entry.
+    NotStochastic {
+        /// Index of the offending row.
+        row: usize,
+        /// The row sum that was observed.
+        sum: f64,
+    },
+    /// A structural requirement (irreducibility, aperiodicity) is not met.
+    NotErgodic {
+        /// Human-readable description of the failed requirement.
+        reason: String,
+    },
+    /// The chain is empty or dimensions are inconsistent.
+    BadShape {
+        /// Human-readable description.
+        message: String,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Procedure name (e.g. `"power_iteration"`).
+        procedure: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual at the time of giving up.
+        residual: f64,
+    },
+    /// A state index was out of range.
+    StateOutOfRange {
+        /// The offending index.
+        state: usize,
+        /// Number of states in the chain.
+        n_states: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotStochastic { row, sum } => {
+                write!(f, "row {row} is not stochastic (sum = {sum})")
+            }
+            Error::NotErgodic { reason } => write!(f, "chain is not ergodic: {reason}"),
+            Error::BadShape { message } => write!(f, "bad shape: {message}"),
+            Error::NoConvergence {
+                procedure,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "`{procedure}` did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+            Error::StateOutOfRange { state, n_states } => {
+                write!(f, "state {state} out of range for chain with {n_states} states")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(Error::NotStochastic { row: 3, sum: 0.9 }
+            .to_string()
+            .contains("row 3"));
+        assert!(Error::NotErgodic {
+            reason: "two closed classes".into()
+        }
+        .to_string()
+        .contains("ergodic"));
+        assert!(Error::BadShape {
+            message: "empty".into()
+        }
+        .to_string()
+        .contains("empty"));
+        assert!(Error::StateOutOfRange {
+            state: 9,
+            n_states: 4
+        }
+        .to_string()
+        .contains("out of range"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,223 @@
+//! Expected hitting and return times.
+//!
+//! These quantify the paper's convergence-opportunity pattern dynamics:
+//! the expected recurrence time of the `HN^{≥Δ}‖H₁N^Δ` state equals
+//! `1/π(state) = 1/(ᾱ^{2Δ}α₁)` by Kac's formula, which these routines
+//! verify numerically.
+
+use crate::chain::MarkovChain;
+use crate::{Error, Result};
+
+/// Solves the dense linear system `A·x = b` by Gaussian elimination with
+/// partial pivoting. `A` is consumed.
+fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        if a[pivot_row][col].abs() < 1e-300 {
+            return Err(Error::BadShape {
+                message: "singular linear system in hitting-time solve".into(),
+            });
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        let pivot = a[col][col];
+        for row in (col + 1)..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                let upper = a[col][k];
+                a[row][k] -= factor * upper;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Expected hitting times `h(v) = E[min{t ≥ 0 : V_t ∈ targets} | V_0 = v]`.
+///
+/// Solves `h(v) = 0` for targets and `h(v) = 1 + Σ_w P(v,w)·h(w)`
+/// otherwise.
+///
+/// # Errors
+///
+/// * [`Error::BadShape`] if `targets` is empty or contains an
+///   out-of-range state, or if some state cannot reach the target set
+///   (singular system).
+///
+/// ```
+/// use markov::chain::MarkovChain;
+/// use markov::hitting::expected_hitting_times;
+///
+/// // Fair coin: from state 0, expected time to reach state 1 is 2.
+/// let c = MarkovChain::from_rows(vec![vec![0.5, 0.5], vec![0.0, 1.0]])?;
+/// let h = expected_hitting_times(&c, &[1])?;
+/// assert!((h[0] - 2.0).abs() < 1e-12);
+/// assert_eq!(h[1], 0.0);
+/// # Ok::<(), markov::Error>(())
+/// ```
+pub fn expected_hitting_times(chain: &MarkovChain, targets: &[usize]) -> Result<Vec<f64>> {
+    let n = chain.n_states();
+    if targets.is_empty() {
+        return Err(Error::BadShape {
+            message: "target set must be non-empty".into(),
+        });
+    }
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        if t >= n {
+            return Err(Error::StateOutOfRange {
+                state: t,
+                n_states: n,
+            });
+        }
+        is_target[t] = true;
+    }
+    // Index the non-target states.
+    let free: Vec<usize> = (0..n).filter(|&v| !is_target[v]).collect();
+    let index_of: std::collections::HashMap<usize, usize> =
+        free.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let m = free.len();
+    if m == 0 {
+        return Ok(vec![0.0; n]);
+    }
+    // (I - Q)·h = 1 over non-target states.
+    let mut a = vec![vec![0.0; m]; m];
+    let b = vec![1.0; m];
+    for (i, &v) in free.iter().enumerate() {
+        a[i][i] += 1.0;
+        for (w, p) in chain.successors(v) {
+            if let Some(&j) = index_of.get(&w) {
+                a[i][j] -= p;
+            }
+        }
+    }
+    let h_free = solve_dense(a, b)?;
+    let mut h = vec![0.0; n];
+    for (i, &v) in free.iter().enumerate() {
+        h[v] = h_free[i];
+    }
+    Ok(h)
+}
+
+/// Expected return time to `state`:
+/// `r = 1 + Σ_w P(state, w)·h(w)` with `h` the hitting times of `{state}`.
+///
+/// For an ergodic chain Kac's formula gives `r = 1/π(state)`.
+///
+/// # Errors
+///
+/// Same contract as [`expected_hitting_times`].
+pub fn expected_return_time(chain: &MarkovChain, state: usize) -> Result<f64> {
+    let h = expected_hitting_times(chain, &[state])?;
+    let mut r = 1.0;
+    for (w, p) in chain.successors(state) {
+        r += p * h[w];
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::MarkovChain;
+    use crate::stationary::stationary_gth;
+
+    #[test]
+    fn hitting_time_geometric() {
+        // From 0, each step hits 1 with prob p: expected time 1/p.
+        for &p in &[0.1, 0.5, 0.9] {
+            let c = MarkovChain::from_rows(vec![vec![1.0 - p, p], vec![0.0, 1.0]]).unwrap();
+            let h = expected_hitting_times(&c, &[1]).unwrap();
+            assert!((h[0] - 1.0 / p).abs() < 1e-9, "p={p}: {}", h[0]);
+        }
+    }
+
+    #[test]
+    fn hitting_time_symmetric_walk_on_path() {
+        // Gambler's ruin on {0,1,2,3} with absorbing 0 and 3... use
+        // hitting of {0, 3} from the middle: for a simple random walk on
+        // a path of length L, E[time] from position k is k(L-k).
+        let l = 5usize;
+        let mut t = Vec::new();
+        t.push((0usize, 0usize, 1.0));
+        t.push((l, l, 1.0));
+        for i in 1..l {
+            t.push((i, i - 1, 0.5));
+            t.push((i, i + 1, 0.5));
+        }
+        let c = MarkovChain::from_transitions(l + 1, &t).unwrap();
+        let h = expected_hitting_times(&c, &[0, l]).unwrap();
+        for k in 1..l {
+            let expected = (k * (l - k)) as f64;
+            assert!((h[k] - expected).abs() < 1e-9, "k={k}: {} vs {expected}", h[k]);
+        }
+    }
+
+    #[test]
+    fn kac_formula_on_random_ergodic_chain() {
+        let c = MarkovChain::from_rows(vec![
+            vec![0.2, 0.5, 0.3],
+            vec![0.4, 0.1, 0.5],
+            vec![0.25, 0.25, 0.5],
+        ])
+        .unwrap();
+        let pi = stationary_gth(&c).unwrap();
+        for s in 0..3 {
+            let r = expected_return_time(&c, s).unwrap();
+            assert!(
+                (r - 1.0 / pi[s]).abs() < 1e-9,
+                "state {s}: return {r} vs 1/π {}",
+                1.0 / pi[s]
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_empty_targets() {
+        let c = MarkovChain::from_rows(vec![vec![1.0]]).unwrap();
+        assert!(expected_hitting_times(&c, &[]).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_target() {
+        let c = MarkovChain::from_rows(vec![vec![1.0]]).unwrap();
+        assert!(matches!(
+            expected_hitting_times(&c, &[3]),
+            Err(Error::StateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_target_is_singular() {
+        // State 1 absorbing, target {0} unreachable from 1.
+        let c = MarkovChain::from_rows(vec![
+            vec![0.5, 0.5],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        assert!(expected_hitting_times(&c, &[0]).is_err());
+    }
+
+    #[test]
+    fn all_states_targets() {
+        let c = MarkovChain::from_rows(vec![vec![0.5, 0.5], vec![0.5, 0.5]]).unwrap();
+        let h = expected_hitting_times(&c, &[0, 1]).unwrap();
+        assert_eq!(h, vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Stationary distributions.
+//!
+//! Two solvers with different trade-offs (both benchmarked in
+//! `consistency-bench`):
+//!
+//! * [`stationary_gth`] — the Grassmann–Taksar–Heyman elimination, a
+//!   subtraction-free variant of Gaussian elimination that is
+//!   backward-stable for stochastic matrices. O(S³) time, O(S²) space;
+//!   the reference answer for chains up to a few thousand states.
+//! * [`stationary_power`] — power iteration on the CSR matrix; O(nnz)
+//!   per step, preferred for the paper's suffix chain at large Δ where
+//!   the chain is huge but has ≤ 2 transitions per state.
+
+use crate::chain::MarkovChain;
+use crate::{Error, Result};
+
+/// Configuration for [`stationary_power`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerConfig {
+    /// Convergence threshold on the L1 change per step.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+    /// Damping: with probability `1 − damping` stay put. `0.0` disables.
+    /// A small positive value (e.g. `0.5`) makes periodic chains converge
+    /// to the same stationary distribution without changing it.
+    pub damping: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            tol: 1e-13,
+            max_iter: 1_000_000,
+            damping: 0.0,
+        }
+    }
+}
+
+/// Computes the stationary distribution by GTH elimination.
+///
+/// Works for any irreducible chain (periodic or not) and involves no
+/// subtractions, so the result is accurate to a few ulps even for badly
+/// conditioned transition probabilities (e.g. `ᾱ^Δ ≈ 1e-300`).
+///
+/// # Errors
+///
+/// * [`Error::NotErgodic`] if the chain is not irreducible (the
+///   stationary distribution would not be unique).
+///
+/// ```
+/// use markov::chain::MarkovChain;
+/// use markov::stationary::stationary_gth;
+/// let chain = MarkovChain::from_rows(vec![vec![0.5, 0.5], vec![0.25, 0.75]])?;
+/// let pi = stationary_gth(&chain)?;
+/// assert!((pi[0] - 1.0 / 3.0).abs() < 1e-14);
+/// # Ok::<(), markov::Error>(())
+/// ```
+pub fn stationary_gth(chain: &MarkovChain) -> Result<Vec<f64>> {
+    if !crate::structure::is_irreducible(chain) {
+        return Err(Error::NotErgodic {
+            reason: "chain is reducible; stationary distribution not unique".into(),
+        });
+    }
+    let n = chain.n_states();
+    let mut p = chain.to_dense();
+
+    // GTH elimination: fold states n-1, n-2, …, 1 into the rest.
+    // For each eliminated state k, scale the incoming column by the
+    // escape mass S = Σ_{j<k} P[k][j], then redistribute k's throughput:
+    // P[i][j] += (P[i][k]/S)·P[k][j]. All operations are additive —
+    // no cancellation — which is what makes GTH backward-stable.
+    for k in (1..n).rev() {
+        let escape: f64 = p[k][..k].iter().sum();
+        if escape <= 0.0 {
+            // Numerically unreachable for an irreducible chain, but guard
+            // against pathological underflow.
+            return Err(Error::NoConvergence {
+                procedure: "gth",
+                iterations: n - k,
+                residual: escape,
+            });
+        }
+        for i in 0..k {
+            p[i][k] /= escape;
+        }
+        for i in 0..k {
+            let pik = p[i][k];
+            if pik == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                p[i][j] += pik * p[k][j];
+            }
+        }
+    }
+
+    // Back-substitution.
+    let mut pi = vec![0.0; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        let mut acc = 0.0;
+        for i in 0..k {
+            acc += pi[i] * p[i][k];
+        }
+        pi[k] = acc;
+    }
+    let total: f64 = pi.iter().sum();
+    for x in &mut pi {
+        *x /= total;
+    }
+    Ok(pi)
+}
+
+/// Computes the stationary distribution by damped power iteration from
+/// the uniform distribution.
+///
+/// # Errors
+///
+/// * [`Error::NoConvergence`] if the L1 step change stays above
+///   `config.tol` for `config.max_iter` iterations (periodic chains with
+///   `damping = 0.0` will do this; set a positive damping).
+pub fn stationary_power(chain: &MarkovChain, config: PowerConfig) -> Result<Vec<f64>> {
+    let mut dist = chain.uniform_distribution();
+    let mut residual = f64::INFINITY;
+    for _ in 0..config.max_iter {
+        let mut next = chain.step(&dist);
+        if config.damping > 0.0 {
+            let keep = config.damping;
+            for (nx, &cur) in next.iter_mut().zip(dist.iter()) {
+                *nx = keep * *nx + (1.0 - keep) * cur;
+            }
+        }
+        residual = next
+            .iter()
+            .zip(dist.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        dist = next;
+        if residual <= config.tol {
+            // Renormalise away drift.
+            let total: f64 = dist.iter().sum();
+            for x in &mut dist {
+                *x /= total;
+            }
+            return Ok(dist);
+        }
+    }
+    Err(Error::NoConvergence {
+        procedure: "power_iteration",
+        iterations: config.max_iter,
+        residual,
+    })
+}
+
+/// Verifies `π P = π` and `Σπ = 1` within `tol`; returns the maximum
+/// violation. Useful in tests and in the paper's closed-form checks.
+pub fn stationarity_residual(chain: &MarkovChain, pi: &[f64]) -> f64 {
+    assert_eq!(pi.len(), chain.n_states(), "distribution length mismatch");
+    let stepped = chain.step(pi);
+    let balance: f64 = stepped
+        .iter()
+        .zip(pi.iter())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let mass = (pi.iter().sum::<f64>() - 1.0).abs();
+    balance.max(mass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::MarkovChain;
+
+    fn weather() -> MarkovChain {
+        MarkovChain::from_rows(vec![vec![0.9, 0.1], vec![0.5, 0.5]]).unwrap()
+    }
+
+    #[test]
+    fn gth_two_state_closed_form() {
+        // π = (q, p)/(p+q) for rows [[1-p, p], [q, 1-q]].
+        let pi = stationary_gth(&weather()).unwrap();
+        assert!((pi[0] - 5.0 / 6.0).abs() < 1e-14);
+        assert!((pi[1] - 1.0 / 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gth_rejects_reducible() {
+        let c = MarkovChain::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        assert!(matches!(stationary_gth(&c), Err(Error::NotErgodic { .. })));
+    }
+
+    #[test]
+    fn power_matches_gth() {
+        let c = MarkovChain::from_rows(vec![
+            vec![0.2, 0.3, 0.5],
+            vec![0.1, 0.8, 0.1],
+            vec![0.4, 0.4, 0.2],
+        ])
+        .unwrap();
+        let a = stationary_gth(&c).unwrap();
+        let b = stationary_power(&c, PowerConfig::default()).unwrap();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn power_periodic_needs_damping() {
+        let ring = MarkovChain::from_rows(vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        // Uniform start on a ring is already stationary, so perturb via a
+        // 4-state bipartite chain instead.
+        let bipartite = MarkovChain::from_rows(vec![
+            vec![0.0, 0.9, 0.0, 0.1],
+            vec![0.8, 0.0, 0.2, 0.0],
+            vec![0.0, 0.6, 0.0, 0.4],
+            vec![0.7, 0.0, 0.3, 0.0],
+        ])
+        .unwrap();
+        let damped = PowerConfig {
+            damping: 0.5,
+            ..PowerConfig::default()
+        };
+        let via_power = stationary_power(&bipartite, damped).unwrap();
+        let via_gth = stationary_gth(&bipartite).unwrap();
+        for (x, y) in via_power.iter().zip(via_gth.iter()) {
+            assert!((x - y).abs() < 1e-9, "{x} vs {y}");
+        }
+        // Ring sanity: GTH handles the periodic chain directly.
+        let pi_ring = stationary_gth(&ring).unwrap();
+        for x in pi_ring {
+            assert!((x - 1.0 / 3.0).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn power_reports_no_convergence() {
+        // The uniform start is far from stationary for the weather chain,
+        // so two iterations with zero tolerance cannot converge.
+        let cfg = PowerConfig {
+            tol: 0.0,
+            max_iter: 2,
+            damping: 0.0,
+        };
+        let r = stationary_power(&weather(), cfg);
+        assert!(matches!(r, Err(Error::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn residual_detects_wrong_distribution() {
+        let c = weather();
+        let pi = stationary_gth(&c).unwrap();
+        assert!(stationarity_residual(&c, &pi) < 1e-14);
+        let wrong = vec![0.5, 0.5];
+        assert!(stationarity_residual(&c, &wrong) > 0.1);
+    }
+
+    #[test]
+    fn gth_handles_tiny_probabilities() {
+        // Transitions spanning 250 orders of magnitude: GTH must stay
+        // accurate (no subtractive cancellation).
+        let eps = 1e-250;
+        let c = MarkovChain::from_rows(vec![
+            vec![1.0 - eps, eps],
+            vec![0.5, 0.5],
+        ])
+        .unwrap();
+        let pi = stationary_gth(&c).unwrap();
+        // Detailed balance for 2 states: π0·eps = π1·0.5.
+        let ratio = pi[1] / pi[0];
+        assert!(
+            (ratio / (eps / 0.5) - 1.0).abs() < 1e-12,
+            "ratio {ratio} vs expected {}",
+            eps / 0.5
+        );
+    }
+
+    #[test]
+    fn gth_large_random_chain_residual() {
+        use probability::rng::{RandomSource, Xoshiro256PlusPlus};
+        let n = 60;
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(2024);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let raw: Vec<f64> = (0..n).map(|_| rng.next_f64() + 1e-3).collect();
+                let s: f64 = raw.iter().sum();
+                raw.into_iter().map(|x| x / s).collect()
+            })
+            .collect();
+        let c = MarkovChain::from_rows(rows).unwrap();
+        let pi = stationary_gth(&c).unwrap();
+        assert!(stationarity_residual(&c, &pi) < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::chain::MarkovChain;
+    use proptest::prelude::*;
+
+    fn positive_chain(n: usize) -> impl Strategy<Value = MarkovChain> {
+        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n).prop_map(|raw| {
+            let rows: Vec<Vec<f64>> = raw
+                .into_iter()
+                .map(|row| {
+                    let s: f64 = row.iter().sum();
+                    row.into_iter().map(|x| x / s).collect()
+                })
+                .collect();
+            MarkovChain::from_rows(rows).expect("stochastic")
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn gth_output_is_stationary(chain in positive_chain(5)) {
+            let pi = stationary_gth(&chain).unwrap();
+            prop_assert!(stationarity_residual(&chain, &pi) < 1e-11);
+            prop_assert!(pi.iter().all(|&x| x > 0.0));
+        }
+
+        #[test]
+        fn power_agrees_with_gth(chain in positive_chain(4)) {
+            let a = stationary_gth(&chain).unwrap();
+            let b = stationary_power(&chain, PowerConfig::default()).unwrap();
+            for (x, y) in a.iter().zip(b.iter()) {
+                prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

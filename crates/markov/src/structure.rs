@@ -1,0 +1,268 @@
+//! Structural analysis: strongly connected components, irreducibility,
+//! period, and ergodicity.
+//!
+//! The paper asserts (Section V-A) that `C_F` and `C_{F‖P}` are
+//! time-homogeneous, irreducible and ergodic; `consistency-core` verifies
+//! that claim mechanically with these routines.
+
+use crate::chain::MarkovChain;
+
+/// Result of a strongly-connected-component decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    /// `component[v]` is the SCC index of state `v`; indices are in
+    /// reverse topological order (Tarjan's numbering).
+    pub component: Vec<usize>,
+    /// Number of components.
+    pub n_components: usize,
+}
+
+/// Tarjan's strongly-connected-components algorithm (iterative, so deep
+/// chains like `C_F` with `Δ` in the thousands cannot overflow the call
+/// stack).
+pub fn strongly_connected_components(chain: &MarkovChain) -> SccDecomposition {
+    let n = chain.n_states();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![UNVISITED; n];
+    let mut next_index = 0usize;
+    let mut n_components = 0usize;
+
+    // Explicit DFS frame: (vertex, next successor position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut succ_pos)) = call_stack.last_mut() {
+            let succs = chain.successor_indices(v);
+            if *succ_pos < succs.len() {
+                let w = succs[*succ_pos];
+                *succ_pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("stack invariant");
+                        on_stack[w] = false;
+                        component[w] = n_components;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    n_components += 1;
+                }
+            }
+        }
+    }
+
+    SccDecomposition {
+        component,
+        n_components,
+    }
+}
+
+/// `true` iff every state can reach every other state.
+pub fn is_irreducible(chain: &MarkovChain) -> bool {
+    strongly_connected_components(chain).n_components == 1
+}
+
+/// The period of an irreducible chain: the gcd of all cycle lengths.
+///
+/// Computed by a single BFS: assign levels from state 0 and fold every
+/// edge `(u, v)` into `gcd` via `|level[u] + 1 − level[v]|`.
+///
+/// # Panics
+///
+/// Panics if the chain is not irreducible (callers should check
+/// [`is_irreducible`] first).
+pub fn period(chain: &MarkovChain) -> usize {
+    assert!(
+        is_irreducible(chain),
+        "period is only defined for irreducible chains"
+    );
+    let n = chain.n_states();
+    let mut level = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[0] = 0;
+    queue.push_back(0usize);
+    let mut g: usize = 0;
+    while let Some(u) = queue.pop_front() {
+        for &v in chain.successor_indices(u) {
+            if level[v] == usize::MAX {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            } else {
+                let diff = (level[u] + 1).abs_diff(level[v]);
+                g = gcd(g, diff);
+            }
+        }
+    }
+    if g == 0 {
+        // No non-tree edge discovered: single-cycle chain; its period is
+        // the cycle length = number of states reached.
+        return n;
+    }
+    g
+}
+
+/// `true` iff the chain is irreducible and aperiodic (period 1), which
+/// for a finite chain is equivalent to ergodicity.
+pub fn is_ergodic(chain: &MarkovChain) -> bool {
+    is_irreducible(chain) && period(chain) == 1
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::MarkovChain;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+    }
+
+    #[test]
+    fn single_state_chain() {
+        let c = MarkovChain::from_rows(vec![vec![1.0]]).unwrap();
+        assert!(is_irreducible(&c));
+        assert_eq!(period(&c), 1);
+        assert!(is_ergodic(&c));
+    }
+
+    #[test]
+    fn two_closed_classes_not_irreducible() {
+        let c = MarkovChain::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        let scc = strongly_connected_components(&c);
+        assert_eq!(scc.n_components, 2);
+        assert!(!is_irreducible(&c));
+    }
+
+    #[test]
+    fn transient_plus_absorbing() {
+        // 0 → 1 → 1: two SCCs {0}, {1}.
+        let c = MarkovChain::from_rows(vec![
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        assert_eq!(strongly_connected_components(&c).n_components, 2);
+        assert!(!is_irreducible(&c));
+    }
+
+    #[test]
+    fn deterministic_cycle_has_full_period() {
+        // 0 → 1 → 2 → 0.
+        let c = MarkovChain::from_rows(vec![
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        assert!(is_irreducible(&c));
+        assert_eq!(period(&c), 3);
+        assert!(!is_ergodic(&c));
+    }
+
+    #[test]
+    fn bipartite_chain_period_two() {
+        let c = MarkovChain::from_rows(vec![
+            vec![0.0, 0.5, 0.0, 0.5],
+            vec![0.5, 0.0, 0.5, 0.0],
+            vec![0.0, 0.5, 0.0, 0.5],
+            vec![0.5, 0.0, 0.5, 0.0],
+        ])
+        .unwrap();
+        assert!(is_irreducible(&c));
+        assert_eq!(period(&c), 2);
+    }
+
+    #[test]
+    fn self_loop_forces_aperiodicity() {
+        let c = MarkovChain::from_rows(vec![
+            vec![0.5, 0.5, 0.0],
+            vec![0.0, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        ])
+        .unwrap();
+        assert!(is_ergodic(&c));
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // A 100k-state ring; recursion would overflow, iteration must not.
+        let n = 100_000;
+        let mut transitions = Vec::with_capacity(n);
+        for i in 0..n {
+            transitions.push((i, (i + 1) % n, 1.0));
+        }
+        let c = MarkovChain::from_transitions(n, &transitions).unwrap();
+        assert!(is_irreducible(&c));
+        assert_eq!(period(&c), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "irreducible")]
+    fn period_panics_on_reducible() {
+        let c = MarkovChain::from_rows(vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ])
+        .unwrap();
+        period(&c);
+    }
+
+    #[test]
+    fn scc_indices_cover_all_states() {
+        let c = MarkovChain::from_rows(vec![
+            vec![0.5, 0.5, 0.0],
+            vec![0.5, 0.5, 0.0],
+            vec![0.2, 0.3, 0.5],
+        ])
+        .unwrap();
+        let scc = strongly_connected_components(&c);
+        assert_eq!(scc.component.len(), 3);
+        assert!(scc.component.iter().all(|&cmp| cmp < scc.n_components));
+        // {0,1} communicate; {2} is transient into them.
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_ne!(scc.component[0], scc.component[2]);
+    }
+}

@@ -1,0 +1,111 @@
+//! The Bernoulli distribution — one proof-of-work query in the paper's
+//! round model succeeds with probability `p`.
+
+use crate::rng::RandomSource;
+use crate::{Error, Result};
+
+/// A Bernoulli distribution with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates `Bernoulli(p)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `p ∈ [0, 1]`.
+    ///
+    /// ```
+    /// use probability::bernoulli::Bernoulli;
+    /// let coin = Bernoulli::new(0.5)?;
+    /// assert_eq!(coin.p(), 0.5);
+    /// # Ok::<(), probability::Error>(())
+    /// ```
+    pub fn new(p: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(Error::invalid("p", format!("must lie in [0, 1], got {p}")));
+        }
+        Ok(Bernoulli { p })
+    }
+
+    /// Success probability.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Mean (equals `p`).
+    pub fn mean(&self) -> f64 {
+        self.p
+    }
+
+    /// Variance `p(1-p)`.
+    pub fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+
+    /// Entropy in nats; `0` for the degenerate cases.
+    pub fn entropy(&self) -> f64 {
+        if self.p == 0.0 || self.p == 1.0 {
+            return 0.0;
+        }
+        let q = 1.0 - self.p;
+        -(self.p * self.p.ln() + q * q.ln())
+    }
+
+    /// Draws one trial.
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.bernoulli(self.p)
+    }
+
+    /// Number of successes among `count` independent trials.
+    pub fn sample_count<R: RandomSource + ?Sized>(&self, rng: &mut R, count: u64) -> u64 {
+        (0..count).filter(|_| rng.bernoulli(self.p)).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Bernoulli::new(-0.5).is_err());
+        assert!(Bernoulli::new(2.0).is_err());
+        assert!(Bernoulli::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let b = Bernoulli::new(0.25).unwrap();
+        assert_eq!(b.mean(), 0.25);
+        assert!((b.variance() - 0.1875).abs() < 1e-15);
+    }
+
+    #[test]
+    fn entropy_maximal_at_half() {
+        let fair = Bernoulli::new(0.5).unwrap();
+        assert!((fair.entropy() - std::f64::consts::LN_2).abs() < 1e-15);
+        assert_eq!(Bernoulli::new(0.0).unwrap().entropy(), 0.0);
+        assert_eq!(Bernoulli::new(1.0).unwrap().entropy(), 0.0);
+        assert!(Bernoulli::new(0.1).unwrap().entropy() < fair.entropy());
+    }
+
+    #[test]
+    fn degenerate_sampling() {
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        assert!(!Bernoulli::new(0.0).unwrap().sample(&mut rng));
+        assert!(Bernoulli::new(1.0).unwrap().sample(&mut rng));
+    }
+
+    #[test]
+    fn sample_count_frequency() {
+        let b = Bernoulli::new(0.2).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(17);
+        let total = b.sample_count(&mut rng, 100_000);
+        let freq = total as f64 / 100_000.0;
+        assert!((freq - 0.2).abs() < 0.01, "freq {freq}");
+    }
+}

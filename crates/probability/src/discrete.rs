@@ -1,0 +1,160 @@
+//! Finite discrete distributions with O(1) sampling via Walker–Vose
+//! alias tables.
+//!
+//! Used by `markov::walk` to step large chains: a CDF scan is O(out-
+//! degree) per step, the alias table O(1) after O(k) setup.
+
+use crate::rng::RandomSource;
+use crate::{Error, Result};
+
+/// A distribution over `0..k` sampled by the alias method.
+///
+/// ```
+/// use probability::discrete::AliasTable;
+/// use probability::rng::{RandomSource, Xoshiro256PlusPlus};
+///
+/// let table = AliasTable::new(&[0.2, 0.3, 0.5])?;
+/// let mut rng = Xoshiro256PlusPlus::seed_from_u64(1);
+/// let x = table.sample(&mut rng);
+/// assert!(x < 3);
+/// # Ok::<(), probability::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from (unnormalised) non-negative weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `weights` is empty, holds
+    /// a negative/non-finite entry, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(Error::invalid("weights", "must be non-empty"));
+        }
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(Error::invalid(
+                    "weights",
+                    format!("entry {i} must be finite and ≥ 0, got {w}"),
+                ));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(Error::invalid("weights", "must not all be zero"));
+        }
+        let k = weights.len();
+        // Scaled probabilities: mean 1.
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * k as f64 / total).collect();
+        let mut prob = vec![0.0; k];
+        let mut alias = vec![0usize; k];
+        let mut small: Vec<usize> = (0..k).filter(|&i| scaled[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..k).filter(|&i| scaled[i] >= 1.0).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            large.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers: fill with certainty.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// `false` always (the constructor rejects empty weights).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draws one outcome in O(1).
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> usize {
+        let k = self.prob.len();
+        let column = rng.next_below(k as u64) as usize;
+        if rng.next_f64() < self.prob[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn degenerate_single_outcome() {
+        let t = AliasTable::new(&[5.0]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        assert_eq!(t.len(), 4);
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(5);
+        let n = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / n as f64;
+            let expected = weights[i] / 10.0;
+            assert!(
+                (freq - expected).abs() < 0.005,
+                "outcome {i}: freq {freq} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcome_never_sampled() {
+        let t = AliasTable::new(&[0.5, 0.0, 0.5]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(6);
+        for _ in 0..50_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn skewed_weights_handled() {
+        let t = AliasTable::new(&[1e-12, 1.0]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(7);
+        let hits = (0..100_000).filter(|_| t.sample(&mut rng) == 0).count();
+        assert!(hits < 10, "outcome with weight 1e-12 sampled {hits} times");
+    }
+}

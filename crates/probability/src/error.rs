@@ -1,0 +1,89 @@
+use std::fmt;
+
+/// Error type for invalid distribution parameters or failed numerical
+/// procedures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A distribution or function parameter was outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// An iterative numerical procedure failed to converge.
+    NoConvergence {
+        /// Name of the procedure (e.g. `"brent"`, `"incomplete_beta"`).
+        procedure: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A root-bracketing precondition failed (no sign change on interval).
+    NoBracket {
+        /// Left endpoint of the attempted bracket.
+        lo: f64,
+        /// Right endpoint of the attempted bracket.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::NoConvergence {
+                procedure,
+                iterations,
+            } => write!(f, "`{procedure}` did not converge after {iterations} iterations"),
+            Error::NoBracket { lo, hi } => {
+                write!(f, "no sign change on bracket [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Shorthand constructor for [`Error::InvalidParameter`].
+    pub fn invalid(name: &'static str, message: impl Into<String>) -> Self {
+        Error::InvalidParameter {
+            name,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = Error::invalid("p", "must lie in (0, 1)");
+        assert_eq!(e.to_string(), "invalid parameter `p`: must lie in (0, 1)");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = Error::NoConvergence {
+            procedure: "brent",
+            iterations: 100,
+        };
+        assert_eq!(e.to_string(), "`brent` did not converge after 100 iterations");
+    }
+
+    #[test]
+    fn display_no_bracket() {
+        let e = Error::NoBracket { lo: 0.0, hi: 1.0 };
+        assert_eq!(e.to_string(), "no sign change on bracket [0, 1]");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,51 @@
+//! Numerical substrate for the blockchain-consistency workspace.
+//!
+//! This crate is intentionally dependency-free so that every downstream
+//! simulation result is bit-reproducible. It provides:
+//!
+//! * [`special`] — log-gamma, log-binomial-coefficient, regularized
+//!   incomplete beta, error function.
+//! * [`logfloat`] — [`LogFloat`](logfloat::LogFloat), a non-negative real
+//!   stored as its natural logarithm, for quantities like `ᾱ^{2Δ}` with
+//!   `Δ = 10¹³` that underflow `f64`.
+//! * [`binomial`], [`bernoulli`], [`geometric`] — the distributions the
+//!   paper's round model is built from (Eqs. 7–9 of the paper).
+//! * [`chernoff`] — relative entropy and the binomial tail bounds used in
+//!   Inequality (49) (Arratia–Gordon) plus standard multiplicative
+//!   Chernoff and Hoeffding bounds.
+//! * [`rootfind`] — bisection and Brent's method, used to invert bound
+//!   curves (e.g. solving `2µ/ln(µ/ν) = c` for `ν_max`).
+//! * [`rng`] — deterministic SplitMix64 / Xoshiro256++ generators.
+//! * [`summation`] — compensated (Neumaier) and pairwise summation.
+//!
+//! # Example
+//!
+//! ```
+//! use probability::binomial::Binomial;
+//!
+//! // Number of honest blocks mined in one round: binom(µn, p).
+//! let x = Binomial::new(90_000, 1e-9)?;
+//! let alpha = x.prob_positive();        // α = 1 - (1-p)^{µn}
+//! let alpha1 = x.pmf(1);                // α₁
+//! assert!(alpha1 < alpha && alpha < 1e-3);
+//! # Ok::<(), probability::Error>(())
+//! ```
+
+pub mod bernoulli;
+pub mod binomial;
+pub mod chernoff;
+pub mod discrete;
+pub mod geometric;
+pub mod logfloat;
+pub mod poisson;
+pub mod rng;
+pub mod rootfind;
+pub mod special;
+pub mod summation;
+
+mod error;
+
+pub use error::Error;
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

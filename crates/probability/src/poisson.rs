@@ -1,0 +1,165 @@
+//! The Poisson distribution — the `p → 0`, `np → λ` limit of the
+//! paper's per-round binomials. Useful for intuition checks: at
+//! Figure-1 scale (`p ≈ 10⁻¹⁸`), `binom(µn, p)` and `Poisson(µnp)` are
+//! indistinguishable, and `α ≈ 1 − e^{−µnp}`, `α₁ ≈ µnp·e^{−µnp}`.
+
+use crate::rng::RandomSource;
+use crate::special::ln_factorial;
+use crate::{Error, Result};
+
+/// A Poisson distribution with rate `λ > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates `Poisson(λ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] unless `λ > 0` and finite.
+    ///
+    /// ```
+    /// use probability::poisson::Poisson;
+    /// let d = Poisson::new(2.0)?;
+    /// assert_eq!(d.mean(), 2.0);
+    /// # Ok::<(), probability::Error>(())
+    /// ```
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(Error::invalid(
+                "lambda",
+                format!("must be positive and finite, got {lambda}"),
+            ));
+        }
+        Ok(Poisson { lambda })
+    }
+
+    /// Rate `λ` (mean and variance).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Mean (equals `λ`).
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Variance (equals `λ`).
+    pub fn variance(&self) -> f64 {
+        self.lambda
+    }
+
+    /// `ln P[X = k] = k·ln λ − λ − ln k!`.
+    pub fn ln_pmf(&self, k: u64) -> f64 {
+        k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)
+    }
+
+    /// `P[X = k]`.
+    pub fn pmf(&self, k: u64) -> f64 {
+        self.ln_pmf(k).exp()
+    }
+
+    /// `P[X ≤ k]` by direct summation (the rates in this workspace are
+    /// small, so the sum is short).
+    pub fn cdf(&self, k: u64) -> f64 {
+        (0..=k).map(|j| self.pmf(j)).sum::<f64>().min(1.0)
+    }
+
+    /// Draws one sample (Knuth's multiplication method for `λ ≤ 30`,
+    /// otherwise the sum of two independent halves, recursively).
+    pub fn sample<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda <= 30.0 {
+            let threshold = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut product = rng.next_f64();
+            while product > threshold {
+                k += 1;
+                product *= rng.next_f64();
+            }
+            return k;
+        }
+        // Split the rate: Poisson(λ) = Poisson(λ/2) + Poisson(λ/2).
+        let half = Poisson {
+            lambda: self.lambda / 2.0,
+        };
+        half.sample(rng) + half.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::Binomial;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-1.0).is_err());
+        assert!(Poisson::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = Poisson::new(3.5).unwrap();
+        let total: f64 = (0..100).map(|k| d.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_pmf_values() {
+        // Poisson(1): P[0] = P[1] = 1/e.
+        let d = Poisson::new(1.0).unwrap();
+        let inv_e = (-1.0f64).exp();
+        assert!((d.pmf(0) - inv_e).abs() < 1e-15);
+        assert!((d.pmf(1) - inv_e).abs() < 1e-15);
+        assert!((d.pmf(2) - inv_e / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn binomial_limit_at_paper_scale() {
+        // binom(µn, p) ≈ Poisson(µnp) for p = 1e-9: the paper's α, ᾱ,
+        // α₁ match to ~1e-9 relative.
+        let mu_n = 70_000u64;
+        let p = 1e-9;
+        let b = Binomial::new(mu_n, p).unwrap();
+        let d = Poisson::new(mu_n as f64 * p).unwrap();
+        assert!((b.prob_zero() - d.pmf(0)).abs() < 1e-12);
+        assert!((b.pmf(1) - d.pmf(1)).abs() < 1e-12);
+        assert!((b.pmf(2) - d.pmf(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let d = Poisson::new(4.0).unwrap();
+        let mut prev = 0.0;
+        for k in 0..30 {
+            let c = d.cdf(k);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert!((d.cdf(60) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_mean_small_lambda() {
+        let d = Poisson::new(2.5).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(31);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn sampling_mean_large_lambda_recursive_split() {
+        let d = Poisson::new(100.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(32);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+    }
+}

@@ -1,0 +1,217 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used throughout `consistency-core` to invert bound curves, e.g. solving
+//! `2µ/ln(µ/ν) = c` for `ν_max` on Figure 1's magenta line.
+
+use crate::{Error, Result};
+
+/// Configuration for the iterative solvers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootConfig {
+    /// Absolute tolerance on the root location.
+    pub x_tol: f64,
+    /// Absolute tolerance on the residual `|f(x)|`.
+    pub f_tol: f64,
+    /// Iteration cap.
+    pub max_iter: usize,
+}
+
+impl Default for RootConfig {
+    fn default() -> Self {
+        RootConfig {
+            x_tol: 1e-14,
+            f_tol: 0.0,
+            max_iter: 200,
+        }
+    }
+}
+
+/// Finds a root of `f` on `[lo, hi]` by bisection.
+///
+/// # Errors
+///
+/// * [`Error::NoBracket`] if `f(lo)` and `f(hi)` have the same sign.
+/// * [`Error::NoConvergence`] if the tolerance is not reached within
+///   `config.max_iter` iterations (practically unreachable: 200 bisections
+///   exhaust f64 resolution).
+///
+/// ```
+/// use probability::rootfind::{bisect, RootConfig};
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, RootConfig::default())?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-12);
+/// # Ok::<(), probability::Error>(())
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, config: RootConfig) -> Result<f64> {
+    let (mut lo, mut hi) = (lo, hi);
+    let mut f_lo = f(lo);
+    let f_hi = f(hi);
+    if f_lo == 0.0 {
+        return Ok(lo);
+    }
+    if f_hi == 0.0 {
+        return Ok(hi);
+    }
+    if f_lo.signum() == f_hi.signum() {
+        return Err(Error::NoBracket { lo, hi });
+    }
+    for _ in 0..config.max_iter {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = f(mid);
+        if f_mid == 0.0 || (hi - lo).abs() <= config.x_tol || f_mid.abs() <= config.f_tol {
+            return Ok(mid);
+        }
+        if f_mid.signum() == f_lo.signum() {
+            lo = mid;
+            f_lo = f_mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Err(Error::NoConvergence {
+        procedure: "bisect",
+        iterations: config.max_iter,
+    })
+}
+
+/// Finds a root of `f` on `[lo, hi]` with Brent's method (inverse
+/// quadratic interpolation + secant + bisection safeguards).
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, config: RootConfig) -> Result<f64> {
+    let (mut a, mut b) = (lo, hi);
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(Error::NoBracket { lo, hi });
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = a;
+    for _ in 0..config.max_iter {
+        if fb == 0.0 || (b - a).abs() <= config.x_tol || fb.abs() <= config.f_tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let low = (3.0 * a + b) / 4.0;
+        let cond1 = !((low.min(b) < s) && (s < low.max(b)));
+        let cond2 = mflag && (s - b).abs() >= (b - c).abs() / 2.0;
+        let cond3 = !mflag && (s - b).abs() >= (c - d).abs() / 2.0;
+        let cond4 = mflag && (b - c).abs() < config.x_tol;
+        let cond5 = !mflag && (c - d).abs() < config.x_tol;
+        if cond1 || cond2 || cond3 || cond4 || cond5 {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(Error::NoConvergence {
+        procedure: "brent",
+        iterations: config.max_iter,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, RootConfig::default()).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, RootConfig::default()).unwrap(), 0.0);
+        assert_eq!(
+            bisect(|x| x - 1.0, 0.0, 1.0, RootConfig::default()).unwrap(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn bisect_no_bracket() {
+        let e = bisect(|x| x * x + 1.0, -1.0, 1.0, RootConfig::default());
+        assert!(matches!(e, Err(Error::NoBracket { .. })));
+    }
+
+    #[test]
+    fn brent_matches_bisect_on_transcendental() {
+        let f = |x: f64| x.exp() - 3.0;
+        let cfg = RootConfig::default();
+        let rb = bisect(f, 0.0, 2.0, cfg).unwrap();
+        let rn = brent(f, 0.0, 2.0, cfg).unwrap();
+        assert!((rb - 3f64.ln()).abs() < 1e-11);
+        assert!((rn - 3f64.ln()).abs() < 1e-11);
+    }
+
+    #[test]
+    fn brent_hard_flat_function() {
+        // f is extremely flat near the root: x^9.
+        let r = brent(|x| x.powi(9), -1.0, 4.0, RootConfig::default()).unwrap();
+        assert!(r.abs() < 2e-2, "root {r}");
+    }
+
+    #[test]
+    fn brent_no_bracket() {
+        let e = brent(|_| 1.0, 0.0, 1.0, RootConfig::default());
+        assert!(matches!(e, Err(Error::NoBracket { .. })));
+    }
+
+    #[test]
+    fn paper_numax_shape() {
+        // Solve 2(1-ν)/ln((1-ν)/ν) = c for c = 3: ν_max ≈ value in (0, 0.5).
+        let c = 3.0;
+        let f = |nu: f64| 2.0 * (1.0 - nu) / ((1.0 - nu) / nu).ln() - c;
+        let nu = brent(f, 1e-12, 0.5 - 1e-12, RootConfig::default()).unwrap();
+        assert!(nu > 0.0 && nu < 0.5);
+        // Verify it satisfies the equation.
+        let lhs = 2.0 * (1.0 - nu) / ((1.0 - nu) / nu).ln();
+        assert!((lhs - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_clone_and_debug() {
+        let cfg = RootConfig::default();
+        let cfg2 = cfg;
+        assert_eq!(cfg, cfg2);
+        assert!(format!("{cfg:?}").contains("max_iter"));
+    }
+}

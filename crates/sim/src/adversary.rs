@@ -1,0 +1,344 @@
+//! Adversary strategies.
+//!
+//! The model (Section III) lets the adversary ① delay/reorder messages
+//! up to Δ rounds and ② direct all corrupted miners (q sequential hash
+//! queries per round). A strategy decides:
+//!
+//! * how long each honest block announcement is delayed per receiving
+//!   group ([`Adversary::honest_delay`]), and
+//! * where its own PoW successes mine and when/to whom blocks are
+//!   released ([`Adversary::act`]).
+//!
+//! Three strategies are provided:
+//!
+//! * [`ImmediateReleaseAdversary`] — behaves honestly; the baseline.
+//! * [`PrivateChainAdversary`] — max-delays honest blocks and mines a
+//!   withheld fork, releasing it when the public chain threatens to
+//!   catch up (the classic double-spend / consistency attack).
+//! * [`BalanceAdversary`] — splits the honest miners into two groups,
+//!   max-delays cross-group traffic, and spends its own blocks keeping
+//!   both branches level (the PSS-style attack of Remark 8.5 that
+//!   motivates the paper's red line in Figure 1).
+
+use crate::block::{BlockId, Provenance, Round};
+use crate::tree::BlockTree;
+
+/// A directive to deliver `block` to honest group `group` after `delay`
+/// rounds (clamped by the engine to `[1, Δ]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseDirective {
+    /// Block to deliver.
+    pub block: BlockId,
+    /// Receiving honest group.
+    pub group: usize,
+    /// Delivery delay in rounds from the current round.
+    pub delay: u64,
+}
+
+/// An adversary strategy driving delays and corrupted mining.
+pub trait Adversary {
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of honest delivery groups the strategy wants (1 or 2).
+    fn group_count(&self) -> usize {
+        1
+    }
+
+    /// Delay, in rounds, applied to an honest block mined by
+    /// `from_group` when delivered to `to_group` (`from ≠ to`). The
+    /// engine clamps the result to `[1, Δ]`.
+    fn honest_delay(&mut self, round: Round, from_group: usize, to_group: usize) -> u64;
+
+    /// Reacts to this round's `successes` adversary PoW wins: mines
+    /// private blocks by mutating `tree` and returns release directives.
+    /// `group_tips` holds each honest group's current tip (duplicated
+    /// for single-group strategies).
+    fn act(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+    ) -> Vec<ReleaseDirective>;
+}
+
+/// Baseline adversary: publishes everything immediately and never
+/// withholds — its blocks simply add to the longest chain.
+#[derive(Debug, Clone, Default)]
+pub struct ImmediateReleaseAdversary;
+
+impl ImmediateReleaseAdversary {
+    /// Creates the baseline adversary.
+    pub fn new() -> Self {
+        ImmediateReleaseAdversary
+    }
+}
+
+impl Adversary for ImmediateReleaseAdversary {
+    fn name(&self) -> &'static str {
+        "immediate-release"
+    }
+
+    fn honest_delay(&mut self, _round: Round, _from: usize, _to: usize) -> u64 {
+        1
+    }
+
+    fn act(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+    ) -> Vec<ReleaseDirective> {
+        let mut releases = Vec::new();
+        let mut tip = group_tips[0];
+        for _ in 0..successes {
+            tip = tree.add_block(tip, round, Provenance::Adversary);
+            releases.push(ReleaseDirective {
+                block: tip,
+                group: 0,
+                delay: 1,
+            });
+        }
+        releases
+    }
+}
+
+/// Withholds a private fork while max-delaying honest blocks; releases
+/// the fork when the public chain gets within one block of it, forcing
+/// the deepest reorg the accumulated private lead allows.
+#[derive(Debug, Clone)]
+pub struct PrivateChainAdversary {
+    delta: u64,
+    private_tip: BlockId,
+    /// Private blocks not yet released, oldest first.
+    withheld: Vec<BlockId>,
+}
+
+impl PrivateChainAdversary {
+    /// Creates the private-chain adversary for delay bound `delta`.
+    pub fn new(delta: u64) -> Self {
+        PrivateChainAdversary {
+            delta,
+            private_tip: BlockId::GENESIS,
+            withheld: Vec::new(),
+        }
+    }
+
+    /// Current number of withheld blocks.
+    pub fn withheld_len(&self) -> usize {
+        self.withheld.len()
+    }
+}
+
+impl Adversary for PrivateChainAdversary {
+    fn name(&self) -> &'static str {
+        "private-chain"
+    }
+
+    fn honest_delay(&mut self, _round: Round, _from: usize, _to: usize) -> u64 {
+        self.delta
+    }
+
+    fn act(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+    ) -> Vec<ReleaseDirective> {
+        let public_tip = if tree.height(group_tips[0]) >= tree.height(group_tips[1]) {
+            group_tips[0]
+        } else {
+            group_tips[1]
+        };
+        let public_height = tree.height(public_tip);
+
+        // Abandon a fallen-behind private fork.
+        if tree.height(self.private_tip) < public_height {
+            self.private_tip = public_tip;
+            self.withheld.clear();
+        }
+
+        for _ in 0..successes {
+            self.private_tip = tree.add_block(self.private_tip, round, Provenance::Adversary);
+            self.withheld.push(self.private_tip);
+        }
+
+        // Release the fork when the lead shrinks to one block: the
+        // public network adopts the strictly longer private chain and
+        // every honest block since the fork point is discarded.
+        let private_height = tree.height(self.private_tip);
+        if !self.withheld.is_empty()
+            && private_height > public_height
+            && private_height - public_height <= 1
+        {
+            let mut releases = Vec::new();
+            for &block in &self.withheld {
+                for group in 0..2 {
+                    releases.push(ReleaseDirective {
+                        block,
+                        group,
+                        delay: 1,
+                    });
+                }
+            }
+            self.withheld.clear();
+            return releases;
+        }
+        Vec::new()
+    }
+}
+
+/// Splits the honest miners into two groups kept on two balanced
+/// branches: cross-group honest traffic is delayed the full Δ, and the
+/// adversary mines on whichever branch is behind, releasing instantly —
+/// and *only* — to that branch's group. While its block budget keeps
+/// up, the two branches grow in lock-step and never merge — consistency
+/// fails at arbitrary depth.
+#[derive(Debug, Clone)]
+pub struct BalanceAdversary {
+    delta: u64,
+}
+
+impl BalanceAdversary {
+    /// Creates the balance adversary for delay bound `delta`.
+    pub fn new(delta: u64) -> Self {
+        BalanceAdversary { delta }
+    }
+}
+
+impl Adversary for BalanceAdversary {
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+
+    fn group_count(&self) -> usize {
+        2
+    }
+
+    fn honest_delay(&mut self, _round: Round, _from: usize, _to: usize) -> u64 {
+        self.delta
+    }
+
+    fn act(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+    ) -> Vec<ReleaseDirective> {
+        let mut releases = Vec::new();
+        let mut tips = *group_tips;
+        for _ in 0..successes {
+            // Extend the branch that is behind (ties favour branch 0 so
+            // the two branches stay distinct).
+            let lagging = if tree.height(tips[0]) <= tree.height(tips[1]) {
+                0
+            } else {
+                1
+            };
+            let block = tree.add_block(tips[lagging], round, Provenance::Adversary);
+            tips[lagging] = block;
+            // Deliver only to the lagging group: the boost keeps that
+            // group on its branch, and the other group must never see
+            // the balancing block directly or the views would merge.
+            releases.push(ReleaseDirective {
+                block,
+                group: lagging,
+                delay: 1,
+            });
+        }
+        releases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with_public_chain(len: u64) -> (BlockTree, BlockId) {
+        let mut tree = BlockTree::new();
+        let mut tip = BlockId::GENESIS;
+        for r in 1..=len {
+            tip = tree.add_block(tip, r, Provenance::Honest(0));
+        }
+        (tree, tip)
+    }
+
+    #[test]
+    fn immediate_release_publishes_every_success() {
+        let (mut tree, tip) = tree_with_public_chain(3);
+        let mut adv = ImmediateReleaseAdversary::new();
+        let releases = adv.act(4, &[tip, tip], &mut tree, 2);
+        assert_eq!(releases.len(), 2);
+        // Successes chain on one another.
+        assert_eq!(tree.height(releases[1].block), 5);
+        assert!(releases.iter().all(|r| r.delay == 1));
+        assert_eq!(adv.honest_delay(4, 0, 1), 1);
+    }
+
+    #[test]
+    fn private_chain_withholds_until_threatened() {
+        let (mut tree, tip) = tree_with_public_chain(2);
+        let mut adv = PrivateChainAdversary::new(8);
+        assert_eq!(adv.honest_delay(1, 0, 1), 8, "max-delays honest blocks");
+        // Adversary gets 3 successes: private chain reaches height 5 > 2.
+        let releases = adv.act(3, &[tip, tip], &mut tree, 3);
+        assert!(releases.is_empty(), "lead of 3 is safe; keep withholding");
+        assert_eq!(adv.withheld_len(), 3);
+        // Public chain grows to height 4: lead shrinks to 1 → release.
+        let mut public_tip = tip;
+        for r in 4..=5 {
+            public_tip = tree.add_block(public_tip, r, Provenance::Honest(0));
+        }
+        let releases = adv.act(6, &[public_tip, public_tip], &mut tree, 0);
+        assert_eq!(releases.len(), 3 * 2, "3 blocks × 2 groups");
+        assert_eq!(adv.withheld_len(), 0);
+    }
+
+    #[test]
+    fn private_chain_abandons_when_behind() {
+        let (mut tree, tip) = tree_with_public_chain(5);
+        let mut adv = PrivateChainAdversary::new(4);
+        // One success from genesis-height private tip: it is behind the
+        // public chain, so it restarts from the public tip.
+        let _ = adv.act(6, &[tip, tip], &mut tree, 1);
+        assert_eq!(tree.height(adv.private_tip), 6);
+    }
+
+    #[test]
+    fn balance_extends_lagging_branch() {
+        let mut tree = BlockTree::new();
+        // Branch 0 has height 2, branch 1 height 1.
+        let a1 = tree.add_block(BlockId::GENESIS, 1, Provenance::Honest(0));
+        let a2 = tree.add_block(a1, 2, Provenance::Honest(0));
+        let b1 = tree.add_block(BlockId::GENESIS, 1, Provenance::Honest(1));
+        let mut adv = BalanceAdversary::new(5);
+        assert_eq!(adv.group_count(), 2);
+        let releases = adv.act(3, &[a2, b1], &mut tree, 1);
+        assert_eq!(releases.len(), 1);
+        let block = releases[0].block;
+        // The new block extends branch 1 (the lagging one) and is
+        // released only to that group, immediately.
+        assert!(tree.is_ancestor(b1, block));
+        assert_eq!(releases[0].group, 1);
+        assert_eq!(releases[0].delay, 1);
+    }
+
+    #[test]
+    fn balance_splits_budget_across_branches() {
+        let mut tree = BlockTree::new();
+        let mut adv = BalanceAdversary::new(3);
+        // From a level start, two successes go to alternating branches
+        // (0 first, then the other branch is lagging).
+        let releases = adv.act(1, &[BlockId::GENESIS, BlockId::GENESIS], &mut tree, 2);
+        assert_eq!(releases.len(), 2);
+        let first = releases[0].block;
+        let second = releases[1].block;
+        assert_eq!(tree.height(first), 1);
+        assert_eq!(tree.height(second), 1, "second success balances the other branch");
+        assert_ne!(first, second);
+    }
+}

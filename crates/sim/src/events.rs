@@ -1,0 +1,582 @@
+//! Per-round state classification and the paper's pattern detectors.
+//!
+//! Each round is classified as `N` (no honest block), `H₁` (exactly one
+//! honest block) or `H` with multiplicity (Eqs. 4–6). Two streaming
+//! detectors consume that classification:
+//!
+//! * [`SuffixTracker`] — runs the paper's suffix Markov chain `C_F`
+//!   (Fig. 2) forward and records state occupancies, so simulation runs
+//!   can be compared against the closed-form stationary distribution
+//!   (Eqs. 37a–37d).
+//! * [`ConvergenceDetector`] — counts *convergence opportunities*: the
+//!   pattern `H N^{≥Δ} H₁ N^Δ` of Section V-A, whose rate is
+//!   `ᾱ^{2Δ}α₁` (Eq. 44).
+
+/// Classification of a round by honest mining successes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoundState {
+    /// No honest block mined (`N`), probability `ᾱ`.
+    NoHonest,
+    /// Exactly one honest block mined (`H₁`), probability `α₁`.
+    OneHonest,
+    /// Two or more honest blocks mined, probability `α − α₁`.
+    ManyHonest,
+}
+
+impl RoundState {
+    /// Classifies a round from its honest block count.
+    pub fn from_count(honest_blocks: u64) -> Self {
+        match honest_blocks {
+            0 => RoundState::NoHonest,
+            1 => RoundState::OneHonest,
+            _ => RoundState::ManyHonest,
+        }
+    }
+
+    /// `true` for any `H` round (at least one honest block).
+    pub fn is_h(self) -> bool {
+        !matches!(self, RoundState::NoHonest)
+    }
+}
+
+/// Index layout of the `2Δ+1` suffix states (matching Eq. 29):
+///
+/// | index | state |
+/// |---|---|
+/// | `0` | `HN^{≤Δ−1}H` |
+/// | `a ∈ 1..Δ` | `HN^{≤Δ−1}HN^a` |
+/// | `Δ` | `HN^{≥Δ}` |
+/// | `Δ+1+b`, `b ∈ 0..Δ` | `HN^{≥Δ}HN^b` |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SuffixState {
+    /// `HN^{≤Δ−1}H`: an H round following a short (< Δ) N-run.
+    RecentH,
+    /// `HN^{≤Δ−1}HN^a`: `a ∈ 1..=Δ−1` N rounds since a [`SuffixState::RecentH`].
+    ShortGap(u64),
+    /// `HN^{≥Δ}`: at least Δ consecutive N rounds since the last H.
+    LongGap,
+    /// `HN^{≥Δ}HN^b`: an H after a long gap, followed by `b ∈ 0..=Δ−1` N rounds.
+    AfterLongGap(u64),
+}
+
+impl SuffixState {
+    /// Flat index in `0..2Δ+1` (see the module table).
+    pub fn index(self, delta: u64) -> usize {
+        match self {
+            SuffixState::RecentH => 0,
+            SuffixState::ShortGap(a) => {
+                assert!(a >= 1 && a <= delta - 1, "ShortGap arm out of range");
+                a as usize
+            }
+            SuffixState::LongGap => delta as usize,
+            SuffixState::AfterLongGap(b) => {
+                assert!(b <= delta - 1, "AfterLongGap arm out of range");
+                (delta + 1 + b) as usize
+            }
+        }
+    }
+
+    /// Inverse of [`SuffixState::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index ≥ 2Δ+1`.
+    pub fn from_index(index: usize, delta: u64) -> Self {
+        let d = delta as usize;
+        if index == 0 {
+            SuffixState::RecentH
+        } else if index < d {
+            SuffixState::ShortGap(index as u64)
+        } else if index == d {
+            SuffixState::LongGap
+        } else if index <= 2 * d {
+            SuffixState::AfterLongGap((index - d - 1) as u64)
+        } else {
+            panic!("suffix state index {index} out of range for Δ={delta}");
+        }
+    }
+
+    /// Number of suffix states for a given Δ: `2Δ+1`.
+    pub fn count(delta: u64) -> usize {
+        2 * delta as usize + 1
+    }
+}
+
+/// Streaming evaluation of the suffix chain `C_F`.
+///
+/// Occupancy counting starts once the tracker has seen enough history
+/// for the suffix state to be well defined (two `H` rounds, as in the
+/// paper's "sufficiently large t" proviso).
+#[derive(Debug, Clone)]
+pub struct SuffixTracker {
+    delta: u64,
+    state: Option<SuffixState>,
+    h_rounds_seen: u64,
+    /// N rounds since the last H, maintained during warm-up so the first
+    /// defined state can distinguish `HN^{<Δ}H` from `HN^{≥Δ}H`.
+    warmup_gap: u64,
+    occupancy: Vec<u64>,
+    rounds_counted: u64,
+}
+
+impl SuffixTracker {
+    /// Creates a tracker for delay bound `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn new(delta: u64) -> Self {
+        assert!(delta >= 1, "Δ must be at least 1");
+        SuffixTracker {
+            delta,
+            state: None,
+            h_rounds_seen: 0,
+            warmup_gap: 0,
+            occupancy: vec![0; SuffixState::count(delta)],
+            rounds_counted: 0,
+        }
+    }
+
+    /// The current suffix state, if defined yet.
+    pub fn state(&self) -> Option<SuffixState> {
+        self.state
+    }
+
+    /// Per-state visit counts (indexed per [`SuffixState::index`]).
+    pub fn occupancy(&self) -> &[u64] {
+        &self.occupancy
+    }
+
+    /// Number of rounds included in [`SuffixTracker::occupancy`].
+    pub fn rounds_counted(&self) -> u64 {
+        self.rounds_counted
+    }
+
+    /// Consumes one round.
+    pub fn update(&mut self, round_state: RoundState) {
+        let is_h = round_state.is_h();
+        if is_h {
+            self.h_rounds_seen += 1;
+        }
+        let delta = self.delta;
+        self.state = match (self.state, is_h) {
+            // Warm-up: the suffix needs two H's of history. On the
+            // second H the state is HN^{≤Δ−1}H or HN^{≥Δ}H depending on
+            // the tracked gap between the two H's.
+            (None, true) if self.h_rounds_seen >= 2 => {
+                if self.warmup_gap >= delta {
+                    Some(SuffixState::AfterLongGap(0))
+                } else {
+                    Some(SuffixState::RecentH)
+                }
+            }
+            (None, true) => {
+                self.warmup_gap = 0;
+                None
+            }
+            (None, false) => {
+                if self.h_rounds_seen > 0 {
+                    self.warmup_gap += 1;
+                }
+                None
+            }
+            (Some(SuffixState::RecentH), true) => Some(SuffixState::RecentH),
+            (Some(SuffixState::RecentH), false) => {
+                if delta >= 2 {
+                    Some(SuffixState::ShortGap(1))
+                } else {
+                    Some(SuffixState::LongGap)
+                }
+            }
+            (Some(SuffixState::ShortGap(_)), true) => Some(SuffixState::RecentH),
+            (Some(SuffixState::ShortGap(a)), false) => {
+                if a + 1 <= delta - 1 {
+                    Some(SuffixState::ShortGap(a + 1))
+                } else {
+                    Some(SuffixState::LongGap)
+                }
+            }
+            (Some(SuffixState::LongGap), false) => Some(SuffixState::LongGap),
+            (Some(SuffixState::LongGap), true) => Some(SuffixState::AfterLongGap(0)),
+            (Some(SuffixState::AfterLongGap(_)), true) => Some(SuffixState::RecentH),
+            (Some(SuffixState::AfterLongGap(b)), false) => {
+                if b + 1 <= delta - 1 {
+                    Some(SuffixState::AfterLongGap(b + 1))
+                } else {
+                    Some(SuffixState::LongGap)
+                }
+            }
+        };
+        if let Some(s) = self.state {
+            self.occupancy[s.index(delta)] += 1;
+            self.rounds_counted += 1;
+        }
+    }
+
+    /// Empirical state distribution (occupancy / rounds counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no rounds have been counted yet.
+    pub fn empirical_distribution(&self) -> Vec<f64> {
+        assert!(self.rounds_counted > 0, "no rounds counted yet");
+        self.occupancy
+            .iter()
+            .map(|&c| c as f64 / self.rounds_counted as f64)
+            .collect()
+    }
+}
+
+/// Streaming count of convergence opportunities
+/// (`… H N^{≥Δ} H₁ N^Δ`, Section V-A).
+///
+/// A convergence opportunity completes at round `t` when:
+/// 1. some earlier `H` round exists,
+/// 2. followed by ≥ Δ consecutive `N` rounds,
+/// 3. then an `H₁` round (exactly one honest block) at `t − Δ`,
+/// 4. then Δ consecutive `N` rounds through `t`.
+#[derive(Debug, Clone)]
+pub struct ConvergenceDetector {
+    delta: u64,
+    n_run: u64,
+    seen_h: bool,
+    /// Rounds of `N` still needed to complete a pending pattern.
+    pending: Option<u64>,
+    count: u64,
+}
+
+impl ConvergenceDetector {
+    /// Creates a detector for delay bound `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn new(delta: u64) -> Self {
+        assert!(delta >= 1, "Δ must be at least 1");
+        ConvergenceDetector {
+            delta,
+            n_run: 0,
+            seen_h: false,
+            pending: None,
+            count: 0,
+        }
+    }
+
+    /// Number of completed convergence opportunities so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Consumes one round given its honest block count.
+    pub fn update(&mut self, honest_blocks: u64) {
+        match RoundState::from_count(honest_blocks) {
+            RoundState::NoHonest => {
+                if let Some(remaining) = self.pending {
+                    if remaining == 1 {
+                        self.count += 1;
+                        self.pending = None;
+                    } else {
+                        self.pending = Some(remaining - 1);
+                    }
+                }
+                self.n_run += 1;
+            }
+            state => {
+                // Any H round cancels a pending pattern (the N^Δ tail is
+                // broken) and may start a new one.
+                let qualifies = state == RoundState::OneHonest
+                    && self.seen_h
+                    && self.n_run >= self.delta;
+                self.pending = if qualifies { Some(self.delta) } else { None };
+                self.seen_h = true;
+                self.n_run = 0;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(detector: &mut ConvergenceDetector, pattern: &str) {
+        // 'h' = H₁, 'H' = many honest, '.' = N.
+        for ch in pattern.chars() {
+            match ch {
+                'h' => detector.update(1),
+                'H' => detector.update(3),
+                '.' => detector.update(0),
+                _ => panic!("bad pattern char {ch}"),
+            }
+        }
+    }
+
+    #[test]
+    fn round_state_classification() {
+        assert_eq!(RoundState::from_count(0), RoundState::NoHonest);
+        assert_eq!(RoundState::from_count(1), RoundState::OneHonest);
+        assert_eq!(RoundState::from_count(5), RoundState::ManyHonest);
+        assert!(!RoundState::NoHonest.is_h());
+        assert!(RoundState::OneHonest.is_h());
+        assert!(RoundState::ManyHonest.is_h());
+    }
+
+    #[test]
+    fn basic_pattern_detected() {
+        // Δ = 2: H, then ≥2 N, then H1, then 2 N → one opportunity.
+        let mut d = ConvergenceDetector::new(2);
+        feed(&mut d, "h..h..");
+        assert_eq!(d.count(), 1);
+    }
+
+    #[test]
+    fn pattern_requires_leading_h() {
+        // No H before the N-run: not an opportunity.
+        let mut d = ConvergenceDetector::new(2);
+        feed(&mut d, "..h..");
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn pattern_requires_h1_not_many() {
+        let mut d = ConvergenceDetector::new(2);
+        feed(&mut d, "h..H..");
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn pattern_requires_long_enough_leading_gap() {
+        let mut d = ConvergenceDetector::new(3);
+        feed(&mut d, "h..h...");
+        assert_eq!(d.count(), 0, "only 2 < Δ = 3 leading N rounds");
+        let mut d = ConvergenceDetector::new(3);
+        feed(&mut d, "h...h...");
+        assert_eq!(d.count(), 1);
+    }
+
+    #[test]
+    fn tail_interrupted_by_h_cancels() {
+        let mut d = ConvergenceDetector::new(3);
+        feed(&mut d, "h...h..h");
+        assert_eq!(d.count(), 0);
+    }
+
+    #[test]
+    fn consecutive_opportunities() {
+        // Δ = 1: pattern is H N h N; chain several.
+        let mut d = ConvergenceDetector::new(1);
+        feed(&mut d, "h.h.h.h.");
+        // After the first "h." warm-up, every "h." completes: h(1).h(2).h(3).
+        assert_eq!(d.count(), 3);
+    }
+
+    #[test]
+    fn opportunity_counted_exactly_at_completion() {
+        let mut d = ConvergenceDetector::new(2);
+        feed(&mut d, "h..h.");
+        assert_eq!(d.count(), 0, "tail N^Δ not yet complete");
+        feed(&mut d, ".");
+        assert_eq!(d.count(), 1);
+    }
+
+    #[test]
+    fn suffix_state_index_bijection() {
+        for delta in [1u64, 2, 3, 8] {
+            let n = SuffixState::count(delta);
+            assert_eq!(n, 2 * delta as usize + 1);
+            for i in 0..n {
+                let s = SuffixState::from_index(i, delta);
+                assert_eq!(s.index(delta), i, "Δ={delta} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn suffix_tracker_follows_paper_example() {
+        // Paper's worked example (Section V-A): Δ = 3, states
+        // H,N,H,H,N,N,H,N,N,N give F₇..F₁₀ = RecentH, ShortGap(1),
+        // ShortGap(2), LongGap.
+        let mut t = SuffixTracker::new(3);
+        let rounds = [1u64, 0, 1, 1, 0, 0, 1, 0, 0, 0];
+        let mut states = Vec::new();
+        for &h in &rounds {
+            t.update(RoundState::from_count(h));
+            states.push(t.state());
+        }
+        assert_eq!(states[6], Some(SuffixState::RecentH), "F₇");
+        assert_eq!(states[7], Some(SuffixState::ShortGap(1)), "F₈");
+        assert_eq!(states[8], Some(SuffixState::ShortGap(2)), "F₉");
+        assert_eq!(states[9], Some(SuffixState::LongGap), "F₁₀");
+    }
+
+    #[test]
+    fn suffix_tracker_long_gap_then_h() {
+        let mut t = SuffixTracker::new(2);
+        // H H (warm up) N N N (long gap) H → AfterLongGap(0), N → AfterLongGap(1), N → LongGap.
+        for &h in &[1u64, 1, 0, 0, 0, 1, 0, 0] {
+            t.update(RoundState::from_count(h));
+        }
+        assert_eq!(t.state(), Some(SuffixState::LongGap));
+        let mut t2 = SuffixTracker::new(2);
+        for &h in &[1u64, 1, 0, 0, 0, 1, 0] {
+            t2.update(RoundState::from_count(h));
+        }
+        assert_eq!(t2.state(), Some(SuffixState::AfterLongGap(1)));
+    }
+
+    #[test]
+    fn suffix_tracker_delta_one_has_no_short_gap() {
+        let mut t = SuffixTracker::new(1);
+        for &h in &[1u64, 1, 0] {
+            t.update(RoundState::from_count(h));
+        }
+        // With Δ = 1 a single N jumps straight to LongGap.
+        assert_eq!(t.state(), Some(SuffixState::LongGap));
+        assert_eq!(SuffixState::count(1), 3);
+    }
+
+    #[test]
+    fn warmup_skips_undefined_prefix() {
+        let mut t = SuffixTracker::new(2);
+        t.update(RoundState::NoHonest);
+        t.update(RoundState::NoHonest);
+        assert_eq!(t.state(), None);
+        assert_eq!(t.rounds_counted(), 0);
+        t.update(RoundState::OneHonest); // first H
+        assert_eq!(t.state(), None, "one H is not enough history");
+        t.update(RoundState::OneHonest); // second H
+        assert_eq!(t.state(), Some(SuffixState::RecentH));
+        assert_eq!(t.rounds_counted(), 1);
+    }
+
+    /// Brute-force reference for the detector: O(T·Δ) direct pattern
+    /// scan, used to validate the streaming automaton.
+    fn naive_convergence_count(rounds: &[u64], delta: u64) -> u64 {
+        let d = delta as usize;
+        let mut count = 0;
+        // A pattern completes at index t with H₁ at u = t − Δ.
+        for t in d..rounds.len() {
+            let u = t - d;
+            if rounds[u] != 1 {
+                continue;
+            }
+            if rounds[u + 1..=t].iter().any(|&h| h != 0) {
+                continue;
+            }
+            // Count the maximal N-run immediately before u.
+            let mut gap = 0usize;
+            while gap < u && rounds[u - 1 - gap] == 0 {
+                gap += 1;
+            }
+            // Need ≥ Δ N's and an H round before the run.
+            if gap >= d && u >= gap + 1 && rounds[u - 1 - gap] >= 1 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    #[test]
+    fn detector_matches_naive_reference_on_fixed_cases() {
+        let cases: [(&[u64], u64); 4] = [
+            (&[1, 0, 0, 1, 0, 0], 2),
+            (&[1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0], 3),
+            (&[2, 0, 1, 0, 1, 0, 1, 0], 1),
+            (&[0, 0, 1, 0, 0, 1, 0, 0], 2),
+        ];
+        for (rounds, delta) in cases {
+            let mut d = ConvergenceDetector::new(delta);
+            for &h in rounds {
+                d.update(h);
+            }
+            assert_eq!(
+                d.count(),
+                naive_convergence_count(rounds, delta),
+                "Δ={delta}, rounds {rounds:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn occupancy_sums_to_rounds_counted() {
+        let mut t = SuffixTracker::new(3);
+        let pattern = [1u64, 0, 0, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 0, 0, 1];
+        for &h in &pattern {
+            t.update(RoundState::from_count(h));
+        }
+        let sum: u64 = t.occupancy().iter().sum();
+        assert_eq!(sum, t.rounds_counted());
+        let dist = t.empirical_distribution();
+        assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_convergence_count(rounds: &[u64], delta: u64) -> u64 {
+        let d = delta as usize;
+        let mut count = 0;
+        for t in d..rounds.len() {
+            let u = t - d;
+            if rounds[u] != 1 {
+                continue;
+            }
+            if rounds[u + 1..=t].iter().any(|&h| h != 0) {
+                continue;
+            }
+            let mut gap = 0usize;
+            while gap < u && rounds[u - 1 - gap] == 0 {
+                gap += 1;
+            }
+            if gap >= d && u >= gap + 1 && rounds[u - 1 - gap] >= 1 {
+                count += 1;
+            }
+        }
+        count
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_detector_equals_naive_reference(
+            delta in 1u64..6,
+            // Biased towards N rounds so long gaps actually occur.
+            rounds in proptest::collection::vec(
+                prop_oneof![
+                    4 => Just(0u64),
+                    2 => Just(1u64),
+                    1 => Just(2u64),
+                ],
+                0..200,
+            ),
+        ) {
+            let mut detector = ConvergenceDetector::new(delta);
+            for &h in &rounds {
+                detector.update(h);
+            }
+            prop_assert_eq!(detector.count(), naive_convergence_count(&rounds, delta));
+        }
+
+        #[test]
+        fn suffix_tracker_never_panics_and_counts_every_round_after_warmup(
+            delta in 1u64..8,
+            rounds in proptest::collection::vec(0u64..4, 0..300),
+        ) {
+            let mut tracker = SuffixTracker::new(delta);
+            let mut h_seen = 0u64;
+            let mut defined_rounds = 0u64;
+            for &h in &rounds {
+                tracker.update(RoundState::from_count(h));
+                if h > 0 {
+                    h_seen += 1;
+                }
+                if h_seen >= 2 {
+                    defined_rounds += 1;
+                }
+            }
+            prop_assert_eq!(tracker.rounds_counted(), defined_rounds);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The round-loop engine tying oracle, network, adversary and detectors
+//! together.
+//!
+//! Round `r` proceeds exactly as in the paper's Section III:
+//!
+//! 1. **Receive** — deliveries scheduled for round `r` become visible;
+//!    each honest group adopts the longest chain it now knows
+//!    (first-seen tie-break).
+//! 2. **Mine** — every miner makes its one hash query; honest successes
+//!    extend their group's tip (parallel queries: same-round honest
+//!    blocks of one group are siblings, so honest height grows by ≤ 1);
+//!    the adversary's `q` successes are sequential and mine wherever its
+//!    strategy chooses.
+//! 3. **Schedule** — honest blocks reach their own group immediately and
+//!    other groups after the adversary-chosen delay `∈ [1, Δ]`;
+//!    adversary releases are scheduled likewise.
+
+use crate::adversary::Adversary;
+use crate::block::{BlockId, Provenance, Round};
+use crate::config::SimConfig;
+use crate::consistency::ChainTracker;
+use crate::events::{ConvergenceDetector, RoundState, SuffixTracker};
+use crate::metrics::SimReport;
+use crate::network::Network;
+use crate::oracle::MiningOracle;
+use crate::tree::BlockTree;
+use probability::rng::Xoshiro256PlusPlus;
+
+/// Per-round record kept when round logging is enabled (see
+/// [`Simulation::enable_round_log`]); feeds the sliding-window Lemma-1
+/// analysis in `consistency-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Honest blocks mined this round.
+    pub honest: u32,
+    /// Adversary blocks mined this round.
+    pub adversary: u32,
+    /// Whether a convergence opportunity completed this round.
+    pub convergence_completed: bool,
+}
+
+/// A running simulation.
+pub struct Simulation {
+    config: SimConfig,
+    tree: BlockTree,
+    network: Network,
+    tracker: ChainTracker,
+    oracle: MiningOracle,
+    adversary: Box<dyn Adversary>,
+    suffix: SuffixTracker,
+    convergence: ConvergenceDetector,
+    round: Round,
+    honest_blocks: u64,
+    adversary_blocks: u64,
+    h_rounds: u64,
+    h1_rounds: u64,
+    round_log: Option<Vec<RoundRecord>>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("config", &self.config)
+            .field("round", &self.round)
+            .field("adversary", &self.adversary.name())
+            .field("blocks", &self.tree.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation from a validated config and a strategy.
+    ///
+    /// Honest miners are split evenly across the delivery groups the
+    /// strategy requests (1 or 2).
+    pub fn new(config: SimConfig, adversary: Box<dyn Adversary>) -> Self {
+        let n_groups = adversary.group_count();
+        assert!(n_groups == 1 || n_groups == 2, "1 or 2 honest groups");
+        let n_honest = config.n_honest();
+        let group_sizes = if n_groups == 1 {
+            [n_honest, 0]
+        } else {
+            [n_honest / 2, n_honest - n_honest / 2]
+        };
+        let rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        Simulation {
+            tree: BlockTree::new(),
+            network: Network::new(),
+            tracker: ChainTracker::new(n_groups),
+            oracle: MiningOracle::new(group_sizes, config.n_adversary(), config.hardness, rng),
+            adversary,
+            suffix: SuffixTracker::new(config.delta),
+            convergence: ConvergenceDetector::new(config.delta),
+            round: 0,
+            honest_blocks: 0,
+            adversary_blocks: 0,
+            h_rounds: 0,
+            h1_rounds: 0,
+            round_log: None,
+            config,
+        }
+    }
+
+    /// Turns on per-round logging (honest/adversary block counts and
+    /// convergence completions). Must be called before stepping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already advanced.
+    pub fn enable_round_log(&mut self) {
+        assert_eq!(self.round, 0, "enable logging before the first step");
+        self.round_log = Some(Vec::new());
+    }
+
+    /// The per-round log, if enabled.
+    pub fn round_log(&self) -> Option<&[RoundRecord]> {
+        self.round_log.as_deref()
+    }
+
+    /// The simulation's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Current round number.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Read access to the block tree.
+    pub fn tree(&self) -> &BlockTree {
+        &self.tree
+    }
+
+    /// Both group tips (duplicated in the single-group setting).
+    fn group_tips(&self) -> [BlockId; 2] {
+        if self.tracker.n_groups() == 1 {
+            [self.tracker.tip(0), self.tracker.tip(0)]
+        } else {
+            [self.tracker.tip(0), self.tracker.tip(1)]
+        }
+    }
+
+    /// Advances the simulation by one round.
+    pub fn step(&mut self) {
+        self.round += 1;
+        let round = self.round;
+        let delta = self.config.delta;
+        let n_groups = self.tracker.n_groups();
+
+        // 1. Receive.
+        for delivery in self.network.due(round) {
+            if delivery.group < n_groups {
+                self.tracker.consider(delivery.group, delivery.block, &self.tree);
+            }
+        }
+
+        // 2. Mine (honest).
+        let outcome = self.oracle.sample_round();
+        let honest_total = outcome.honest_total();
+        self.honest_blocks += honest_total;
+        if honest_total >= 1 {
+            self.h_rounds += 1;
+        }
+        if honest_total == 1 {
+            self.h1_rounds += 1;
+        }
+        for group in 0..n_groups {
+            let successes = outcome.honest_per_group[group];
+            if successes == 0 {
+                continue;
+            }
+            // Parallel queries: all of this group's blocks extend the
+            // pre-mining tip and are siblings.
+            let base = self.tracker.tip(group);
+            let mut first_new = None;
+            for _ in 0..successes {
+                let block = self.tree.add_block(base, round, Provenance::Honest(group));
+                if first_new.is_none() {
+                    first_new = Some(block);
+                }
+                // Other groups hear about every mined block after the
+                // adversary-chosen delay.
+                for other in 0..n_groups {
+                    if other == group {
+                        continue;
+                    }
+                    let delay = self
+                        .adversary
+                        .honest_delay(round, group, other)
+                        .clamp(1, delta);
+                    self.network.schedule(block, other, round + delay);
+                }
+            }
+            // The mining group sees its own first block immediately.
+            if let Some(block) = first_new {
+                self.tracker.consider(group, block, &self.tree);
+            }
+        }
+
+        // 3. Adversary mining and releases.
+        self.adversary_blocks += outcome.adversary;
+        let tips = self.group_tips();
+        let releases = self
+            .adversary
+            .act(round, &tips, &mut self.tree, outcome.adversary);
+        for release in releases {
+            if release.group >= n_groups {
+                continue;
+            }
+            let delay = release.delay.clamp(1, delta);
+            self.network.schedule(release.block, release.group, round + delay);
+        }
+
+        // 4. Detectors.
+        self.suffix.update(RoundState::from_count(honest_total));
+        let before = self.convergence.count();
+        self.convergence.update(honest_total);
+        if let Some(log) = &mut self.round_log {
+            log.push(RoundRecord {
+                honest: honest_total.min(u32::MAX as u64) as u32,
+                adversary: outcome.adversary.min(u32::MAX as u64) as u32,
+                convergence_completed: self.convergence.count() > before,
+            });
+        }
+    }
+
+    /// Runs `rounds` further rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Produces the aggregated report for everything simulated so far.
+    pub fn report(&self) -> SimReport {
+        let n_groups = self.tracker.n_groups();
+        let group_tips: Vec<BlockId> = (0..n_groups).map(|g| self.tracker.tip(g)).collect();
+        let group_heights: Vec<u64> = (0..n_groups).map(|g| self.tracker.height(g)).collect();
+        let (chain_honest, chain_adversary) = self.tree.chain_composition(group_tips[0]);
+        SimReport {
+            rounds: self.round,
+            honest_blocks: self.honest_blocks,
+            adversary_blocks: self.adversary_blocks,
+            convergence_opportunities: self.convergence.count(),
+            h_rounds: self.h_rounds,
+            h1_rounds: self.h1_rounds,
+            suffix_occupancy: self.suffix.occupancy().to_vec(),
+            suffix_rounds: self.suffix.rounds_counted(),
+            group_tips,
+            group_heights,
+            max_reorg_depth: self.tracker.max_reorg_depth(),
+            max_divergence_depth: self.tracker.max_divergence_depth(),
+            reorg_count: self.tracker.reorg_count(),
+            chain_honest_blocks: chain_honest,
+            chain_adversary_blocks: chain_adversary,
+        }
+    }
+}
+
+/// Convenience wrapper: builds, runs and reports in one call.
+///
+/// ```
+/// use nakamoto_sim::config::SimConfig;
+/// use nakamoto_sim::adversary::ImmediateReleaseAdversary;
+/// use nakamoto_sim::execution::run_simulation;
+///
+/// let cfg = SimConfig::new(100, 0.2, 1e-3, 2, 42)?;
+/// let report = run_simulation(cfg, Box::new(ImmediateReleaseAdversary::new()), 10_000);
+/// assert!(report.honest_blocks > 0);
+/// # Ok::<(), nakamoto_sim::config::ConfigError>(())
+/// ```
+pub fn run_simulation(
+    config: SimConfig,
+    adversary: Box<dyn Adversary>,
+    rounds: u64,
+) -> SimReport {
+    let mut sim = Simulation::new(config, adversary);
+    sim.run(rounds);
+    sim.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
+
+    fn cfg(n: u64, nu: f64, p: f64, delta: u64, seed: u64) -> SimConfig {
+        SimConfig::new(n, nu, p, delta, seed).unwrap()
+    }
+
+    #[test]
+    fn honest_only_run_grows_chain() {
+        let report = run_simulation(
+            cfg(100, 0.0, 1e-3, 2, 1),
+            Box::new(ImmediateReleaseAdversary::new()),
+            50_000,
+        );
+        assert_eq!(report.adversary_blocks, 0);
+        assert!(report.honest_blocks > 0);
+        // E[honest] = T·np = 50000 · 0.1 = 5000; allow wide tolerance.
+        let expected = 50_000.0 * 100.0 * 1e-3;
+        assert!(
+            (report.honest_blocks as f64 - expected).abs() < 0.1 * expected,
+            "honest {} vs expected {expected}",
+            report.honest_blocks
+        );
+        assert!(report.group_heights[0] > 0);
+        assert_eq!(report.chain_adversary_blocks, 0);
+        assert_eq!(report.chain_quality(), 1.0);
+    }
+
+    #[test]
+    fn single_group_immediate_release_has_no_divergence() {
+        let report = run_simulation(
+            cfg(50, 0.2, 1e-3, 3, 2),
+            Box::new(ImmediateReleaseAdversary::new()),
+            30_000,
+        );
+        assert_eq!(report.max_divergence_depth, 0, "one group cannot diverge");
+        // Immediate release keeps reorgs shallow (height ties only).
+        assert!(report.max_reorg_depth <= 2, "reorg {}", report.max_reorg_depth);
+    }
+
+    #[test]
+    fn adversary_block_rate_matches_eq_27() {
+        let n = 200u64;
+        let nu = 0.3;
+        let p = 2e-3;
+        let rounds = 100_000u64;
+        let report = run_simulation(
+            cfg(n, nu, p, 2, 3),
+            Box::new(ImmediateReleaseAdversary::new()),
+            rounds,
+        );
+        // E[A] = T·νn·p = 100000 · 60 · 0.002 = 12000.
+        let expected = rounds as f64 * nu * n as f64 * p;
+        let got = report.adversary_blocks as f64;
+        assert!((got - expected).abs() < 0.05 * expected, "A = {got} vs {expected}");
+    }
+
+    #[test]
+    fn convergence_margin_positive_in_good_regime() {
+        // c = 1/(pnΔ) = 1/(1e-4·100·2) = 50 ≫ 2µ/ln(µ/ν): very safe.
+        let report = run_simulation(
+            cfg(100, 0.1, 1e-5, 2, 4),
+            Box::new(PrivateChainAdversary::new(2)),
+            400_000,
+        );
+        assert!(
+            report.convergence_opportunities > report.adversary_blocks,
+            "C = {} should exceed A = {}",
+            report.convergence_opportunities,
+            report.adversary_blocks
+        );
+        assert!(report.convergence_margin() > 0);
+    }
+
+    #[test]
+    fn private_chain_adversary_causes_reorgs() {
+        // Slow-ish chain, strong adversary: reorgs must appear.
+        let report = run_simulation(
+            cfg(100, 0.4, 5e-3, 4, 5),
+            Box::new(PrivateChainAdversary::new(4)),
+            100_000,
+        );
+        assert!(report.reorg_count > 0, "expected reorgs");
+        assert!(report.max_reorg_depth >= 1);
+        // The adversary's released blocks appear on the honest chain.
+        assert!(report.chain_adversary_blocks > 0);
+        assert!(report.chain_quality() < 1.0);
+    }
+
+    #[test]
+    fn balance_adversary_splits_views() {
+        let report = run_simulation(
+            cfg(100, 0.4, 5e-3, 8, 6),
+            Box::new(BalanceAdversary::new(8)),
+            100_000,
+        );
+        assert_eq!(report.group_tips.len(), 2);
+        assert!(
+            report.max_divergence_depth >= 2,
+            "balance attack should create divergence, got {}",
+            report.max_divergence_depth
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_simulation(
+            cfg(80, 0.25, 1e-3, 3, 99),
+            Box::new(PrivateChainAdversary::new(3)),
+            20_000,
+        );
+        let b = run_simulation(
+            cfg(80, 0.25, 1e-3, 3, 99),
+            Box::new(PrivateChainAdversary::new(3)),
+            20_000,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn h_round_counts_consistent() {
+        let report = run_simulation(
+            cfg(100, 0.2, 1e-3, 2, 12),
+            Box::new(ImmediateReleaseAdversary::new()),
+            50_000,
+        );
+        assert!(report.h1_rounds <= report.h_rounds);
+        assert!(report.h_rounds <= report.rounds);
+        assert!(report.honest_blocks >= report.h_rounds);
+        // Suffix occupancy covers all counted rounds.
+        assert_eq!(
+            report.suffix_occupancy.iter().sum::<u64>(),
+            report.suffix_rounds
+        );
+        assert!(report.suffix_rounds <= report.rounds);
+    }
+
+    #[test]
+    fn step_by_step_equals_run() {
+        let mut a = Simulation::new(cfg(60, 0.2, 1e-3, 2, 5), Box::new(ImmediateReleaseAdversary::new()));
+        let mut b = Simulation::new(cfg(60, 0.2, 1e-3, 2, 5), Box::new(ImmediateReleaseAdversary::new()));
+        a.run(1000);
+        for _ in 0..1000 {
+            b.step();
+        }
+        assert_eq!(a.report(), b.report());
+    }
+}

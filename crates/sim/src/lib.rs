@@ -1,0 +1,50 @@
+//! A round-based simulator of Nakamoto's blockchain protocol in the
+//! Δ-delay asynchronous network model of Pass–Seeman–Shelat, as
+//! formalised in Section III of the paper.
+//!
+//! The simulator is the *operational* counterpart of the paper's
+//! analysis: every analytical quantity (`α`, `ᾱ`, `α₁`, the suffix-chain
+//! stationary distribution, the convergence-opportunity rate
+//! `ᾱ^{2Δ}α₁`, the adversary block rate `pνn`) can be measured on runs
+//! and compared against its closed form.
+//!
+//! # Model recap
+//!
+//! * `n` miners with identical computing power; a `ν < ½` fraction is
+//!   corrupted (Eqs. 1–3).
+//! * Each round, every miner makes one proof-of-work query succeeding
+//!   with probability `p`; honest queries are parallel (height grows by
+//!   at most one per round), adversary queries are sequential.
+//! * The adversary delays any message by up to `Δ` rounds, fully
+//!   controls corrupted miners, and sees everything first (rushing).
+//! * Honest miners follow the longest chain, first-seen tie-break.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nakamoto_sim::config::SimConfig;
+//! use nakamoto_sim::adversary::PrivateChainAdversary;
+//! use nakamoto_sim::execution::run_simulation;
+//!
+//! let cfg = SimConfig::new(100, 0.25, 1e-3, 4, 7)?;
+//! let report = run_simulation(cfg, Box::new(PrivateChainAdversary::new(4)), 100_000);
+//! println!(
+//!     "C = {}, A = {}, consistent at T=6: {}",
+//!     report.convergence_opportunities,
+//!     report.adversary_blocks,
+//!     report.is_consistent(6),
+//! );
+//! # Ok::<(), nakamoto_sim::config::ConfigError>(())
+//! ```
+
+pub mod adversary;
+pub mod block;
+pub mod config;
+pub mod consistency;
+pub mod events;
+pub mod execution;
+pub mod metrics;
+pub mod network;
+pub mod oracle;
+pub mod selfish;
+pub mod tree;

@@ -1,0 +1,159 @@
+//! The mining oracle.
+//!
+//! The paper's model gives every miner one hash query per round, each
+//! succeeding independently with probability `p`; the number of honest
+//! blocks per round is therefore `binom(n_honest, p)` and the number of
+//! adversary blocks `binom(n_adversary, p)` (Eqs. 7–9 and 27). The
+//! oracle samples those counts directly instead of looping over miners,
+//! which is what makes 10⁷-round runs feasible.
+
+use probability::binomial::Binomial;
+use probability::rng::Xoshiro256PlusPlus;
+
+/// Per-round mining outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Honest successes per group (`groups[g]` = number of honest blocks
+    /// mined by group `g` this round).
+    pub honest_per_group: [u64; 2],
+    /// Number of adversary successes this round.
+    pub adversary: u64,
+}
+
+impl RoundOutcome {
+    /// Total honest successes over all groups.
+    pub fn honest_total(&self) -> u64 {
+        self.honest_per_group.iter().sum()
+    }
+}
+
+/// Samples per-round block counts for honest groups and the adversary.
+#[derive(Debug, Clone)]
+pub struct MiningOracle {
+    group_dists: [Option<Binomial>; 2],
+    adversary_dist: Option<Binomial>,
+    rng: Xoshiro256PlusPlus,
+}
+
+impl MiningOracle {
+    /// Creates an oracle.
+    ///
+    /// `group_sizes` are the honest miner counts of up to two delivery
+    /// groups (use `[n_honest, 0]` for the single-group setting);
+    /// `n_adversary` the corrupted miner count; `p` the PoW hardness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)` (validated upstream by `SimConfig`).
+    pub fn new(group_sizes: [u64; 2], n_adversary: u64, p: f64, rng: Xoshiro256PlusPlus) -> Self {
+        let make = |n: u64| {
+            if n == 0 {
+                None
+            } else {
+                Some(Binomial::new(n, p).expect("hardness validated by SimConfig"))
+            }
+        };
+        MiningOracle {
+            group_dists: [make(group_sizes[0]), make(group_sizes[1])],
+            adversary_dist: make(n_adversary),
+            rng,
+        }
+    }
+
+    /// Samples one round.
+    pub fn sample_round(&mut self) -> RoundOutcome {
+        let mut honest_per_group = [0u64; 2];
+        for (slot, dist) in honest_per_group.iter_mut().zip(self.group_dists.iter()) {
+            if let Some(d) = dist {
+                *slot = d.sample(&mut self.rng);
+            }
+        }
+        let adversary = self
+            .adversary_dist
+            .as_ref()
+            .map_or(0, |d| d.sample(&mut self.rng));
+        RoundOutcome {
+            honest_per_group,
+            adversary,
+        }
+    }
+
+    /// The probability that no honest miner succeeds in one round —
+    /// the paper's `ᾱ` restricted to this oracle's honest population.
+    pub fn alpha_bar(&self) -> f64 {
+        self.group_dists
+            .iter()
+            .flatten()
+            .map(|d| d.prob_zero())
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> Xoshiro256PlusPlus {
+        Xoshiro256PlusPlus::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn empty_groups_never_mine() {
+        let mut o = MiningOracle::new([0, 0], 0, 0.5, rng(1));
+        for _ in 0..100 {
+            let out = o.sample_round();
+            assert_eq!(out.honest_total(), 0);
+            assert_eq!(out.adversary, 0);
+        }
+    }
+
+    #[test]
+    fn honest_rate_matches_mean() {
+        let p = 1e-3;
+        let n = 500u64;
+        let mut o = MiningOracle::new([n, 0], 0, p, rng(2));
+        let rounds = 200_000;
+        let total: u64 = (0..rounds).map(|_| o.sample_round().honest_total()).sum();
+        let mean = total as f64 / rounds as f64;
+        let expected = n as f64 * p;
+        assert!((mean - expected).abs() < 0.02 * expected + 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn adversary_rate_matches_mean() {
+        let p = 2e-3;
+        let mut o = MiningOracle::new([300, 0], 200, p, rng(3));
+        let rounds = 100_000;
+        let total: u64 = (0..rounds).map(|_| o.sample_round().adversary).sum();
+        let mean = total as f64 / rounds as f64;
+        assert!((mean - 0.4).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn split_groups_sum_to_single_group_rate() {
+        let p = 1e-3;
+        let mut split = MiningOracle::new([250, 250], 0, p, rng(4));
+        let rounds = 100_000;
+        let total: u64 = (0..rounds).map(|_| split.sample_round().honest_total()).sum();
+        let mean = total as f64 / rounds as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn alpha_bar_matches_paper_formula() {
+        // ᾱ = (1-p)^{µn} with µn = 400 + 100 honest miners.
+        let p = 1e-4f64;
+        let o = MiningOracle::new([400, 100], 77, p, rng(5));
+        let expected = (500.0 * (-p).ln_1p()).exp();
+        assert!((o.alpha_bar() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = MiningOracle::new([100, 50], 30, 0.01, rng(9));
+        let mut b = MiningOracle::new([100, 50], 30, 0.01, rng(9));
+        for _ in 0..1000 {
+            assert_eq!(a.sample_round(), b.sample_round());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The block tree: an append-only arena of blocks rooted at genesis.
+
+use crate::block::{Block, BlockId, Provenance, Round};
+
+/// An append-only tree of blocks. Every block except genesis has exactly
+/// one parent; heights are maintained on insertion.
+///
+/// # Examples
+///
+/// ```
+/// use nakamoto_sim::tree::BlockTree;
+/// use nakamoto_sim::block::{BlockId, Provenance};
+///
+/// let mut tree = BlockTree::new();
+/// let a = tree.add_block(BlockId::GENESIS, 1, Provenance::Honest(0));
+/// let b = tree.add_block(a, 2, Provenance::Adversary);
+/// assert_eq!(tree.height(b), 2);
+/// assert!(tree.is_ancestor(a, b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockTree {
+    blocks: Vec<Block>,
+}
+
+impl Default for BlockTree {
+    fn default() -> Self {
+        BlockTree::new()
+    }
+}
+
+impl BlockTree {
+    /// Creates a tree holding only the genesis block.
+    pub fn new() -> Self {
+        BlockTree {
+            blocks: vec![Block {
+                id: BlockId::GENESIS,
+                parent: BlockId::GENESIS,
+                height: 0,
+                round: 0,
+                provenance: Provenance::Genesis,
+            }],
+        }
+    }
+
+    /// Number of blocks including genesis.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always `false`: the tree at least contains genesis.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Appends a block extending `parent`; returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is not in the tree or if the arena would exceed
+    /// `u32::MAX` blocks.
+    pub fn add_block(&mut self, parent: BlockId, round: Round, provenance: Provenance) -> BlockId {
+        let parent_block = self.block(parent);
+        let height = parent_block.height + 1;
+        let id = BlockId(u32::try_from(self.blocks.len()).expect("block arena overflow"));
+        self.blocks.push(Block {
+            id,
+            parent,
+            height,
+            round,
+            provenance,
+        });
+        id
+    }
+
+    /// Block metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the tree.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Height of a block (genesis is 0).
+    pub fn height(&self, id: BlockId) -> u64 {
+        self.block(id).height
+    }
+
+    /// Parent of a block (genesis returns itself).
+    pub fn parent(&self, id: BlockId) -> BlockId {
+        self.block(id).parent
+    }
+
+    /// Iterator over the chain from `tip` back to genesis (inclusive).
+    pub fn chain_to_genesis(&self, tip: BlockId) -> ChainIter<'_> {
+        ChainIter {
+            tree: self,
+            next: Some(tip),
+        }
+    }
+
+    /// The ancestor of `id` at exactly `target_height`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_height > height(id)`.
+    pub fn ancestor_at_height(&self, id: BlockId, target_height: u64) -> BlockId {
+        let mut cur = id;
+        let h = self.height(id);
+        assert!(
+            target_height <= h,
+            "target height {target_height} above block height {h}"
+        );
+        for _ in 0..(h - target_height) {
+            cur = self.parent(cur);
+        }
+        cur
+    }
+
+    /// `true` iff `ancestor` lies on the chain from `descendant` to
+    /// genesis (a block is its own ancestor).
+    pub fn is_ancestor(&self, ancestor: BlockId, descendant: BlockId) -> bool {
+        let ha = self.height(ancestor);
+        let hd = self.height(descendant);
+        if ha > hd {
+            return false;
+        }
+        self.ancestor_at_height(descendant, ha) == ancestor
+    }
+
+    /// The deepest common ancestor of two blocks.
+    pub fn common_ancestor(&self, a: BlockId, b: BlockId) -> BlockId {
+        let (mut x, mut y) = (a, b);
+        let h = self.height(a).min(self.height(b));
+        x = self.ancestor_at_height(x, h);
+        y = self.ancestor_at_height(y, h);
+        while x != y {
+            x = self.parent(x);
+            y = self.parent(y);
+        }
+        x
+    }
+
+    /// Number of honest / adversary blocks on the chain from `tip` to
+    /// genesis (genesis excluded). Chain quality is
+    /// `honest / (honest + adversary)`.
+    pub fn chain_composition(&self, tip: BlockId) -> (u64, u64) {
+        let mut honest = 0;
+        let mut adversary = 0;
+        for b in self.chain_to_genesis(tip) {
+            match b.provenance {
+                Provenance::Honest(_) => honest += 1,
+                Provenance::Adversary => adversary += 1,
+                Provenance::Genesis => {}
+            }
+        }
+        (honest, adversary)
+    }
+}
+
+/// Iterator returned by [`BlockTree::chain_to_genesis`].
+#[derive(Debug, Clone)]
+pub struct ChainIter<'a> {
+    tree: &'a BlockTree,
+    next: Option<BlockId>,
+}
+
+impl<'a> Iterator for ChainIter<'a> {
+    type Item = &'a Block;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let id = self.next?;
+        let block = self.tree.block(id);
+        self.next = if block.is_genesis() {
+            None
+        } else {
+            Some(block.parent)
+        };
+        Some(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds genesis → a → b → c and a side chain genesis → a → d.
+    fn fixture() -> (BlockTree, BlockId, BlockId, BlockId, BlockId) {
+        let mut t = BlockTree::new();
+        let a = t.add_block(BlockId::GENESIS, 1, Provenance::Honest(0));
+        let b = t.add_block(a, 2, Provenance::Honest(0));
+        let c = t.add_block(b, 3, Provenance::Adversary);
+        let d = t.add_block(a, 2, Provenance::Honest(1));
+        (t, a, b, c, d)
+    }
+
+    #[test]
+    fn new_tree_has_genesis_only() {
+        let t = BlockTree::new();
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(t.height(BlockId::GENESIS), 0);
+        assert!(t.block(BlockId::GENESIS).is_genesis());
+    }
+
+    #[test]
+    fn heights_follow_parents() {
+        let (t, a, b, c, d) = fixture();
+        assert_eq!(t.height(a), 1);
+        assert_eq!(t.height(b), 2);
+        assert_eq!(t.height(c), 3);
+        assert_eq!(t.height(d), 2);
+    }
+
+    #[test]
+    fn chain_iteration_order() {
+        let (t, a, b, c, _) = fixture();
+        let ids: Vec<BlockId> = t.chain_to_genesis(c).map(|blk| blk.id).collect();
+        assert_eq!(ids, vec![c, b, a, BlockId::GENESIS]);
+    }
+
+    #[test]
+    fn ancestor_queries() {
+        let (t, a, b, c, d) = fixture();
+        assert!(t.is_ancestor(a, c));
+        assert!(t.is_ancestor(BlockId::GENESIS, d));
+        assert!(t.is_ancestor(c, c), "a block is its own ancestor");
+        assert!(!t.is_ancestor(b, d), "siblings' subtrees are unrelated");
+        assert!(!t.is_ancestor(c, a), "descendant is not an ancestor");
+        assert_eq!(t.ancestor_at_height(c, 1), a);
+        assert_eq!(t.ancestor_at_height(c, 3), c);
+    }
+
+    #[test]
+    fn common_ancestor_at_fork() {
+        let (t, a, b, c, d) = fixture();
+        assert_eq!(t.common_ancestor(c, d), a);
+        assert_eq!(t.common_ancestor(c, b), b);
+        assert_eq!(t.common_ancestor(d, d), d);
+        assert_eq!(t.common_ancestor(BlockId::GENESIS, c), BlockId::GENESIS);
+    }
+
+    #[test]
+    fn chain_composition_counts() {
+        let (t, _, _, c, d) = fixture();
+        assert_eq!(t.chain_composition(c), (2, 1));
+        assert_eq!(t.chain_composition(d), (2, 0));
+        assert_eq!(t.chain_composition(BlockId::GENESIS), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "above block height")]
+    fn ancestor_above_height_panics() {
+        let (t, a, ..) = fixture();
+        t.ancestor_at_height(a, 5);
+    }
+
+    #[test]
+    fn deep_chain_is_fast_enough() {
+        // 200k blocks deep: linear walks must be fine.
+        let mut t = BlockTree::new();
+        let mut tip = BlockId::GENESIS;
+        for r in 1..=200_000u64 {
+            tip = t.add_block(tip, r, Provenance::Honest(0));
+        }
+        assert_eq!(t.height(tip), 200_000);
+        assert_eq!(t.ancestor_at_height(tip, 0), BlockId::GENESIS);
+    }
+}

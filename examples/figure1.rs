@@ -1,0 +1,46 @@
+//! Regenerates Figure 1 of the paper: the maximum tolerable adversarial
+//! fraction `ν_max` against `c = 1/(pnΔ)` for this paper's bound
+//! (magenta), PSS consistency (blue) and the PSS attack (red).
+//!
+//! Run with: `cargo run --example figure1 [n_points]`
+//! The output is a TSV table plus a coarse ASCII rendering.
+
+use blockchain_consistency::consistency_core::figure1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_points: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(33);
+
+    let points = figure1::generate(n_points)?;
+    print!("{}", figure1::to_table(&points));
+
+    // Coarse ASCII plot: rows are ν from 0.5 down to 0, columns follow
+    // the log-c grid. `o` = ours, `b` = PSS consistency, `a` = attack.
+    println!("\nASCII rendering (x: log c in [0.1, 100], y: ν in [0, 0.5])");
+    let height = 20usize;
+    for row in (0..=height).rev() {
+        let nu = 0.5 * row as f64 / height as f64;
+        let mut line = String::with_capacity(points.len());
+        for p in &points {
+            let near = |v: f64| (v - nu).abs() <= 0.25 / height as f64;
+            let ch = if near(p.pss_attack) {
+                'a'
+            } else if near(p.ours) {
+                'o'
+            } else if near(p.pss_consistency) && p.pss_consistency > 0.0 {
+                'b'
+            } else {
+                ' '
+            };
+            line.push(ch);
+        }
+        println!("{nu:4.2} |{line}");
+    }
+    println!("      {}", "-".repeat(n_points));
+    println!("      c=0.1 … log-spaced … c=100");
+    println!("\nLegend: o = this paper (magenta), b = PSS consistency (blue), a = PSS attack (red)");
+    Ok(())
+}

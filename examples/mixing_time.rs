@@ -1,0 +1,49 @@
+//! Explores the suffix chain `C_F` numerically: stationary distribution
+//! (closed form vs. GTH vs. power iteration), mixing time, and Kac
+//! return times for the `HN^{≥Δ}` state — the machinery behind the
+//! paper's Inequality (47).
+//!
+//! Run with: `cargo run --release --example mixing_time`
+
+use blockchain_consistency::consistency_core::suffix_chain;
+use blockchain_consistency::markov::{hitting, mixing, stationary, structure};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>5} {:>8} {:>10} {:>12} {:>12} {:>14}",
+        "Δ", "α", "states", "τ(1/8)", "π(long gap)", "return time"
+    );
+    for &delta in &[1u64, 2, 4, 8, 16] {
+        for &alpha in &[0.05f64, 0.2] {
+            let chain = suffix_chain::build_chain(alpha, delta)?;
+            assert!(structure::is_ergodic(&chain));
+            let pi = stationary::stationary_gth(&chain)?;
+            // Cross-check the closed form.
+            let closed = suffix_chain::closed_form_stationary(alpha, delta)?;
+            let max_err = pi
+                .iter()
+                .zip(closed.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(max_err < 1e-12, "closed form diverged: {max_err}");
+
+            let tau = mixing::mixing_time(&chain, &pi, 0.125, 2_000_000)?;
+            let long_gap = delta as usize; // index of HN^{≥Δ}
+            let ret = hitting::expected_return_time(&chain, long_gap)?;
+            // Kac: return time = 1/π.
+            assert!((ret - 1.0 / pi[long_gap]).abs() < 1e-6 * ret);
+            println!(
+                "{:>5} {:>8.2} {:>10} {:>12} {:>12.5e} {:>14.2}",
+                delta,
+                alpha,
+                chain.n_states(),
+                tau,
+                pi[long_gap],
+                ret
+            );
+        }
+    }
+    println!("\nKac's formula (return time = 1/π) validated at every row; the");
+    println!("1/8-mixing times feed Inequality (47)'s concentration bound.");
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Quickstart: check the paper's consistency bounds for a parameter
+//! point, then validate the analytical rates against a short simulation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use blockchain_consistency::consistency_core::{
+    convergence, numax, params::ProtocolParams, pss, theorem1, theorem2,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ------------------------------------------------------------------
+    // 1. Analytical side: Figure 1's setting (n = 1e5, Δ = 1e13).
+    // ------------------------------------------------------------------
+    let n = 100_000u64;
+    let delta = 10_000_000_000_000u64;
+    let c = 3.0;
+    let nu = 0.30;
+    let params = ProtocolParams::from_c(n, delta, c, nu)?;
+
+    println!("== Parameters (paper Table I) ==");
+    println!("n = {n}, Δ = {delta:e}, ν = {nu}, c = {c}");
+    println!("p = 1/(cnΔ) = {:.3e}", params.p());
+    println!("α  = {:.6e}   (P[some honest block / round], Eq. 7)", params.alpha());
+    println!("α₁ = {:.6e}   (P[exactly one honest block], Eq. 9)", params.alpha1());
+
+    println!("\n== Bounds at ν = {nu} ==");
+    let neat = theorem2::neat_bound(nu);
+    println!("this paper (Thm 2): c > 2µ/ln(µ/ν) = {neat:.4}  → {}", verdict(c > neat));
+    let pss_c = pss::consistency_c_required(nu);
+    println!("PSS consistency:    c > 2(1−ν)²/(1−2ν) = {pss_c:.4} → {}", verdict(c > pss_c));
+    println!(
+        "PSS attack:         applies iff 1/c > 1/ν − 1/µ     → {}",
+        verdict(pss::attack_applies(&params))
+    );
+    println!(
+        "Theorem 1 margin:   ln(ᾱ^{{2Δ}}α₁) − ln(pνn) = {:+.4e}",
+        theorem1::ln_margin(&params)
+    );
+
+    println!("\n== ν_max at c = {c} (Figure 1 cross-section) ==");
+    println!("ours (magenta): {:.4}", numax::nu_max_for_c(c)?);
+    println!(
+        "PSS (blue):     {:.4}",
+        pss::consistency_nu_max(c).unwrap_or(0.0)
+    );
+    println!("attack (red):   {:.4}", pss::attack_nu_threshold(c));
+
+    // ------------------------------------------------------------------
+    // 2. Operational side: validate Eqs. (26)/(27) on a laptop-scale run.
+    // ------------------------------------------------------------------
+    let small = ProtocolParams::new(100, 2, 1e-3, 0.2)?;
+    let rounds = 300_000;
+    println!("\n== Monte-Carlo validation (n = 100, Δ = 2, T = {rounds}) ==");
+    let row = convergence::validate(&small, rounds, 42)?;
+    println!(
+        "convergence opportunities: measured {} vs E[C] = {:.1} (Eq. 26, rel err {:.2}%)",
+        row.measured_convergence,
+        row.expected_convergence,
+        100.0 * row.convergence_rel_error()
+    );
+    println!(
+        "adversary blocks:          measured {} vs E[A] = {:.1} (Eq. 27, rel err {:.2}%)",
+        row.measured_adversary,
+        row.expected_adversary,
+        100.0 * row.adversary_rel_error()
+    );
+    println!(
+        "suffix chain occupancy:    max |empirical − Eq. 37| = {:.5}",
+        row.suffix_max_abs_error()
+    );
+    Ok(())
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "consistent"
+    } else {
+        "NOT guaranteed"
+    }
+}
