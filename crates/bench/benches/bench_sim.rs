@@ -30,7 +30,13 @@ fn bench_round_loop(c: &mut Criterion) {
     }
     let cfg = SimConfig::new(1_000, 0.25, 1.0 / (3.0 * 1_000.0 * 4.0), 4, 1).unwrap();
     group.bench_function("private_chain/1000", |b| {
-        b.iter(|| run_simulation(black_box(cfg), Box::new(PrivateChainAdversary::new(4)), ROUNDS));
+        b.iter(|| {
+            run_simulation(
+                black_box(cfg),
+                Box::new(PrivateChainAdversary::new(4)),
+                ROUNDS,
+            )
+        });
     });
     group.bench_function("balance/1000", |b| {
         b.iter(|| run_simulation(black_box(cfg), Box::new(BalanceAdversary::new(4)), ROUNDS));

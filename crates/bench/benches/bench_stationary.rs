@@ -12,7 +12,9 @@ fn bench_solvers(c: &mut Criterion) {
     for &delta in &[4u64, 16, 64] {
         let chain = consistency_core::suffix_chain::build_chain(alpha, delta).unwrap();
         group.bench_with_input(BenchmarkId::new("closed_form", delta), &delta, |b, &d| {
-            b.iter(|| consistency_core::suffix_chain::closed_form_stationary(black_box(alpha), d).unwrap());
+            b.iter(|| {
+                consistency_core::suffix_chain::closed_form_stationary(black_box(alpha), d).unwrap()
+            });
         });
         group.bench_with_input(BenchmarkId::new("gth", delta), &delta, |b, _| {
             b.iter(|| stationary_gth(black_box(&chain)).unwrap());

@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             numax::nu_max_for_c(c)?,
             pss::attack_nu_threshold(c)
         ));
-        println!(
-            "{:>6} {:>22} {:>22}",
-            "ν", "private-chain", "balance"
-        );
+        println!("{:>6} {:>22} {:>22}", "ν", "private-chain", "balance");
         println!(
             "{:>6} {:>10} {:>11} {:>10} {:>11}",
             "", "max_reorg", "consistent", "divergence", "consistent"

@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // the per-reorg mean proxy C/A-style (blocks discarded per reorg).
         let mean_proxy = if report.reorg_count > 0 {
             // Lower bound on the mean from honest blocks not on chain.
-            (report.honest_blocks.saturating_sub(report.chain_honest_blocks)) as f64
+            (report
+                .honest_blocks
+                .saturating_sub(report.chain_honest_blocks)) as f64
                 / report.reorg_count as f64
         } else {
             0.0

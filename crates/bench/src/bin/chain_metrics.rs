@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     consistency_bench::section("Same metrics under the private-chain attack");
-    println!("{:>6} {:>6} {:>12} {:>12}", "ν", "c", "growth/round", "quality");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12}",
+        "ν", "c", "growth/round", "quality"
+    );
     for &c in &[0.5f64, 1.0, 3.0] {
         for &nu in &[0.1, 0.3, 0.45] {
             let cfg = SimConfig::from_c(n, delta, c, nu, 556)?;
@@ -79,7 +82,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.chain_quality(),
             mu,
             // Profitable iff the adversary's chain share exceeds ν.
-            if 1.0 - report.chain_quality() > nu { "yes" } else { "no" },
+            if 1.0 - report.chain_quality() > nu {
+                "yes"
+            } else {
+                "no"
+            },
         );
     }
     println!("\nShape: quality degrades towards (and below) the honest-mining line");

@@ -42,14 +42,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let emp = hits as f64 / trials as f64;
         // Stationary-start Chung-et-al. bound (‖φ‖_π = 1).
-        let analytic = extended_chain::walk_bound_params(&params, t, 1.0)?
-            .ln_lower_tail(delta2)?;
+        let analytic = extended_chain::walk_bound_params(&params, t, 1.0)?.ln_lower_tail(delta2)?;
         println!(
             "{:>9} {:>12.1} {:>14} {:>14} {:>22.3}",
             t,
             expected,
             format!("{hits}/{trials}"),
-            if emp > 0.0 { format!("{:.2}", emp.ln()) } else { "-inf".into() },
+            if emp > 0.0 {
+                format!("{:.2}", emp.ln())
+            } else {
+                "-inf".into()
+            },
             analytic,
         );
     }
@@ -80,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t,
             expected,
             format!("{hits}/{trials}"),
-            if emp > 0.0 { format!("{:.2}", emp.ln()) } else { "-inf".into() },
+            if emp > 0.0 {
+                format!("{:.2}", emp.ln())
+            } else {
+                "-inf".into()
+            },
             analytic.ln(),
         );
     }

@@ -23,28 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &delta in &[1u64, 2, 4] {
         for &n in &[100u64, 1_000] {
             for &nu in &[0.1, 0.3] {
-                for &c_over_alpha in &[3.0] {
-                    // Choose p so that α·Δ is moderate: p = 1/(c'·n·Δ)
-                    // with c' picked to make convergence events frequent.
-                    let c = c_over_alpha;
-                    let params = ProtocolParams::from_c(n, delta, c * 3.0, nu)?;
-                    seed += 1;
-                    let row = validate(&params, rounds, seed)?;
-                    println!(
-                        "{:>5} {:>6} {:>6} {:>6.1} {:>12.1} {:>12} {:>8.2}% {:>12.1} {:>12} {:>8.2}% {:>11.5}",
-                        delta,
-                        n,
-                        nu,
-                        params.c(),
-                        row.expected_convergence,
-                        row.measured_convergence,
-                        100.0 * row.convergence_rel_error(),
-                        row.expected_adversary,
-                        row.measured_adversary,
-                        100.0 * row.adversary_rel_error(),
-                        row.suffix_max_abs_error(),
-                    );
-                }
+                // Choose p so that α·Δ is moderate: p = 1/(c·n·Δ) with c
+                // picked to make convergence events frequent.
+                let c = 9.0;
+                let params = ProtocolParams::from_c(n, delta, c, nu)?;
+                seed += 1;
+                let row = validate(&params, rounds, seed)?;
+                println!(
+                    "{:>5} {:>6} {:>6} {:>6.1} {:>12.1} {:>12} {:>8.2}% {:>12.1} {:>12} {:>8.2}% {:>11.5}",
+                    delta,
+                    n,
+                    nu,
+                    params.c(),
+                    row.expected_convergence,
+                    row.measured_convergence,
+                    100.0 * row.convergence_rel_error(),
+                    row.expected_adversary,
+                    row.measured_adversary,
+                    100.0 * row.adversary_rel_error(),
+                    row.suffix_max_abs_error(),
+                );
             }
         }
     }

@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let exact = pss::exact_consistency_nu_max(figure1::FIGURE1_N, figure1::FIGURE1_DELTA, c)?
             .unwrap_or(0.0);
         let blue = pss::consistency_nu_max(c).unwrap_or(0.0);
-        println!("{c}\t{}\t{}", consistency_bench::fmt(exact), consistency_bench::fmt(blue));
+        println!(
+            "{c}\t{}\t{}",
+            consistency_bench::fmt(exact),
+            consistency_bench::fmt(blue)
+        );
     }
     Ok(())
 }

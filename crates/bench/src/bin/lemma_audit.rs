@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     consistency_bench::section("Lemma 7 sandwich tightness (Ineq. 82)");
-    println!("{:>10} {:>8} {:>14} {:>14} {:>14}", "Δ", "ν", "2/L", "middle", "2/L + 1/Δ");
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>14}",
+        "Δ", "ν", "2/L", "middle", "2/L + 1/Δ"
+    );
     for &delta in &[1u64, 16, 1_024, 10_000_000_000_000] {
         for &nu in &[0.1, 0.4] {
             let params = ProtocolParams::from_c(100_000, delta, 3.0, nu)?;

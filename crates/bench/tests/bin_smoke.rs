@@ -1,0 +1,172 @@
+//! Smoke tests: one per harness binary in `src/bin/`, exercising each
+//! binary's core entry functions on tiny parameters so a refactor that
+//! breaks a harness code path fails `cargo test` instead of waiting to be
+//! caught by someone running the binary by hand.
+
+use consistency_core::params::ProtocolParams;
+use nakamoto_sim::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
+use nakamoto_sim::config::SimConfig;
+use nakamoto_sim::execution::run_simulation;
+use nakamoto_sim::selfish::SelfishMiningAdversary;
+
+const ROUNDS: u64 = 2_000;
+
+fn tiny_params() -> ProtocolParams {
+    ProtocolParams::from_c(100, 2, 3.0, 0.25).expect("valid tiny parameters")
+}
+
+/// `figure1`: curve generation and the exact-PSS cross-check.
+#[test]
+fn figure1_entry() {
+    let pts = consistency_core::figure1::generate(5).unwrap();
+    assert_eq!(pts.len(), 5);
+    let table = consistency_core::figure1::to_table(&pts);
+    assert!(!table.is_empty());
+    let exact = consistency_core::pss::exact_consistency_nu_max(
+        consistency_core::figure1::FIGURE1_N,
+        consistency_core::figure1::FIGURE1_DELTA,
+        3.0,
+    )
+    .unwrap()
+    .expect("a consistency region exists at c = 3");
+    assert!(exact > 0.0 && exact < 0.5);
+}
+
+/// `table1`: parameter construction and every derived quantity.
+#[test]
+fn table1_entry() {
+    let p = ProtocolParams::from_c(100_000, 10_000_000_000_000, 3.0, 0.3).unwrap();
+    assert!(p.alpha() > 0.0 && p.alpha() < 1.0);
+    assert!(p.alpha1() > 0.0);
+    assert!((p.c() - 3.0).abs() < 1e-9);
+    assert!(p.is_consistent_by_neat_bound());
+}
+
+/// `remark1`: the admissible ν ranges and inflation factors.
+#[test]
+fn remark1_entry() {
+    let delta = 10_000_000_000_000u64;
+    let range = consistency_core::theorem2::remark1_nu_range(delta, 1.0 / 6.0, 0.5).unwrap();
+    assert!(range.lo < range.hi && range.hi < 0.5);
+    let factor = consistency_core::theorem2::remark1_factor(delta, 1.0 / 6.0, 0.5).unwrap();
+    assert!(factor > 1.0);
+    let bound =
+        consistency_core::theorem2::remark1_c_bound(0.25, delta, 1.0 / 6.0, 0.5, 1e-6).unwrap();
+    assert!(bound > consistency_core::theorem2::neat_bound(0.25));
+}
+
+/// `attack_sweep`: ν_max solvers plus both attack adversaries.
+#[test]
+fn attack_sweep_entry() {
+    let nu_max = consistency_core::numax::nu_max_for_c(3.0).unwrap();
+    assert!(nu_max > 0.0 && nu_max < 0.5);
+    let cfg = SimConfig::new(50, 0.25, 1e-3, 2, 7).unwrap();
+    let private = run_simulation(cfg, Box::new(PrivateChainAdversary::new(2)), ROUNDS);
+    let balance = run_simulation(cfg, Box::new(BalanceAdversary::new(2)), ROUNDS);
+    assert!(private.rounds == ROUNDS && balance.rounds == ROUNDS);
+}
+
+/// `stationary_check`: suffix chain construction, closed form vs GTH vs
+/// power iteration, ergodicity, Kac return times.
+#[test]
+fn stationary_check_entry() {
+    let (alpha, delta) = (0.2, 3u64);
+    let chain = consistency_core::suffix_chain::build_chain(alpha, delta).unwrap();
+    let closed = consistency_core::suffix_chain::closed_form_stationary(alpha, delta).unwrap();
+    assert!(markov::structure::is_ergodic(&chain));
+    let gth = markov::stationary::stationary_gth(&chain).unwrap();
+    let power =
+        markov::stationary::stationary_power(&chain, markov::stationary::PowerConfig::default())
+            .unwrap();
+    for ((a, b), c) in closed.iter().zip(&gth).zip(&power) {
+        assert!((a - b).abs() < 1e-10 && (a - c).abs() < 1e-8);
+    }
+    let ret = markov::hitting::expected_return_time(&chain, 0).unwrap();
+    assert!((ret - 1.0 / gth[0]).abs() < 1e-6);
+}
+
+/// `convergence_validation`: the Monte-Carlo validation row.
+#[test]
+fn convergence_validation_entry() {
+    let row = consistency_core::convergence::validate(&tiny_params(), ROUNDS, 1).unwrap();
+    assert!(row.measured_convergence > 0);
+    assert!(row.convergence_rel_error().is_finite());
+    assert!(row.adversary_rel_error().is_finite());
+    assert!(row.suffix_max_abs_error() < 1.0);
+}
+
+/// `concentration`: expectations, the Chung-et-al. walk bound, and the
+/// Arratia–Gordon adversary tail bound.
+#[test]
+fn concentration_entry() {
+    let params = tiny_params();
+    let e_c = consistency_core::theorem1::expected_convergence_opportunities(&params, ROUNDS);
+    let e_a = consistency_core::theorem1::expected_adversary_blocks(&params, ROUNDS);
+    assert!(e_c > 0.0 && e_a > 0.0);
+    let ln_tail = consistency_core::extended_chain::walk_bound_params(&params, ROUNDS, 1.0)
+        .unwrap()
+        .ln_lower_tail(0.05)
+        .unwrap();
+    assert!(ln_tail <= 0.0);
+    let t_nu_n = ROUNDS * params.to_sim_config(0).n_adversary();
+    let tail = probability::chernoff::adversary_tail_bound(t_nu_n, params.p(), 0.05).unwrap();
+    assert!(tail > 0.0 && tail <= 1.0);
+}
+
+/// `lemma_audit`: Theorem 3's split condition and the lemma chain.
+#[test]
+fn lemma_audit_entry() {
+    let params = ProtocolParams::from_c(10_000, 4, 5.0, 0.2).unwrap();
+    if consistency_core::theorem3::holds(&params, 0.1, 0.1) {
+        consistency_core::lemmas::audit_chain(&params, 0.1, 0.1).unwrap();
+    }
+}
+
+/// `kiffer_ablation`: corrected vs incorrect interarrival estimates.
+#[test]
+fn kiffer_ablation_entry() {
+    let params = ProtocolParams::from_c(1_000, 8, 3.0, 0.25).unwrap();
+    let corrected = consistency_core::kiffer::interarrival_corrected(&params);
+    let incorrect = consistency_core::kiffer::interarrival_incorrect(&params);
+    assert!(corrected > 0.0 && incorrect > 0.0);
+}
+
+/// `catchup_table`: closed-form catch-up probability vs absorbing chain.
+#[test]
+fn catchup_table_entry() {
+    let closed = consistency_core::catchup::catchup_probability(0.3, 3).unwrap();
+    let markov = consistency_core::catchup::catchup_probability_markov(0.3, 3, 103).unwrap();
+    assert!((closed - markov).abs() < 1e-6);
+    let cfg = SimConfig::from_c(50, 2, 1.0, 0.3, 9).unwrap();
+    let report = run_simulation(cfg, Box::new(PrivateChainAdversary::new(2)), ROUNDS);
+    assert_eq!(report.rounds, ROUNDS);
+}
+
+/// `chain_metrics`: growth/quality metrics under three adversaries.
+#[test]
+fn chain_metrics_entry() {
+    let cfg = SimConfig::from_c(50, 2, 2.0, 0.2, 555).unwrap();
+    for adversary in [
+        run_simulation(cfg, Box::new(ImmediateReleaseAdversary::new()), ROUNDS),
+        run_simulation(cfg, Box::new(PrivateChainAdversary::new(2)), ROUNDS),
+        run_simulation(cfg, Box::new(SelfishMiningAdversary::new(2)), ROUNDS),
+    ] {
+        assert!(adversary.chain_growth_rate() > 0.0);
+        assert!(adversary.chain_quality() > 0.0 && adversary.chain_quality() <= 1.0);
+    }
+}
+
+/// `window_scan`: the sliding-window Lemma-1 scan.
+#[test]
+fn window_scan_entry() {
+    let reports = consistency_core::window::simulate_and_scan(
+        &tiny_params(),
+        Box::new(PrivateChainAdversary::new(2)),
+        ROUNDS,
+        &[500],
+        88,
+    )
+    .unwrap();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].window, 500);
+}

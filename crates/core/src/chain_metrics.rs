@@ -48,8 +48,7 @@ pub fn quality_ideal(params: &ProtocolParams) -> f64 {
 /// `max(0, (α·ᾱ^Δ − pνn) / α·ᾱ^Δ)`-shaped. We expose the standard
 /// `1 − pνn/(α·ᾱ^Δ)` form, clamped to `[0, 1]`.
 pub fn quality_adversarial_lower_bound(params: &ProtocolParams) -> f64 {
-    let effective_honest =
-        (params.delta() as f64 * params.ln_alpha_bar()).exp() * params.alpha();
+    let effective_honest = (params.delta() as f64 * params.ln_alpha_bar()).exp() * params.alpha();
     if effective_honest <= 0.0 {
         return 0.0;
     }

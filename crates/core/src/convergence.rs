@@ -171,6 +171,10 @@ mod tests {
     fn delta_one_edge_case() {
         let params = ProtocolParams::new(50, 1, 2e-3, 0.1).unwrap();
         let row = validate(&params, 300_000, 9).unwrap();
-        assert!(row.convergence_rel_error() < 0.1, "Δ=1: rel err {}", row.convergence_rel_error());
+        assert!(
+            row.convergence_rel_error() < 0.1,
+            "Δ=1: rel err {}",
+            row.convergence_rel_error()
+        );
     }
 }

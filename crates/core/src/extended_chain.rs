@@ -136,7 +136,11 @@ pub fn rounds_for_tail_target(params: &ProtocolParams, delta2: f64, target_ln: f
 ///
 /// Propagates parameter validation; fails if the stationary mean
 /// underflows to zero (use the log-space functions then).
-pub fn walk_bound_params(params: &ProtocolParams, t: u64, phi_pi_norm: f64) -> Result<WalkBoundParams> {
+pub fn walk_bound_params(
+    params: &ProtocolParams,
+    t: u64,
+    phi_pi_norm: f64,
+) -> Result<WalkBoundParams> {
     let mean = crate::theorem1::ln_convergence_rate(params).exp();
     if mean == 0.0 {
         return Err(crate::Error::invalid(
@@ -297,7 +301,7 @@ pub mod explicit {
             }
             (SuffixState::ShortGap(_), true) => SuffixState::RecentH,
             (SuffixState::ShortGap(a), false) => {
-                if a + 1 <= delta - 1 {
+                if a < delta - 1 {
                     SuffixState::ShortGap(a + 1)
                 } else {
                     SuffixState::LongGap
@@ -307,7 +311,7 @@ pub mod explicit {
             (SuffixState::LongGap, true) => SuffixState::AfterLongGap(0),
             (SuffixState::AfterLongGap(_), true) => SuffixState::RecentH,
             (SuffixState::AfterLongGap(b), false) => {
-                if b + 1 <= delta - 1 {
+                if b < delta - 1 {
                     SuffixState::AfterLongGap(b + 1)
                 } else {
                     SuffixState::LongGap
@@ -474,7 +478,10 @@ mod tests {
         let target_ln = (1e-6f64).ln();
         let t = rounds_for_tail_target(&params, 0.5, target_ln).unwrap();
         let achieved = ln_lower_tail_bound(&params, t, 0.5, None).unwrap();
-        assert!(achieved <= target_ln + 1e-6, "achieved {achieved} vs {target_ln}");
+        assert!(
+            achieved <= target_ln + 1e-6,
+            "achieved {achieved} vs {target_ln}"
+        );
     }
 
     #[test]
@@ -485,7 +492,8 @@ mod tests {
         let wb = walk_bound_params(&params, 250_000, 1.0).unwrap();
         wb.validate().unwrap();
         let via_struct = wb.ln_lower_tail(0.5).unwrap();
-        let via_fn = ln_lower_tail_bound(&params, 250_000, 0.5, Some(wb.mixing_time_eighth)).unwrap()
+        let via_fn = ln_lower_tail_bound(&params, 250_000, 0.5, Some(wb.mixing_time_eighth))
+            .unwrap()
             - ln_phi_pi_norm_bound(&params).unwrap();
         assert!(
             (via_struct - via_fn).abs() < 1e-9 * (1.0 + via_fn.abs()),

@@ -46,8 +46,8 @@ pub fn lemma2(params: &ProtocolParams, delta1: f64) -> (bool, bool) {
 /// Returns `(lhs, rhs)` of Ineq. (70) so the caller can assert
 /// `lhs ≤ rhs`.
 pub fn lemma3(params: &ProtocolParams, eps1: f64, eps2: f64) -> (f64, f64) {
-    let consts = crate::theorem3::Constants::new(eps1, eps2, params.nu())
-        .expect("validated upstream");
+    let consts =
+        crate::theorem3::Constants::new(eps1, eps2, params.nu()).expect("validated upstream");
     let p_mu_n = params.p() * params.mu_n();
     let two_delta = 2.0 * params.delta() as f64;
     let lhs = ((consts.delta1.ln_1p() - (-p_mu_n).ln_1p()) / two_delta).exp();
@@ -141,9 +141,13 @@ pub use crate::extended_chain::ln_min_pi as proposition1_ln_min_pi;
 /// Audits the full implication chain (52)–(59) at one parameter point:
 /// if Theorem 3's premises hold, every downstream implication must fire.
 /// Returns an error message naming the first broken link, if any.
-pub fn audit_chain(params: &ProtocolParams, eps1: f64, eps2: f64) -> std::result::Result<(), String> {
-    let consts = crate::theorem3::Constants::new(eps1, eps2, params.nu())
-        .map_err(|e| e.to_string())?;
+pub fn audit_chain(
+    params: &ProtocolParams,
+    eps1: f64,
+    eps2: f64,
+) -> std::result::Result<(), String> {
+    let consts =
+        crate::theorem3::Constants::new(eps1, eps2, params.nu()).map_err(|e| e.to_string())?;
     let ell = params.ln_mu_over_nu();
 
     // Premise checks (Theorem 3's conditions).
@@ -246,7 +250,10 @@ mod tests {
                     }
                     for &d1 in &[0.01, 0.5, 2.0] {
                         let (lhs, rhs) = lemma2(&p, d1);
-                        assert!(!lhs || rhs, "Lemma 2 broken at ν={nu}, c={c}, Δ={delta}, δ₁={d1}");
+                        assert!(
+                            !lhs || rhs,
+                            "Lemma 2 broken at ν={nu}, c={c}, Δ={delta}, δ₁={d1}"
+                        );
                         checked += 1;
                     }
                 }
@@ -354,9 +361,8 @@ mod tests {
                 let eps2 = 0.2;
                 let bound = crate::theorem2::c_bound(nu, delta, eps1, eps2).unwrap();
                 let p = params(bound * 1.5, nu, delta);
-                audit_chain(&p, eps1, eps2).unwrap_or_else(|e| {
-                    panic!("audit failed at ν={nu}, Δ={delta}: {e}")
-                });
+                audit_chain(&p, eps1, eps2)
+                    .unwrap_or_else(|e| panic!("audit failed at ν={nu}, Δ={delta}: {e}"));
             }
         }
     }

@@ -39,13 +39,19 @@ impl ProtocolParams {
     /// `0 < p < 1`, `Δ ≥ 1`.
     pub fn new(n: u64, delta: u64, p: f64, nu: f64) -> Result<Self> {
         if n < 4 {
-            return Err(Error::invalid("n", format!("Eq. (3) requires n ≥ 4, got {n}")));
+            return Err(Error::invalid(
+                "n",
+                format!("Eq. (3) requires n ≥ 4, got {n}"),
+            ));
         }
         if delta == 0 {
             return Err(Error::invalid("delta", "Δ must be at least 1 round"));
         }
         if !(p > 0.0 && p < 1.0) || p.is_nan() {
-            return Err(Error::invalid("p", format!("hardness must lie in (0, 1), got {p}")));
+            return Err(Error::invalid(
+                "p",
+                format!("hardness must lie in (0, 1), got {p}"),
+            ));
         }
         if !(nu > 0.0 && nu < 0.5) || nu.is_nan() {
             return Err(Error::invalid(
@@ -242,7 +248,10 @@ mod tests {
         let ln_rate = 2.0 * harsh.delta() as f64 * harsh.ln_alpha_bar() + harsh.ln_alpha1();
         assert!(ln_rate < -1e6, "deep underflow regime reached: {ln_rate}");
         assert_eq!(
-            harsh.alpha_bar_log().powi(2 * harsh.delta() as i64).to_f64(),
+            harsh
+                .alpha_bar_log()
+                .powi(2 * harsh.delta() as i64)
+                .to_f64(),
             0.0,
             "sanity: linear space underflows to zero"
         );
@@ -267,35 +276,45 @@ mod tests {
     }
 }
 
+// Deterministic randomized sweeps (in-tree RNG; proptest is unavailable
+// in the offline build environment).
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use probability::rng::{RandomSource, SplitMix64};
 
-    proptest! {
-        #[test]
-        fn alpha_complement_identity(
-            n in 4u64..1_000_000,
-            delta in 1u64..1_000,
-            p_exp in -15.0f64..-2.0,
-            nu in 0.01f64..0.49,
-        ) {
+    const CASES: usize = 256;
+
+    #[test]
+    fn alpha_complement_identity() {
+        let mut rng = SplitMix64::new(0xFA_01);
+        for _ in 0..CASES {
+            let n = rng.next_range(4, 999_999);
+            let delta = rng.next_range(1, 999);
+            let p_exp = -15.0 + rng.next_f64() * 13.0;
+            let nu = 0.01 + rng.next_f64() * 0.48;
             let p = 10f64.powf(p_exp);
             let params = ProtocolParams::new(n, delta, p, nu).unwrap();
-            prop_assert!((params.alpha() + params.alpha_bar() - 1.0).abs() < 1e-12);
-            prop_assert!(params.ln_alpha_bar() <= 0.0);
-            prop_assert!(params.ln_alpha1() <= 0.0 + 1e-12);
+            assert!((params.alpha() + params.alpha_bar() - 1.0).abs() < 1e-12);
+            assert!(params.ln_alpha_bar() <= 0.0);
+            assert!(params.ln_alpha1() <= 1e-12);
         }
+    }
 
-        #[test]
-        fn c_positive_and_consistent_with_p(
-            n in 4u64..1_000_000,
-            delta in 1u64..10_000,
-            c in 0.01f64..1_000.0,
-            nu in 0.01f64..0.49,
-        ) {
+    #[test]
+    fn c_positive_and_consistent_with_p() {
+        let mut rng = SplitMix64::new(0xFA_02);
+        for _ in 0..CASES {
+            let n = rng.next_range(4, 999_999);
+            let delta = rng.next_range(1, 9_999);
+            let c = 0.01 + rng.next_f64() * 999.99;
+            let nu = 0.01 + rng.next_f64() * 0.48;
             let params = ProtocolParams::from_c(n, delta, c, nu).unwrap();
-            prop_assert!((params.c() - c).abs() < 1e-6 * c);
+            assert!(
+                (params.c() - c).abs() < 1e-6 * c,
+                "c mismatch: {} vs {c}",
+                params.c()
+            );
         }
     }
 }

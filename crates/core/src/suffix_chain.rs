@@ -64,8 +64,9 @@ pub fn build_chain(alpha: f64, delta: u64) -> Result<MarkovChain> {
     // ①: short-gap arms.
     for a in 1..delta {
         let from = idx(SuffixState::ShortGap(a));
-        b.add(from, idx(SuffixState::RecentH), alpha).map_err(Error::from)?;
-        let to = if a + 1 <= delta - 1 {
+        b.add(from, idx(SuffixState::RecentH), alpha)
+            .map_err(Error::from)?;
+        let to = if a < delta - 1 {
             idx(SuffixState::ShortGap(a + 1))
         } else {
             idx(SuffixState::LongGap)
@@ -73,15 +74,24 @@ pub fn build_chain(alpha: f64, delta: u64) -> Result<MarkovChain> {
         b.add(from, to, alpha_bar).map_err(Error::from)?;
     }
     // ④: HN^{≥Δ}.
-    b.add(idx(SuffixState::LongGap), idx(SuffixState::AfterLongGap(0)), alpha)
-        .map_err(Error::from)?;
-    b.add(idx(SuffixState::LongGap), idx(SuffixState::LongGap), alpha_bar)
-        .map_err(Error::from)?;
+    b.add(
+        idx(SuffixState::LongGap),
+        idx(SuffixState::AfterLongGap(0)),
+        alpha,
+    )
+    .map_err(Error::from)?;
+    b.add(
+        idx(SuffixState::LongGap),
+        idx(SuffixState::LongGap),
+        alpha_bar,
+    )
+    .map_err(Error::from)?;
     // ②: after-long-gap arms.
     for arm in 0..delta {
         let from = idx(SuffixState::AfterLongGap(arm));
-        b.add(from, idx(SuffixState::RecentH), alpha).map_err(Error::from)?;
-        let to = if arm + 1 <= delta - 1 {
+        b.add(from, idx(SuffixState::RecentH), alpha)
+            .map_err(Error::from)?;
+        let to = if arm < delta - 1 {
             idx(SuffixState::AfterLongGap(arm + 1))
         } else {
             idx(SuffixState::LongGap)

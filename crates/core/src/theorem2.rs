@@ -39,7 +39,10 @@ pub fn neat_bound(nu: f64) -> f64 {
 pub fn c_bound(nu: f64, delta: u64, eps1: f64, eps2: f64) -> Result<f64> {
     validate_epsilons(eps1, eps2)?;
     if !(nu > 0.0 && nu < 0.5) {
-        return Err(Error::invalid("nu", format!("must lie in (0, 1/2), got {nu}")));
+        return Err(Error::invalid(
+            "nu",
+            format!("must lie in (0, 1/2), got {nu}"),
+        ));
     }
     let mu = 1.0 - nu;
     let ell = (mu / nu).ln();
@@ -136,7 +139,10 @@ pub fn remark1_nu_range(delta: u64, d1: f64, d2: f64) -> Result<NuRange> {
     let lo = 1.0 / (1.0 + d.powf(d1).exp());
     let pow2 = d.powf(d2);
     if pow2 <= 1.0 {
-        return Err(Error::invalid("d2", format!("Δ^δ₂ must exceed 1, got {pow2}")));
+        return Err(Error::invalid(
+            "d2",
+            format!("Δ^δ₂ must exceed 1, got {pow2}"),
+        ));
     }
     let hi = 1.0 / (1.0 + (1.0 / (pow2 - 1.0)).exp());
     Ok(NuRange { lo, hi })
@@ -169,7 +175,10 @@ pub fn remark1_factor(delta: u64, d1: f64, d2: f64) -> Result<f64> {
 /// Same contract as [`remark1_factor`] plus ε₂ validation.
 pub fn remark1_c_bound(nu: f64, delta: u64, d1: f64, d2: f64, eps2: f64) -> Result<f64> {
     if !(eps2 > 0.0) {
-        return Err(Error::invalid("eps2", format!("must be positive, got {eps2}")));
+        return Err(Error::invalid(
+            "eps2",
+            format!("must be positive, got {eps2}"),
+        ));
     }
     Ok(neat_bound(nu) * (1.0 + eps2) * remark1_factor(delta, d1, d2)?)
 }
@@ -273,7 +282,11 @@ mod tests {
         let hi_gap = 0.5 - range.hi;
         assert!(hi_gap < 1e-6 && hi_gap > 1e-8, "hi gap = {hi_gap:e}");
         let factor = remark1_factor(DELTA13, 1.0 / 6.0, 0.5).unwrap();
-        assert!(factor > 1.0 && factor - 1.0 < 5e-5, "factor − 1 = {:e}", factor - 1.0);
+        assert!(
+            factor > 1.0 && factor - 1.0 < 5e-5,
+            "factor − 1 = {:e}",
+            factor - 1.0
+        );
     }
 
     #[test]
@@ -285,7 +298,11 @@ mod tests {
         let hi_gap = 0.5 - range.hi;
         assert!(hi_gap < 1e-8 && hi_gap > 1e-10, "hi gap = {hi_gap:e}");
         let factor = remark1_factor(DELTA13, 1.0 / 8.0, 2.0 / 3.0).unwrap();
-        assert!(factor > 1.0 && factor - 1.0 < 2e-3, "factor − 1 = {:e}", factor - 1.0);
+        assert!(
+            factor > 1.0 && factor - 1.0 < 2e-3,
+            "factor − 1 = {:e}",
+            factor - 1.0
+        );
     }
 
     #[test]

@@ -33,13 +33,22 @@ impl Constants {
     /// and `0 < ν < ½`.
     pub fn new(eps1: f64, eps2: f64, nu: f64) -> Result<Self> {
         if !(eps1 > 0.0 && eps1 < 1.0) || eps1.is_nan() {
-            return Err(Error::invalid("eps1", format!("must lie in (0,1), got {eps1}")));
+            return Err(Error::invalid(
+                "eps1",
+                format!("must lie in (0,1), got {eps1}"),
+            ));
         }
         if !(eps2 > 0.0) || eps2.is_nan() {
-            return Err(Error::invalid("eps2", format!("must be positive, got {eps2}")));
+            return Err(Error::invalid(
+                "eps2",
+                format!("must be positive, got {eps2}"),
+            ));
         }
         if !(nu > 0.0 && nu < 0.5) {
-            return Err(Error::invalid("nu", format!("must lie in (0, 1/2), got {nu}")));
+            return Err(Error::invalid(
+                "nu",
+                format!("must lie in (0, 1/2), got {nu}"),
+            ));
         }
         let mu = 1.0 - nu;
         let ell = (mu / nu).ln();

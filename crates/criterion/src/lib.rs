@@ -1,0 +1,267 @@
+//! A vendored, API-compatible subset of the [criterion](https://docs.rs/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace is offline, so the real
+//! crates-io criterion cannot be fetched. This shim implements exactly the
+//! surface the `crates/bench/benches/*` files use — [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher`], [`BenchmarkId`], [`Throughput`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros — with a simple
+//! warm-up + timed-batch measurement loop, so `cargo bench` still produces
+//! meaningful per-iteration timings and `cargo bench --no-run` guards the
+//! benches against bit-rot. Swapping back to the real crate is a one-line
+//! change in the workspace manifest.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement settings plus the entry point handed to benchmark functions.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        let measurement_time = self.measurement_time;
+        run_one(id, sample_size, measurement_time, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples collected for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the amount of work per iteration so results can be reported
+    /// as throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark identified by `id` within this group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement_time,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Runs a parameterised benchmark, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.label);
+        run_one(
+            &full,
+            self.sample_size.unwrap_or(self.criterion.sample_size),
+            self.criterion.measurement_time,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Marks the group as complete.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group, usually `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with both a function name and a parameter.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The amount of work one benchmark iteration processes.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `routine` by running warm-up iterations followed by timed
+    /// batches, recording the mean wall-clock time per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and batch-size calibration: grow the batch until it takes
+        // at least ~1ms so Instant overhead is amortised.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+
+        let deadline = Instant::now() + self.measurement_time;
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.mean_ns;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            let rate = n as f64 * 1e9 / per_iter;
+            println!("{id:<60} {per_iter:>14.1} ns/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            let rate = n as f64 * 1e9 / per_iter;
+            println!("{id:<60} {per_iter:>14.1} ns/iter {rate:>14.0} B/s");
+        }
+        _ => println!("{id:<60} {per_iter:>14.1} ns/iter"),
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets with a
+/// default [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark targets.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares a `main` that runs the listed [`criterion_group!`] functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(10),
+        };
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5).throughput(Throughput::Elements(1));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_labels() {
+        assert_eq!(BenchmarkId::new("f", 10).label, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+}

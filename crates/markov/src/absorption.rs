@@ -134,7 +134,12 @@ pub fn analyze(chain: &MarkovChain) -> Result<AbsorbingAnalysis> {
     let mut perm: Vec<usize> = (0..m).collect();
     for col in 0..m {
         let pivot_row = (col..m)
-            .max_by(|&x, &y| lu[x][col].abs().partial_cmp(&lu[y][col].abs()).expect("finite"))
+            .max_by(|&x, &y| {
+                lu[x][col]
+                    .abs()
+                    .partial_cmp(&lu[y][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty");
         if lu[pivot_row][col].abs() < 1e-300 {
             return Err(Error::BadShape {
@@ -145,11 +150,13 @@ pub fn analyze(chain: &MarkovChain) -> Result<AbsorbingAnalysis> {
         perm.swap(col, pivot_row);
         let pivot = lu[col][col];
         for row in (col + 1)..m {
-            let factor = lu[row][col] / pivot;
-            lu[row][col] = factor;
-            for k in (col + 1)..m {
-                let upper = lu[col][k];
-                lu[row][k] -= factor * upper;
+            let (head, tail) = lu.split_at_mut(row);
+            let pivot_vals = &head[col];
+            let row_vals = &mut tail[0];
+            let factor = row_vals[col] / pivot;
+            row_vals[col] = factor;
+            for (x, &upper) in row_vals[col + 1..].iter_mut().zip(&pivot_vals[col + 1..]) {
+                *x -= factor * upper;
             }
         }
     }
@@ -158,14 +165,14 @@ pub fn analyze(chain: &MarkovChain) -> Result<AbsorbingAnalysis> {
         let mut y: Vec<f64> = perm.iter().map(|&i| rhs[i]).collect();
         for row in 1..m {
             for k in 0..row {
-                y[row] = y[row] - lu[row][k] * y[k];
+                y[row] -= lu[row][k] * y[k];
             }
         }
         // Back substitution.
         let mut x = y;
         for row in (0..m).rev() {
             for k in (row + 1)..m {
-                x[row] = x[row] - lu[row][k] * x[k];
+                x[row] -= lu[row][k] * x[k];
             }
             x[row] /= lu[row][row];
         }
@@ -215,10 +222,16 @@ mod tests {
         for k in 1..l {
             // P[absorbed at l | start k] = k/l for a fair walk.
             let p_win = a.probability(k, l);
-            assert!((p_win - k as f64 / l as f64).abs() < 1e-10, "k={k}: {p_win}");
+            assert!(
+                (p_win - k as f64 / l as f64).abs() < 1e-10,
+                "k={k}: {p_win}"
+            );
             // Expected steps = k(l−k).
             let steps = a.steps_from(k);
-            assert!((steps - (k * (l - k)) as f64).abs() < 1e-9, "k={k}: {steps}");
+            assert!(
+                (steps - (k * (l - k)) as f64).abs() < 1e-9,
+                "k={k}: {steps}"
+            );
         }
     }
 
@@ -272,11 +285,7 @@ mod tests {
 
     #[test]
     fn single_transient_state() {
-        let c = MarkovChain::from_rows(vec![
-            vec![0.25, 0.75],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![0.25, 0.75], vec![0.0, 1.0]]).unwrap();
         let a = analyze(&c).unwrap();
         // Geometric escape: expected steps 1/0.75.
         assert!((a.steps_from(0) - 4.0 / 3.0).abs() < 1e-12);

@@ -125,8 +125,7 @@ impl MarkovChain {
     pub fn step(&self, dist: &[f64]) -> Vec<f64> {
         assert_eq!(dist.len(), self.n_states, "distribution length mismatch");
         let mut out = vec![0.0; self.n_states];
-        for i in 0..self.n_states {
-            let mass = dist[i];
+        for (i, &mass) in dist.iter().enumerate() {
             if mass == 0.0 {
                 continue;
             }
@@ -167,9 +166,9 @@ impl MarkovChain {
     /// small chains (tests, GTH elimination).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut m = vec![vec![0.0; self.n_states]; self.n_states];
-        for i in 0..self.n_states {
+        for (i, row) in m.iter_mut().enumerate() {
             for (j, p) in self.successors(i) {
-                m[i][j] += p;
+                row[j] += p;
             }
         }
         m
@@ -379,9 +378,17 @@ mod tests {
 
     #[test]
     fn successors_sorted_by_column() {
-        let c =
-            MarkovChain::from_transitions(3, &[(0, 2, 0.5), (0, 1, 0.25), (0, 0, 0.25), (1, 1, 1.0), (2, 2, 1.0)])
-                .unwrap();
+        let c = MarkovChain::from_transitions(
+            3,
+            &[
+                (0, 2, 0.5),
+                (0, 1, 0.25),
+                (0, 0, 0.25),
+                (1, 1, 1.0),
+                (2, 2, 1.0),
+            ],
+        )
+        .unwrap();
         let succ: Vec<usize> = c.successors(0).map(|(j, _)| j).collect();
         assert_eq!(succ, vec![0, 1, 2]);
     }
@@ -389,11 +396,7 @@ mod tests {
     #[test]
     fn renormalisation_within_tolerance() {
         // Row sums to 1 + 5e-10: accepted and renormalised to exactly 1.
-        let c = MarkovChain::from_rows(vec![
-            vec![0.5 + 5e-10, 0.5],
-            vec![0.5, 0.5],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![0.5 + 5e-10, 0.5], vec![0.5, 0.5]]).unwrap();
         let sum: f64 = c.successors(0).map(|(_, p)| p).sum();
         assert!((sum - 1.0).abs() < 1e-15);
     }
@@ -411,43 +414,46 @@ mod tests {
     }
 }
 
+// Deterministic randomized sweeps (in-tree RNG; proptest is unavailable
+// in the offline build environment).
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use probability::rng::{RandomSource, SplitMix64};
 
-    fn arbitrary_chain(max_states: usize) -> impl Strategy<Value = MarkovChain> {
-        (1..=max_states)
-            .prop_flat_map(|n| {
-                proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, n), n)
+    fn random_chain(rng: &mut SplitMix64, max_states: u64) -> MarkovChain {
+        let n = rng.next_range(1, max_states) as usize;
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let row: Vec<f64> = (0..n).map(|_| 0.01 + rng.next_f64() * 0.99).collect();
+                let s: f64 = row.iter().sum();
+                row.into_iter().map(|x| x / s).collect()
             })
-            .prop_map(|raw| {
-                let rows: Vec<Vec<f64>> = raw
-                    .into_iter()
-                    .map(|row| {
-                        let s: f64 = row.iter().sum();
-                        row.into_iter().map(|x| x / s).collect()
-                    })
-                    .collect();
-                MarkovChain::from_rows(rows).expect("normalised rows are stochastic")
-            })
+            .collect();
+        MarkovChain::from_rows(rows).expect("normalised rows are stochastic")
     }
 
-    proptest! {
-        #[test]
-        fn step_preserves_mass(chain in arbitrary_chain(8)) {
+    #[test]
+    fn step_preserves_mass() {
+        let mut rng = SplitMix64::new(0xC4_01);
+        for _ in 0..256 {
+            let chain = random_chain(&mut rng, 8);
             let d = chain.uniform_distribution();
             let d2 = chain.step(&d);
             let total: f64 = d2.iter().sum();
-            prop_assert!((total - 1.0).abs() < 1e-12);
-            prop_assert!(d2.iter().all(|&x| x >= 0.0));
+            assert!((total - 1.0).abs() < 1e-12, "mass not preserved: {total}");
+            assert!(d2.iter().all(|&x| x >= 0.0));
         }
+    }
 
-        #[test]
-        fn dense_rows_stochastic(chain in arbitrary_chain(6)) {
+    #[test]
+    fn dense_rows_stochastic() {
+        let mut rng = SplitMix64::new(0xC4_02);
+        for _ in 0..256 {
+            let chain = random_chain(&mut rng, 6);
             for row in chain.to_dense() {
                 let s: f64 = row.iter().sum();
-                prop_assert!((s - 1.0).abs() < 1e-12);
+                assert!((s - 1.0).abs() < 1e-12, "row not stochastic: {s}");
             }
         }
     }

@@ -164,8 +164,8 @@ impl WalkBoundParams {
         // Theorem 3.1's upper tail: exp(−δ²µT/(72τ)) for δ ≤ 1, and
         // exp(−δµT/(72τ)) for δ > 1.
         let effective = delta * delta.min(1.0);
-        let exponent =
-            -effective * self.stationary_mean * self.steps as f64 / (72.0 * self.mixing_time_eighth as f64);
+        let exponent = -effective * self.stationary_mean * self.steps as f64
+            / (72.0 * self.mixing_time_eighth as f64);
         Ok((CHUNG_ET_AL_CONSTANT * self.phi_pi_norm * exponent.exp()).min(1.0))
     }
 

@@ -15,7 +15,12 @@ fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
     for col in 0..n {
         // Pivot.
         let pivot_row = (col..n)
-            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .expect("finite")
+            })
             .expect("non-empty range");
         if a[pivot_row][col].abs() < 1e-300 {
             return Err(Error::BadShape {
@@ -26,13 +31,15 @@ fn solve_dense(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>> {
         b.swap(col, pivot_row);
         let pivot = a[col][col];
         for row in (col + 1)..n {
-            let factor = a[row][col] / pivot;
+            let (head, tail) = a.split_at_mut(row);
+            let pivot_vals = &head[col];
+            let row_vals = &mut tail[0];
+            let factor = row_vals[col] / pivot;
             if factor == 0.0 {
                 continue;
             }
-            for k in col..n {
-                let upper = a[col][k];
-                a[row][k] -= factor * upper;
+            for (x, &upper) in row_vals[col..].iter_mut().zip(&pivot_vals[col..]) {
+                *x -= factor * upper;
             }
             b[row] -= factor * b[col];
         }
@@ -163,9 +170,9 @@ mod tests {
         }
         let c = MarkovChain::from_transitions(l + 1, &t).unwrap();
         let h = expected_hitting_times(&c, &[0, l]).unwrap();
-        for k in 1..l {
+        for (k, &hk) in h.iter().enumerate().take(l).skip(1) {
             let expected = (k * (l - k)) as f64;
-            assert!((h[k] - expected).abs() < 1e-9, "k={k}: {} vs {expected}", h[k]);
+            assert!((hk - expected).abs() < 1e-9, "k={k}: {hk} vs {expected}");
         }
     }
 
@@ -178,12 +185,12 @@ mod tests {
         ])
         .unwrap();
         let pi = stationary_gth(&c).unwrap();
-        for s in 0..3 {
+        for (s, &pis) in pi.iter().enumerate() {
             let r = expected_return_time(&c, s).unwrap();
             assert!(
-                (r - 1.0 / pi[s]).abs() < 1e-9,
+                (r - 1.0 / pis).abs() < 1e-9,
                 "state {s}: return {r} vs 1/π {}",
-                1.0 / pi[s]
+                1.0 / pis
             );
         }
     }
@@ -206,11 +213,7 @@ mod tests {
     #[test]
     fn unreachable_target_is_singular() {
         // State 1 absorbing, target {0} unreachable from 1.
-        let c = MarkovChain::from_rows(vec![
-            vec![0.5, 0.5],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![0.5, 0.5], vec![0.0, 1.0]]).unwrap();
         assert!(expected_hitting_times(&c, &[0]).is_err());
     }
 

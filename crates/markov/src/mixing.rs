@@ -58,7 +58,12 @@ pub fn distance_at(chain: &MarkovChain, pi: &[f64], t: usize) -> f64 {
 /// assert_eq!(mixing_time(&c, &pi, 0.125, 1024)?, 1);
 /// # Ok::<(), markov::Error>(())
 /// ```
-pub fn mixing_time(chain: &MarkovChain, pi: &[f64], epsilon: f64, max_steps: usize) -> Result<usize> {
+pub fn mixing_time(
+    chain: &MarkovChain,
+    pi: &[f64],
+    epsilon: f64,
+    max_steps: usize,
+) -> Result<usize> {
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
     if !crate::structure::is_ergodic(chain) {
         return Err(Error::NotErgodic {
@@ -70,9 +75,8 @@ pub fn mixing_time(chain: &MarkovChain, pi: &[f64], epsilon: f64, max_steps: usi
     // (standard coupling argument), so doubling + bisection is valid.
     let mut dists: Vec<Vec<f64>> = (0..n).map(|s| chain.point_distribution(s)).collect();
     let mut t = 0usize;
-    let worst = |ds: &[Vec<f64>]| -> f64 {
-        ds.iter().map(|d| tv_distance(d, pi)).fold(0.0, f64::max)
-    };
+    let worst =
+        |ds: &[Vec<f64>]| -> f64 { ds.iter().map(|d| tv_distance(d, pi)).fold(0.0, f64::max) };
     if worst(&dists) <= epsilon {
         return Ok(0);
     }
@@ -184,11 +188,7 @@ mod tests {
 
     #[test]
     fn periodic_chain_rejected() {
-        let ring = MarkovChain::from_rows(vec![
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-        ])
-        .unwrap();
+        let ring = MarkovChain::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
         let pi = vec![0.5, 0.5];
         assert!(matches!(
             mixing_time(&ring, &pi, 0.125, 100),
@@ -200,11 +200,7 @@ mod tests {
     fn max_steps_exceeded() {
         // Nearly-reducible chain: mixing time astronomically large.
         let eps = 1e-12;
-        let c = MarkovChain::from_rows(vec![
-            vec![1.0 - eps, eps],
-            vec![eps, 1.0 - eps],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![1.0 - eps, eps], vec![eps, 1.0 - eps]]).unwrap();
         let pi = vec![0.5, 0.5];
         assert!(matches!(
             mixing_time(&c, &pi, 0.125, 50),
@@ -214,11 +210,7 @@ mod tests {
 
     #[test]
     fn dobrushin_bound_dominates_true_mixing_time() {
-        let c = MarkovChain::from_rows(vec![
-            vec![0.6, 0.4],
-            vec![0.3, 0.7],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![0.6, 0.4], vec![0.3, 0.7]]).unwrap();
         let pi = stationary_gth(&c).unwrap();
         let tau = mixing_time(&c, &pi, 0.125, 10_000).unwrap();
         let bound = dobrushin_mixing_bound(&c, 0.125).unwrap();

@@ -81,16 +81,16 @@ pub fn stationary_gth(chain: &MarkovChain) -> Result<Vec<f64>> {
                 residual: escape,
             });
         }
-        for i in 0..k {
-            p[i][k] /= escape;
-        }
-        for i in 0..k {
-            let pik = p[i][k];
+        let (head, tail) = p.split_at_mut(k);
+        let pk = &tail[0];
+        for row in head.iter_mut() {
+            row[k] /= escape;
+            let pik = row[k];
             if pik == 0.0 {
                 continue;
             }
-            for j in 0..k {
-                p[i][j] += pik * p[k][j];
+            for (x, &y) in row[..k].iter_mut().zip(&pk[..k]) {
+                *x += pik * y;
             }
         }
     }
@@ -265,11 +265,7 @@ mod tests {
         // Transitions spanning 250 orders of magnitude: GTH must stay
         // accurate (no subtractive cancellation).
         let eps = 1e-250;
-        let c = MarkovChain::from_rows(vec![
-            vec![1.0 - eps, eps],
-            vec![0.5, 0.5],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![1.0 - eps, eps], vec![0.5, 0.5]]).unwrap();
         let pi = stationary_gth(&c).unwrap();
         // Detailed balance for 2 states: π0·eps = π1·0.5.
         let ratio = pi[1] / pi[0];
@@ -298,39 +294,45 @@ mod tests {
     }
 }
 
+// Deterministic randomized sweeps (in-tree RNG; proptest is unavailable
+// in the offline build environment).
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use crate::chain::MarkovChain;
-    use proptest::prelude::*;
+    use probability::rng::{RandomSource, SplitMix64};
 
-    fn positive_chain(n: usize) -> impl Strategy<Value = MarkovChain> {
-        proptest::collection::vec(proptest::collection::vec(0.05f64..1.0, n), n).prop_map(|raw| {
-            let rows: Vec<Vec<f64>> = raw
-                .into_iter()
-                .map(|row| {
-                    let s: f64 = row.iter().sum();
-                    row.into_iter().map(|x| x / s).collect()
-                })
-                .collect();
-            MarkovChain::from_rows(rows).expect("stochastic")
-        })
+    fn positive_chain(rng: &mut SplitMix64, n: usize) -> MarkovChain {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| {
+                let row: Vec<f64> = (0..n).map(|_| 0.05 + rng.next_f64() * 0.95).collect();
+                let s: f64 = row.iter().sum();
+                row.into_iter().map(|x| x / s).collect()
+            })
+            .collect();
+        MarkovChain::from_rows(rows).expect("stochastic")
     }
 
-    proptest! {
-        #[test]
-        fn gth_output_is_stationary(chain in positive_chain(5)) {
+    #[test]
+    fn gth_output_is_stationary() {
+        let mut rng = SplitMix64::new(0x57_01);
+        for _ in 0..128 {
+            let chain = positive_chain(&mut rng, 5);
             let pi = stationary_gth(&chain).unwrap();
-            prop_assert!(stationarity_residual(&chain, &pi) < 1e-11);
-            prop_assert!(pi.iter().all(|&x| x > 0.0));
+            assert!(stationarity_residual(&chain, &pi) < 1e-11);
+            assert!(pi.iter().all(|&x| x > 0.0));
         }
+    }
 
-        #[test]
-        fn power_agrees_with_gth(chain in positive_chain(4)) {
+    #[test]
+    fn power_agrees_with_gth() {
+        let mut rng = SplitMix64::new(0x57_02);
+        for _ in 0..128 {
+            let chain = positive_chain(&mut rng, 4);
             let a = stationary_gth(&chain).unwrap();
             let b = stationary_power(&chain, PowerConfig::default()).unwrap();
             for (x, y) in a.iter().zip(b.iter()) {
-                prop_assert!((x - y).abs() < 1e-9);
+                assert!((x - y).abs() < 1e-9, "gth/power disagree: {x} vs {y}");
             }
         }
     }

@@ -166,11 +166,7 @@ mod tests {
 
     #[test]
     fn two_closed_classes_not_irreducible() {
-        let c = MarkovChain::from_rows(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         let scc = strongly_connected_components(&c);
         assert_eq!(scc.n_components, 2);
         assert!(!is_irreducible(&c));
@@ -179,11 +175,7 @@ mod tests {
     #[test]
     fn transient_plus_absorbing() {
         // 0 → 1 → 1: two SCCs {0}, {1}.
-        let c = MarkovChain::from_rows(vec![
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![0.0, 1.0], vec![0.0, 1.0]]).unwrap();
         assert_eq!(strongly_connected_components(&c).n_components, 2);
         assert!(!is_irreducible(&c));
     }
@@ -242,11 +234,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "irreducible")]
     fn period_panics_on_reducible() {
-        let c = MarkovChain::from_rows(vec![
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ])
-        .unwrap();
+        let c = MarkovChain::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
         period(&c);
     }
 

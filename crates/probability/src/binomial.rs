@@ -172,7 +172,10 @@ impl Binomial {
     ///
     /// Panics if `q` is not in `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Result<u64> {
-        assert!((0.0..=1.0).contains(&q), "quantile requires q in [0,1], got {q}");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile requires q in [0,1], got {q}"
+        );
         if q == 0.0 {
             return Ok(0);
         }
@@ -332,7 +335,10 @@ mod tests {
         for k in [0u64, 1, 5, 10, 20, 100] {
             let direct: f64 = (0..=k).map(|j| d.pmf(j)).sum();
             let via_beta = d.cdf(k).unwrap();
-            assert!(close(direct, via_beta, 1e-10), "k={k}: {direct} vs {via_beta}");
+            assert!(
+                close(direct, via_beta, 1e-10),
+                "k={k}: {direct} vs {via_beta}"
+            );
         }
     }
 
@@ -433,41 +439,73 @@ mod tests {
     }
 }
 
+// Deterministic randomized sweeps (in-tree RNG; proptest is unavailable
+// in the offline build environment).
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::{RandomSource, SplitMix64};
 
-    proptest! {
-        #[test]
-        fn pmf_nonnegative_and_at_most_one(n in 0u64..2_000, p in 0.0f64..=1.0, k in 0u64..2_500) {
+    const CASES: usize = 256;
+
+    #[test]
+    fn pmf_nonnegative_and_at_most_one() {
+        let mut rng = SplitMix64::new(0xB1_01);
+        for _ in 0..CASES {
+            let n = rng.next_below(2_000);
+            let p = rng.next_f64();
+            let k = rng.next_below(2_500);
             let d = Binomial::new(n, p).unwrap();
             let v = d.pmf(k);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            assert!(
+                (0.0..=1.0 + 1e-12).contains(&v),
+                "pmf out of range: n={n} p={p} k={k} v={v}"
+            );
         }
+    }
 
-        #[test]
-        fn cdf_monotone(n in 1u64..500, p in 0.001f64..0.999, k in 0u64..499) {
+    #[test]
+    fn cdf_monotone() {
+        let mut rng = SplitMix64::new(0xB1_02);
+        for _ in 0..CASES {
+            let n = rng.next_range(1, 499);
+            let p = 0.001 + rng.next_f64() * 0.998;
+            let k = rng.next_below(499);
             let d = Binomial::new(n, p).unwrap();
             let a = d.cdf(k).unwrap();
             let b = d.cdf(k + 1).unwrap();
-            prop_assert!(b + 1e-12 >= a);
+            assert!(b + 1e-12 >= a, "cdf not monotone: n={n} p={p} k={k}");
         }
+    }
 
-        #[test]
-        fn alpha_identity(n in 1u64..100_000, p in 1e-12f64..0.5) {
-            // α + ᾱ = 1 must hold to high precision in all regimes.
+    #[test]
+    fn alpha_identity() {
+        // α + ᾱ = 1 must hold to high precision in all regimes.
+        let mut rng = SplitMix64::new(0xB1_03);
+        for _ in 0..CASES {
+            let n = rng.next_range(1, 99_999);
+            // log-uniform p in [1e-12, 0.5).
+            let p = 1e-12 * (0.5 / 1e-12f64).powf(rng.next_f64());
             let d = Binomial::new(n, p).unwrap();
             let s = d.prob_positive() + d.prob_zero();
-            prop_assert!((s - 1.0).abs() < 1e-12);
+            assert!(
+                (s - 1.0).abs() < 1e-12,
+                "identity broken: n={n} p={p} s={s}"
+            );
         }
+    }
 
-        #[test]
-        fn samples_within_support(n in 0u64..300, p in 0.0f64..=1.0, seed in 0u64..1_000) {
+    #[test]
+    fn samples_within_support() {
+        let mut rng = SplitMix64::new(0xB1_04);
+        for _ in 0..CASES {
+            let n = rng.next_below(300);
+            let p = rng.next_f64();
+            let seed = rng.next_below(1_000);
             let d = Binomial::new(n, p).unwrap();
-            let mut rng = crate::rng::Xoshiro256PlusPlus::seed_from_u64(seed);
-            let s = d.sample(&mut rng);
-            prop_assert!(s <= n);
+            let mut sample_rng = crate::rng::Xoshiro256PlusPlus::seed_from_u64(seed);
+            let s = d.sample(&mut sample_rng);
+            assert!(s <= n, "sample outside support: n={n} p={p} s={s}");
         }
     }
 }

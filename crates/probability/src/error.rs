@@ -36,7 +36,10 @@ impl fmt::Display for Error {
             Error::NoConvergence {
                 procedure,
                 iterations,
-            } => write!(f, "`{procedure}` did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "`{procedure}` did not converge after {iterations} iterations"
+            ),
             Error::NoBracket { lo, hi } => {
                 write!(f, "no sign change on bracket [{lo}, {hi}]")
             }
@@ -72,7 +75,10 @@ mod tests {
             procedure: "brent",
             iterations: 100,
         };
-        assert_eq!(e.to_string(), "`brent` did not converge after 100 iterations");
+        assert_eq!(
+            e.to_string(),
+            "`brent` did not converge after 100 iterations"
+        );
     }
 
     #[test]

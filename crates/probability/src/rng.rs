@@ -32,7 +32,10 @@ pub trait RandomSource {
     /// Panics if `p` is not in `[0, 1]`.
     #[inline]
     fn bernoulli(&mut self, p: f64) -> bool {
-        assert!((0.0..=1.0).contains(&p), "bernoulli p must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "bernoulli p must be in [0,1], got {p}"
+        );
         self.next_f64() < p
     }
 
@@ -143,12 +146,7 @@ impl Xoshiro256PlusPlus {
     /// recommended by the generator's authors.
     pub fn seed_from_u64(seed: u64) -> Self {
         let mut sm = SplitMix64::new(seed);
-        Xoshiro256PlusPlus::from_state([
-            sm.next_u64(),
-            sm.next_u64(),
-            sm.next_u64(),
-            sm.next_u64(),
-        ])
+        Xoshiro256PlusPlus::from_state([sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()])
     }
 
     /// The 2^128-step jump: returns a generator positioned 2^128 outputs
@@ -321,7 +319,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle left input unchanged");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle left input unchanged"
+        );
     }
 
     #[test]

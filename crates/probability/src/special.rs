@@ -10,14 +10,14 @@ use crate::{Error, Result};
 /// Lanczos coefficients (g = 7, n = 9), standard double-precision set.
 const LANCZOS_G: f64 = 7.0;
 const LANCZOS_COEF: [f64; 9] = [
-    0.999_999_999_999_809_93,
+    0.999_999_999_999_809_9,
     676.520_368_121_885_1,
     -1_259.139_216_722_402_8,
-    771.323_428_777_653_13,
+    771.323_428_777_653_1,
     -176.615_029_162_140_6,
     12.507_343_278_686_905,
     -0.138_571_095_265_720_12,
-    9.984_369_578_019_571_6e-6,
+    9.984_369_578_019_572e-6,
     1.505_632_735_149_311_6e-7,
 ];
 
@@ -201,10 +201,16 @@ fn beta_cont_frac(a: f64, b: f64, x: f64) -> Result<f64> {
 /// ```
 pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64> {
     if !(a > 0.0) || !a.is_finite() {
-        return Err(Error::invalid("a", format!("must be finite and > 0, got {a}")));
+        return Err(Error::invalid(
+            "a",
+            format!("must be finite and > 0, got {a}"),
+        ));
     }
     if !(b > 0.0) || !b.is_finite() {
-        return Err(Error::invalid("b", format!("must be finite and > 0, got {b}")));
+        return Err(Error::invalid(
+            "b",
+            format!("must be finite and > 0, got {b}"),
+        ));
     }
     if !(0.0..=1.0).contains(&x) {
         return Err(Error::invalid("x", format!("must lie in [0, 1], got {x}")));

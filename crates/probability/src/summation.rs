@@ -140,7 +140,10 @@ impl RunningMoments {
     ///
     /// Panics if fewer than two observations have been added.
     pub fn sample_variance(&self) -> f64 {
-        assert!(self.count > 1, "sample variance needs at least 2 observations");
+        assert!(
+            self.count > 1,
+            "sample variance needs at least 2 observations"
+        );
         self.m2 / (self.count - 1) as f64
     }
 
@@ -178,7 +181,9 @@ mod tests {
 
     #[test]
     fn pairwise_close_to_compensated() {
-        let xs: Vec<f64> = (0..100_000).map(|k| ((k * 37 % 101) as f64 - 50.0) * 1e-3).collect();
+        let xs: Vec<f64> = (0..100_000)
+            .map(|k| ((k * 37 % 101) as f64 - 50.0) * 1e-3)
+            .collect();
         let a = pairwise_sum(&xs);
         let b = compensated_sum(&xs);
         assert!((a - b).abs() < 1e-9, "pairwise {a} vs compensated {b}");

@@ -338,7 +338,11 @@ mod tests {
         let first = releases[0].block;
         let second = releases[1].block;
         assert_eq!(tree.height(first), 1);
-        assert_eq!(tree.height(second), 1, "second success balances the other branch");
+        assert_eq!(
+            tree.height(second),
+            1,
+            "second success balances the other branch"
+        );
         assert_ne!(first, second);
     }
 }

@@ -108,7 +108,12 @@ impl ChainTracker {
         if self.chains.len() == 2 {
             self.common_prefix_height = self.common_prefix_height.min(fork_height);
             self.advance_common_prefix();
-            let deepest = self.chains.iter().map(|c| c.len() as u64 - 1).max().expect("non-empty");
+            let deepest = self
+                .chains
+                .iter()
+                .map(|c| c.len() as u64 - 1)
+                .max()
+                .expect("non-empty");
             let divergence = deepest - self.common_prefix_height;
             self.max_divergence_depth = self.max_divergence_depth.max(divergence);
         }
@@ -156,24 +161,32 @@ impl ChainTracker {
     }
 }
 
+// Deterministic randomized sweeps (in-tree RNG; proptest is unavailable
+// in the offline build environment).
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
     use crate::block::Provenance;
     use crate::tree::BlockTree;
-    use proptest::prelude::*;
+    use probability::rng::{RandomSource, SplitMix64};
+
+    /// Random tree growth + adoption script: (action, argument) pairs where
+    /// action 0 extends a random existing block, action 1 offers a random
+    /// block to group 0, and action 2 offers one to group 1.
+    fn random_script(rng: &mut SplitMix64) -> Vec<(u8, u8)> {
+        let len = rng.next_range(1, 119) as usize;
+        (0..len)
+            .map(|_| (rng.next_below(3) as u8, rng.next_below(255) as u8))
+            .collect()
+    }
 
     /// Random tree growth + adoption: whatever the interleaving, the
     /// tracker's invariants must hold.
-    fn arbitrary_script() -> impl Strategy<Value = Vec<(u8, u8)>> {
-        // (action, argument): action 0 = extend a random existing block,
-        // action 1 = offer a random block to group 0, 2 = to group 1.
-        proptest::collection::vec((0u8..3, 0u8..255), 1..120)
-    }
-
-    proptest! {
-        #[test]
-        fn tracker_invariants_under_random_interleavings(script in arbitrary_script()) {
+    #[test]
+    fn tracker_invariants_under_random_interleavings() {
+        let mut rng = SplitMix64::new(0xC0_01);
+        for _ in 0..128 {
+            let script = random_script(&mut rng);
             let mut tree = BlockTree::new();
             let mut tracker = ChainTracker::new(2);
             let mut blocks = vec![BlockId::GENESIS];
@@ -192,9 +205,9 @@ mod proptests {
                         let before = tracker.height(group);
                         let adopted = tracker.consider(group, block, &tree);
                         // Longest-chain rule: adopt iff strictly higher.
-                        prop_assert_eq!(adopted, tree.height(block) > before);
+                        assert_eq!(adopted, tree.height(block) > before);
                         if adopted {
-                            prop_assert_eq!(tracker.tip(group), block);
+                            assert_eq!(tracker.tip(group), block);
                         }
                     }
                     _ => unreachable!(),
@@ -203,26 +216,24 @@ mod proptests {
                 for group in 0..2 {
                     let tip = tracker.tip(group);
                     let h = tracker.height(group);
-                    prop_assert_eq!(tree.height(tip), h);
+                    assert_eq!(tree.height(tip), h);
                     // The stored chain is the tree path of the tip.
                     for probe in [0, h / 2, h] {
                         let stored = tracker.block_at(group, probe).expect("within chain");
-                        prop_assert_eq!(stored, tree.ancestor_at_height(tip, probe));
+                        assert_eq!(stored, tree.ancestor_at_height(tip, probe));
                     }
                 }
                 let cp = tracker.common_prefix_height();
                 let min_h = tracker.height(0).min(tracker.height(1));
-                prop_assert!(cp <= min_h);
+                assert!(cp <= min_h);
                 // The common prefix block really is shared.
-                prop_assert_eq!(
+                assert_eq!(
                     tracker.block_at(0, cp).expect("within chain"),
                     tracker.block_at(1, cp).expect("within chain")
                 );
                 // And the next block differs (or one chain ends there).
                 if cp < min_h {
-                    prop_assert!(
-                        tracker.block_at(0, cp + 1) != tracker.block_at(1, cp + 1)
-                    );
+                    assert!(tracker.block_at(0, cp + 1) != tracker.block_at(1, cp + 1));
                 }
             }
         }

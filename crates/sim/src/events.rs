@@ -65,12 +65,12 @@ impl SuffixState {
         match self {
             SuffixState::RecentH => 0,
             SuffixState::ShortGap(a) => {
-                assert!(a >= 1 && a <= delta - 1, "ShortGap arm out of range");
+                assert!(a >= 1 && a < delta, "ShortGap arm out of range");
                 a as usize
             }
             SuffixState::LongGap => delta as usize,
             SuffixState::AfterLongGap(b) => {
-                assert!(b <= delta - 1, "AfterLongGap arm out of range");
+                assert!(b < delta, "AfterLongGap arm out of range");
                 (delta + 1 + b) as usize
             }
         }
@@ -190,7 +190,7 @@ impl SuffixTracker {
             }
             (Some(SuffixState::ShortGap(_)), true) => Some(SuffixState::RecentH),
             (Some(SuffixState::ShortGap(a)), false) => {
-                if a + 1 <= delta - 1 {
+                if a < delta - 1 {
                     Some(SuffixState::ShortGap(a + 1))
                 } else {
                     Some(SuffixState::LongGap)
@@ -200,7 +200,7 @@ impl SuffixTracker {
             (Some(SuffixState::LongGap), true) => Some(SuffixState::AfterLongGap(0)),
             (Some(SuffixState::AfterLongGap(_)), true) => Some(SuffixState::RecentH),
             (Some(SuffixState::AfterLongGap(b)), false) => {
-                if b + 1 <= delta - 1 {
+                if b < delta - 1 {
                     Some(SuffixState::AfterLongGap(b + 1))
                 } else {
                     Some(SuffixState::LongGap)
@@ -284,9 +284,8 @@ impl ConvergenceDetector {
             state => {
                 // Any H round cancels a pending pattern (the N^Δ tail is
                 // broken) and may start a new one.
-                let qualifies = state == RoundState::OneHonest
-                    && self.seen_h
-                    && self.n_run >= self.delta;
+                let qualifies =
+                    state == RoundState::OneHonest && self.seen_h && self.n_run >= self.delta;
                 self.pending = if qualifies { Some(self.delta) } else { None };
                 self.seen_h = true;
                 self.n_run = 0;
@@ -450,8 +449,9 @@ mod tests {
     }
 
     /// Brute-force reference for the detector: O(T·Δ) direct pattern
-    /// scan, used to validate the streaming automaton.
-    fn naive_convergence_count(rounds: &[u64], delta: u64) -> u64 {
+    /// scan, used to validate the streaming automaton (also by the
+    /// randomized sweeps below).
+    pub(super) fn naive_convergence_count(rounds: &[u64], delta: u64) -> u64 {
         let d = delta as usize;
         let mut count = 0;
         // A pattern completes at index t with H₁ at u = t − Δ.
@@ -469,7 +469,7 @@ mod tests {
                 gap += 1;
             }
             // Need ≥ Δ N's and an H round before the run.
-            if gap >= d && u >= gap + 1 && rounds[u - 1 - gap] >= 1 {
+            if gap >= d && u > gap && rounds[u - 1 - gap] >= 1 {
                 count += 1;
             }
         }
@@ -511,59 +511,48 @@ mod tests {
     }
 }
 
+// Deterministic randomized sweeps (in-tree RNG; proptest is unavailable
+// in the offline build environment).
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
+    use super::tests::naive_convergence_count;
     use super::*;
-    use proptest::prelude::*;
+    use probability::rng::{RandomSource, SplitMix64};
 
-    fn naive_convergence_count(rounds: &[u64], delta: u64) -> u64 {
-        let d = delta as usize;
-        let mut count = 0;
-        for t in d..rounds.len() {
-            let u = t - d;
-            if rounds[u] != 1 {
-                continue;
-            }
-            if rounds[u + 1..=t].iter().any(|&h| h != 0) {
-                continue;
-            }
-            let mut gap = 0usize;
-            while gap < u && rounds[u - 1 - gap] == 0 {
-                gap += 1;
-            }
-            if gap >= d && u >= gap + 1 && rounds[u - 1 - gap] >= 1 {
-                count += 1;
-            }
-        }
-        count
-    }
-
-    proptest! {
-        #[test]
-        fn streaming_detector_equals_naive_reference(
-            delta in 1u64..6,
-            // Biased towards N rounds so long gaps actually occur.
-            rounds in proptest::collection::vec(
-                prop_oneof![
-                    4 => Just(0u64),
-                    2 => Just(1u64),
-                    1 => Just(2u64),
-                ],
-                0..200,
-            ),
-        ) {
+    #[test]
+    fn streaming_detector_equals_naive_reference() {
+        let mut rng = SplitMix64::new(0xE7_01);
+        for _ in 0..256 {
+            let delta = rng.next_range(1, 5);
+            let len = rng.next_below(200) as usize;
+            // Biased towards N rounds so long gaps actually occur
+            // (weights 4:2:1 for h = 0, 1, 2).
+            let rounds: Vec<u64> = (0..len)
+                .map(|_| match rng.next_below(7) {
+                    0..=3 => 0,
+                    4 | 5 => 1,
+                    _ => 2,
+                })
+                .collect();
             let mut detector = ConvergenceDetector::new(delta);
             for &h in &rounds {
                 detector.update(h);
             }
-            prop_assert_eq!(detector.count(), naive_convergence_count(&rounds, delta));
+            assert_eq!(
+                detector.count(),
+                naive_convergence_count(&rounds, delta),
+                "detector disagrees with naive reference: delta={delta} rounds={rounds:?}"
+            );
         }
+    }
 
-        #[test]
-        fn suffix_tracker_never_panics_and_counts_every_round_after_warmup(
-            delta in 1u64..8,
-            rounds in proptest::collection::vec(0u64..4, 0..300),
-        ) {
+    #[test]
+    fn suffix_tracker_never_panics_and_counts_every_round_after_warmup() {
+        let mut rng = SplitMix64::new(0xE7_02);
+        for _ in 0..256 {
+            let delta = rng.next_range(1, 7);
+            let len = rng.next_below(300) as usize;
+            let rounds: Vec<u64> = (0..len).map(|_| rng.next_below(4)).collect();
             let mut tracker = SuffixTracker::new(delta);
             let mut h_seen = 0u64;
             let mut defined_rounds = 0u64;
@@ -576,7 +565,7 @@ mod proptests {
                     defined_rounds += 1;
                 }
             }
-            prop_assert_eq!(tracker.rounds_counted(), defined_rounds);
+            assert_eq!(tracker.rounds_counted(), defined_rounds);
         }
     }
 }

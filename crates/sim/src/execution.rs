@@ -151,7 +151,8 @@ impl Simulation {
         // 1. Receive.
         for delivery in self.network.due(round) {
             if delivery.group < n_groups {
-                self.tracker.consider(delivery.group, delivery.block, &self.tree);
+                self.tracker
+                    .consider(delivery.group, delivery.block, &self.tree);
             }
         }
 
@@ -209,7 +210,8 @@ impl Simulation {
                 continue;
             }
             let delay = release.delay.clamp(1, delta);
-            self.network.schedule(release.block, release.group, round + delay);
+            self.network
+                .schedule(release.block, release.group, round + delay);
         }
 
         // 4. Detectors.
@@ -270,11 +272,7 @@ impl Simulation {
 /// assert!(report.honest_blocks > 0);
 /// # Ok::<(), nakamoto_sim::config::ConfigError>(())
 /// ```
-pub fn run_simulation(
-    config: SimConfig,
-    adversary: Box<dyn Adversary>,
-    rounds: u64,
-) -> SimReport {
+pub fn run_simulation(config: SimConfig, adversary: Box<dyn Adversary>, rounds: u64) -> SimReport {
     let mut sim = Simulation::new(config, adversary);
     sim.run(rounds);
     sim.report()
@@ -319,7 +317,11 @@ mod tests {
         );
         assert_eq!(report.max_divergence_depth, 0, "one group cannot diverge");
         // Immediate release keeps reorgs shallow (height ties only).
-        assert!(report.max_reorg_depth <= 2, "reorg {}", report.max_reorg_depth);
+        assert!(
+            report.max_reorg_depth <= 2,
+            "reorg {}",
+            report.max_reorg_depth
+        );
     }
 
     #[test]
@@ -336,7 +338,10 @@ mod tests {
         // E[A] = T·νn·p = 100000 · 60 · 0.002 = 12000.
         let expected = rounds as f64 * nu * n as f64 * p;
         let got = report.adversary_blocks as f64;
-        assert!((got - expected).abs() < 0.05 * expected, "A = {got} vs {expected}");
+        assert!(
+            (got - expected).abs() < 0.05 * expected,
+            "A = {got} vs {expected}"
+        );
     }
 
     #[test]
@@ -421,8 +426,14 @@ mod tests {
 
     #[test]
     fn step_by_step_equals_run() {
-        let mut a = Simulation::new(cfg(60, 0.2, 1e-3, 2, 5), Box::new(ImmediateReleaseAdversary::new()));
-        let mut b = Simulation::new(cfg(60, 0.2, 1e-3, 2, 5), Box::new(ImmediateReleaseAdversary::new()));
+        let mut a = Simulation::new(
+            cfg(60, 0.2, 1e-3, 2, 5),
+            Box::new(ImmediateReleaseAdversary::new()),
+        );
+        let mut b = Simulation::new(
+            cfg(60, 0.2, 1e-3, 2, 5),
+            Box::new(ImmediateReleaseAdversary::new()),
+        );
         a.run(1000);
         for _ in 0..1000 {
             b.step();

@@ -7,8 +7,8 @@
 //! halves of the honest miners on different branches).
 
 use crate::block::{BlockId, Round};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A scheduled delivery of `block` to honest group `group` at the start
 /// of round `round`.
@@ -122,7 +122,10 @@ mod tests {
         net.schedule(BlockId(2), 1, 5);
         let due = net.due(5);
         let keys: Vec<(BlockId, usize)> = due.iter().map(|d| (d.block, d.group)).collect();
-        assert_eq!(keys, vec![(BlockId(2), 0), (BlockId(2), 1), (BlockId(9), 1)]);
+        assert_eq!(
+            keys,
+            vec![(BlockId(2), 0), (BlockId(2), 1), (BlockId(9), 1)]
+        );
     }
 
     #[test]

@@ -116,7 +116,10 @@ mod tests {
         let total: u64 = (0..rounds).map(|_| o.sample_round().honest_total()).sum();
         let mean = total as f64 / rounds as f64;
         let expected = n as f64 * p;
-        assert!((mean - expected).abs() < 0.02 * expected + 0.01, "mean {mean}");
+        assert!(
+            (mean - expected).abs() < 0.02 * expected + 0.01,
+            "mean {mean}"
+        );
     }
 
     #[test]
@@ -134,7 +137,9 @@ mod tests {
         let p = 1e-3;
         let mut split = MiningOracle::new([250, 250], 0, p, rng(4));
         let rounds = 100_000;
-        let total: u64 = (0..rounds).map(|_| split.sample_round().honest_total()).sum();
+        let total: u64 = (0..rounds)
+            .map(|_| split.sample_round().honest_total())
+            .sum();
         let mean = total as f64 / rounds as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }

@@ -205,7 +205,11 @@ mod tests {
             300_000,
         );
         let selfish_cfg = SimConfig::new(200, nu, 2e-3, 2, 91).unwrap();
-        let selfish = run_simulation(selfish_cfg, Box::new(SelfishMiningAdversary::new(2)), 300_000);
+        let selfish = run_simulation(
+            selfish_cfg,
+            Box::new(SelfishMiningAdversary::new(2)),
+            300_000,
+        );
         assert!(
             selfish.chain_quality() < honest.chain_quality(),
             "selfish quality {} should be below honest-mining quality {}",

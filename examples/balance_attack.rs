@@ -23,7 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &delta in &[2u64, 4, 8] {
         for &nu in &[0.10, 0.25, 0.40] {
             // Slow chain relative to Δ: c = 1 means one block per Δ-delay.
-            let cfg = SimConfig::from_c(n, delta, 1.0, nu, 31_337 + delta * 100 + (nu * 100.0) as u64)?;
+            let cfg = SimConfig::from_c(
+                n,
+                delta,
+                1.0,
+                nu,
+                31_337 + delta * 100 + (nu * 100.0) as u64,
+            )?;
             let report = run_simulation(cfg, Box::new(BalanceAdversary::new(delta)), rounds);
             println!(
                 "{:>4} {:>6.2} {:>14} {:>10} {:>10} {:>16}",

@@ -10,7 +10,10 @@ use blockchain_consistency::consistency_core::params::ProtocolParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Catch-up probability (q/(1−q))^z, closed form vs absorbing-chain solver\n");
-    println!("{:>6} {:>4} {:>16} {:>16} {:>12}", "q", "z", "closed form", "markov (h=80)", "|diff|");
+    println!(
+        "{:>6} {:>4} {:>16} {:>16} {:>12}",
+        "q", "z", "closed form", "markov (h=80)", "|diff|"
+    );
     for &q in &[0.1, 0.25, 0.4] {
         for &z in &[1u32, 2, 4, 8] {
             let closed = catchup::catchup_probability(q, z)?;
@@ -23,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nConfirmations needed for a given double-spend risk:");
-    println!("{:>6} {:>12} {:>12} {:>12}", "q", "risk 1e-2", "risk 1e-4", "risk 1e-8");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "q", "risk 1e-2", "risk 1e-4", "risk 1e-8"
+    );
     for &q in &[0.05, 0.1, 0.2, 0.3, 0.4, 0.45] {
         println!(
             "{q:>6} {:>12} {:>12} {:>12}",
@@ -34,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nEffective adversary share in the Δ-delay race (pνn vs ᾱ^{{2Δ}}α₁):");
-    println!("{:>6} {:>8} {:>18} {:>14}", "ν", "c", "effective share q", "race winnable");
+    println!(
+        "{:>6} {:>8} {:>18} {:>14}",
+        "ν", "c", "effective share q", "race winnable"
+    );
     for &nu in &[0.2, 0.3, 0.4] {
         let neat = blockchain_consistency::consistency_core::theorem2::neat_bound(nu);
         for &factor in &[0.5, 1.0, 2.0, 4.0] {

@@ -41,6 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("      {}", "-".repeat(n_points));
     println!("      c=0.1 … log-spaced … c=100");
-    println!("\nLegend: o = this paper (magenta), b = PSS consistency (blue), a = PSS attack (red)");
+    println!(
+        "\nLegend: o = this paper (magenta), b = PSS consistency (blue), a = PSS attack (red)"
+    );
     Ok(())
 }

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         numax::nu_max_for_c(c)?,
         pss::attack_nu_threshold(c)
     );
-    println!("{:>6} {:>12} {:>12} {:>12} {:>10} {:>14}", "ν", "reorgs", "max_reorg", "C−A", "quality", "consistent(T=12)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10} {:>14}",
+        "ν", "reorgs", "max_reorg", "C−A", "quality", "consistent(T=12)"
+    );
 
     for &nu in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45] {
         let cfg = SimConfig::from_c(n, delta, c, nu, 7_000 + (nu * 1000.0) as u64)?;

@@ -20,14 +20,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== Parameters (paper Table I) ==");
     println!("n = {n}, Δ = {delta:e}, ν = {nu}, c = {c}");
     println!("p = 1/(cnΔ) = {:.3e}", params.p());
-    println!("α  = {:.6e}   (P[some honest block / round], Eq. 7)", params.alpha());
-    println!("α₁ = {:.6e}   (P[exactly one honest block], Eq. 9)", params.alpha1());
+    println!(
+        "α  = {:.6e}   (P[some honest block / round], Eq. 7)",
+        params.alpha()
+    );
+    println!(
+        "α₁ = {:.6e}   (P[exactly one honest block], Eq. 9)",
+        params.alpha1()
+    );
 
     println!("\n== Bounds at ν = {nu} ==");
     let neat = theorem2::neat_bound(nu);
-    println!("this paper (Thm 2): c > 2µ/ln(µ/ν) = {neat:.4}  → {}", verdict(c > neat));
+    println!(
+        "this paper (Thm 2): c > 2µ/ln(µ/ν) = {neat:.4}  → {}",
+        verdict(c > neat)
+    );
     let pss_c = pss::consistency_c_required(nu);
-    println!("PSS consistency:    c > 2(1−ν)²/(1−2ν) = {pss_c:.4} → {}", verdict(c > pss_c));
+    println!(
+        "PSS consistency:    c > 2(1−ν)²/(1−2ν) = {pss_c:.4} → {}",
+        verdict(c > pss_c)
+    );
     println!(
         "PSS attack:         applies iff 1/c > 1/ν − 1/µ     → {}",
         verdict(pss::attack_applies(&params))

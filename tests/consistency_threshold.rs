@@ -3,9 +3,7 @@
 //! attack above the attack line it loses it.
 
 use blockchain_consistency::consistency_core::{numax, params::ProtocolParams, theorem1};
-use blockchain_consistency::nakamoto_sim::adversary::{
-    BalanceAdversary, PrivateChainAdversary,
-};
+use blockchain_consistency::nakamoto_sim::adversary::{BalanceAdversary, PrivateChainAdversary};
 use blockchain_consistency::nakamoto_sim::config::SimConfig;
 use blockchain_consistency::nakamoto_sim::execution::run_simulation;
 
@@ -103,11 +101,7 @@ fn convergence_margin_sign_tracks_neat_bound() {
     let neat = numax::c_required(nu);
     // Above the bound.
     let above = SimConfig::from_c(100, 2, neat * 2.0, nu, 47).unwrap();
-    let above_report = run_simulation(
-        above,
-        Box::new(PrivateChainAdversary::new(2)),
-        400_000,
-    );
+    let above_report = run_simulation(above, Box::new(PrivateChainAdversary::new(2)), 400_000);
     assert!(
         above_report.convergence_margin() > 0,
         "C − A = {} at 2× the bound",
@@ -115,11 +109,7 @@ fn convergence_margin_sign_tracks_neat_bound() {
     );
     // Clearly below the bound.
     let below = SimConfig::from_c(100, 2, neat * 0.25, nu, 48).unwrap();
-    let below_report = run_simulation(
-        below,
-        Box::new(PrivateChainAdversary::new(2)),
-        400_000,
-    );
+    let below_report = run_simulation(below, Box::new(PrivateChainAdversary::new(2)), 400_000);
     assert!(
         below_report.convergence_margin() < 0,
         "C − A = {} at a quarter of the bound",

@@ -119,7 +119,10 @@ fn figure1_ordering_with_finite_delta() {
         let blue = pss::consistency_nu_max(c).unwrap();
         let red = pss::attack_nu_threshold(c);
         assert!(ours_finite <= ours_asymptotic + 1e-9);
-        assert!(ours_finite > blue, "c={c}: finite-Δ ours must still beat PSS");
+        assert!(
+            ours_finite > blue,
+            "c={c}: finite-Δ ours must still beat PSS"
+        );
         assert!(red > ours_asymptotic);
     }
 }
