@@ -1,11 +1,18 @@
 //! Criterion bench: simulator round throughput across population size,
 //! Δ, and adversary strategy — the budget that sizes every Monte-Carlo
 //! experiment in EXPERIMENTS.md.
+//!
+//! All entries drive the statically dispatched engine
+//! (`run_simulation_with`); `boxed_dispatch/1000` keeps the historical
+//! `Box<dyn Adversary>` entry point measured alongside it, and
+//! `montecarlo_4trials/1000` exercises the parallel trial fan-out
+//! end-to-end (thread count = available parallelism).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use nakamoto_sim::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
 use nakamoto_sim::config::SimConfig;
-use nakamoto_sim::execution::run_simulation;
+use nakamoto_sim::execution::{run_simulation, run_simulation_with};
+use nakamoto_sim::montecarlo::TrialPlan;
 use std::hint::black_box;
 
 const ROUNDS: u64 = 20_000;
@@ -20,16 +27,20 @@ fn bench_round_loop(c: &mut Criterion) {
         let cfg = SimConfig::new(n, 0.25, 1.0 / (3.0 * n as f64 * 4.0), 4, 1).unwrap();
         group.bench_with_input(BenchmarkId::new("immediate_release", n), &cfg, |b, cfg| {
             b.iter(|| {
-                run_simulation(
-                    black_box(*cfg),
-                    Box::new(ImmediateReleaseAdversary::new()),
-                    ROUNDS,
-                )
+                run_simulation_with(black_box(*cfg), ImmediateReleaseAdversary::new(), ROUNDS)
             });
         });
     }
     let cfg = SimConfig::new(1_000, 0.25, 1.0 / (3.0 * 1_000.0 * 4.0), 4, 1).unwrap();
     group.bench_function("private_chain/1000", |b| {
+        b.iter(|| run_simulation_with(black_box(cfg), PrivateChainAdversary::new(4), ROUNDS));
+    });
+    group.bench_function("balance/1000", |b| {
+        b.iter(|| run_simulation_with(black_box(cfg), BalanceAdversary::new(4), ROUNDS));
+    });
+    // Historical boxed entry point: the gap to private_chain/1000 is
+    // the residual cost of dynamic dispatch.
+    group.bench_function("boxed_dispatch/1000", |b| {
         b.iter(|| {
             run_simulation(
                 black_box(cfg),
@@ -38,8 +49,17 @@ fn bench_round_loop(c: &mut Criterion) {
             )
         });
     });
-    group.bench_function("balance/1000", |b| {
-        b.iter(|| run_simulation(black_box(cfg), Box::new(BalanceAdversary::new(4)), ROUNDS));
+    group.finish();
+
+    let mut group = c.benchmark_group("montecarlo");
+    group.throughput(Throughput::Elements(4 * ROUNDS));
+    group.sample_size(10);
+    group.bench_function("private_chain_4trials/1000", |b| {
+        b.iter(|| {
+            TrialPlan::new(black_box(cfg), ROUNDS, 4)
+                .thresholds(vec![12])
+                .run(|_| PrivateChainAdversary::new(4))
+        });
     });
     group.finish();
 }

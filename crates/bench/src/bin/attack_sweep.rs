@@ -1,55 +1,84 @@
 //! The **attack experiment** behind Figure 1's red line: sweeps the
 //! adversarial fraction ν under the private-chain and balance attacks
-//! at several c and reports where T-consistency empirically fails,
+//! at several c and reports the empirical T-consistency failure *rate*
+//! (with a 95% Wilson interval) over parallel Monte-Carlo trials,
 //! alongside the analytic thresholds.
 //!
-//! `cargo run --release -p consistency-bench --bin attack_sweep [rounds]`
+//! `cargo run --release -p consistency_bench --bin attack_sweep [rounds-per-trial] [trials]`
+//!
+//! Budgets and expected runtime: see EXPERIMENTS.md.
 
 use consistency_core::{numax, pss};
-use nakamoto_sim::adversary::{Adversary, BalanceAdversary, PrivateChainAdversary};
+use nakamoto_sim::adversary::{BalanceAdversary, PrivateChainAdversary};
 use nakamoto_sim::config::SimConfig;
-use nakamoto_sim::execution::run_simulation;
+use nakamoto_sim::montecarlo::TrialPlan;
+use probability::rng::{RandomSource, SplitMix64};
+
+/// Master seed for the whole sweep; every cell derives its own seed
+/// from it through a SplitMix64 stream, so no two cells (and hence no
+/// two trials anywhere in the sweep) share an RNG stream.
+const SWEEP_SEED: u64 = 0x00A7_7AC4_5EED;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rounds: u64 = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let rounds: u64 = args
+        .next()
         .map(|s| s.parse())
         .transpose()?
-        .unwrap_or(150_000);
+        .unwrap_or(30_000);
+    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5);
     let n = 100u64;
     let delta = 4u64;
     let t_consistency = 12u64;
+    let mut cell_seeds = SplitMix64::new(SWEEP_SEED);
 
     for &c in &[0.5f64, 1.0, 2.0] {
         consistency_bench::section(&format!(
-            "Attack sweep at c = {c} (ours ν_max = {:.3}, PSS attack threshold = {:.3})",
+            "Attack sweep at c = {c} (ours ν_max = {:.3}, PSS attack threshold = {:.3}); \
+             {trials} trials × {rounds} rounds per cell",
             numax::nu_max_for_c(c)?,
             pss::attack_nu_threshold(c)
         ));
-        println!("{:>6} {:>22} {:>22}", "ν", "private-chain", "balance");
+        println!("{:>6} {:>34} {:>34}", "ν", "private-chain", "balance");
         println!(
-            "{:>6} {:>10} {:>11} {:>10} {:>11}",
-            "", "max_reorg", "consistent", "divergence", "consistent"
+            "{:>6} {:>9} {:>24} {:>9} {:>24}",
+            "", "max_reorg", "P[¬T-cons] (95% CI)", "max_div", "P[¬T-cons] (95% CI)"
         );
         for &nu in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45] {
-            let seed = (c * 1000.0) as u64 + (nu * 100.0) as u64;
-            let run = |adv: Box<dyn Adversary>, seed: u64| {
+            // Disjoint per-cell master seeds (satellite fix: the old
+            // `(c*1000) as u64 + (nu*100) as u64` arithmetic collided
+            // across cells and correlated neighbours).
+            let private_seed = cell_seeds.next_u64();
+            let balance_seed = cell_seeds.next_u64();
+            let run_cell = |seed: u64, balance: bool| {
                 let cfg = SimConfig::from_c(n, delta, c, nu, seed).expect("valid");
-                run_simulation(cfg, adv, rounds)
+                let plan = TrialPlan::new(cfg, rounds, trials).thresholds(vec![t_consistency]);
+                if balance {
+                    plan.run(|_| BalanceAdversary::new(delta))
+                } else {
+                    plan.run(|_| PrivateChainAdversary::new(delta))
+                }
             };
-            let private = run(Box::new(PrivateChainAdversary::new(delta)), seed);
-            let balance = run(Box::new(BalanceAdversary::new(delta)), seed + 7);
+            let private = run_cell(private_seed, false);
+            let balance = run_cell(balance_seed, true);
+            let fmt_ci = |run: &nakamoto_sim::montecarlo::MonteCarloRun| {
+                let w = run
+                    .aggregate
+                    .failure_interval(t_consistency, 1.96)
+                    .expect("threshold was requested");
+                format!("{:.2} [{:.2}, {:.2}]", w.estimate, w.lo, w.hi)
+            };
             println!(
-                "{:>6.2} {:>10} {:>11} {:>10} {:>11}",
+                "{:>6.2} {:>9} {:>24} {:>9} {:>24}",
                 nu,
-                private.max_reorg_depth,
-                private.is_consistent(t_consistency),
-                balance.max_divergence_depth,
-                balance.is_consistent(t_consistency),
+                private.aggregate.max_reorg_depth,
+                fmt_ci(&private),
+                balance.aggregate.max_divergence_depth,
+                fmt_ci(&balance),
             );
         }
     }
-    println!("\nShape to verify against the paper: failures start somewhere between");
+    println!("\nShape to verify against the paper: failure rates leave 0 somewhere between");
     println!("the paper's ν_max (below it runs stay consistent) and ν = 1/2; smaller");
     println!("c tolerates less adversarial power on every line.");
     Ok(())

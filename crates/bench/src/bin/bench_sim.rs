@@ -1,0 +1,248 @@
+//! Simulator throughput baseline: measures the round-loop hot path on
+//! three workloads, compares against the recorded pre-overhaul seed
+//! numbers, and maintains the machine-readable `BENCH_sim.json`
+//! baseline the CI smoke guards against regressions.
+//!
+//! Modes:
+//!
+//! * `bench_sim` — measure and print the table.
+//! * `bench_sim --write PATH` — measure and (re)write the JSON baseline.
+//! * `bench_sim --check PATH` — run the short check workload and exit
+//!   non-zero if throughput regressed more than 25% versus the
+//!   committed baseline's `check_rounds_per_sec`.
+//!
+//! Budgets and expected runtime: see EXPERIMENTS.md.
+
+use nakamoto_sim::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
+use nakamoto_sim::config::SimConfig;
+use nakamoto_sim::execution::run_simulation_with;
+use nakamoto_sim::montecarlo::TrialPlan;
+use probability::rng::{RandomSource, SplitMix64};
+use std::time::Instant;
+
+/// Pre-overhaul engine numbers (boxed dispatch, per-round binomial
+/// sampling, unbounded arena) measured on the reference 1-CPU container
+/// at the seed commit; kept in the JSON so every regenerated baseline
+/// still shows the before/after story.
+const SEED_PRIVATE_C3_RPS: f64 = 10_261_647.0;
+const SEED_IMMEDIATE_N1000_RPS: f64 = 17_542_993.0;
+const SEED_SWEEP_WALL_SECS: f64 = 0.942;
+
+/// Fraction of the committed check throughput below which `--check`
+/// fails (i.e. a >25% regression).
+const CHECK_FLOOR: f64 = 0.75;
+
+fn best_of<F: FnMut() -> f64>(reps: u32, mut f: F) -> f64 {
+    (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// Single-thread private-chain run at c = 3 (quiet-dominated), the
+/// paper's typical consistency regime. Returns wall seconds.
+fn private_chain_c3(rounds: u64) -> f64 {
+    let cfg = SimConfig::from_c(100, 4, 3.0, 0.25, 42).unwrap();
+    let t = Instant::now();
+    let report = run_simulation_with(cfg, PrivateChainAdversary::new(4), rounds);
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(report.rounds, rounds);
+    dt
+}
+
+/// Single-thread immediate-release run with n = 1000 miners.
+fn immediate_n1000(rounds: u64) -> f64 {
+    let cfg = SimConfig::new(1_000, 0.25, 1.0 / (3.0 * 1_000.0 * 4.0), 4, 1).unwrap();
+    let t = Instant::now();
+    let report = run_simulation_with(cfg, ImmediateReleaseAdversary::new(), rounds);
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(report.rounds, rounds);
+    dt
+}
+
+/// The attack-sweep grid (27 cells × 2 adversaries, 8.1M total rounds,
+/// the workload of the seed's `attack_sweep` binary) on the parallel
+/// trial engine. Returns (wall seconds, total rounds).
+fn attack_sweep_grid(threads: usize) -> (f64, u64) {
+    let mut cell_seeds = SplitMix64::new(0x000B_EAC4);
+    let t = Instant::now();
+    let mut total = 0u64;
+    for &c in &[0.5f64, 1.0, 2.0] {
+        for &nu in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45] {
+            let mk = |seed: u64| {
+                TrialPlan::new(SimConfig::from_c(100, 4, c, nu, seed).unwrap(), 30_000, 5)
+                    .thresholds(vec![12])
+                    .with_threads(threads)
+            };
+            let p = mk(cell_seeds.next_u64()).run(|_| PrivateChainAdversary::new(4));
+            let b = mk(cell_seeds.next_u64()).run(|_| BalanceAdversary::new(4));
+            total += p.aggregate.total_rounds() + b.aggregate.total_rounds();
+        }
+    }
+    (t.elapsed().as_secs_f64(), total)
+}
+
+/// The short CI check workload: 1M private-chain rounds at c = 3,
+/// single thread, best of 3. Returns rounds/sec.
+fn check_throughput() -> f64 {
+    const ROUNDS: u64 = 1_000_000;
+    ROUNDS as f64 / best_of(3, || private_chain_c3(ROUNDS))
+}
+
+struct Baseline {
+    private_rps: f64,
+    immediate_rps: f64,
+    sweep_walls: Vec<(usize, f64)>,
+    sweep_rounds: u64,
+    check_rps: f64,
+    cpus: usize,
+}
+
+fn measure() -> Baseline {
+    const ROUNDS: u64 = 2_000_000;
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let private_rps = ROUNDS as f64 / best_of(3, || private_chain_c3(ROUNDS));
+    let immediate_rps = ROUNDS as f64 / best_of(3, || immediate_n1000(ROUNDS));
+    let mut sweep_rounds = 0;
+    let sweep_walls = [1usize, 2, 8]
+        .into_iter()
+        .map(|threads| {
+            let wall = best_of(2, || {
+                let (w, r) = attack_sweep_grid(threads);
+                sweep_rounds = r;
+                w
+            });
+            (threads, wall)
+        })
+        .collect();
+    let check_rps = check_throughput();
+    Baseline {
+        private_rps,
+        immediate_rps,
+        sweep_walls,
+        sweep_rounds,
+        check_rps,
+        cpus,
+    }
+}
+
+fn print_table(b: &Baseline) {
+    consistency_bench::section(&format!("Simulator throughput ({} CPU(s) visible)", b.cpus));
+    println!(
+        "{:<28} {:>16} {:>16} {:>9}",
+        "workload", "rounds/sec", "seed rounds/sec", "speedup"
+    );
+    println!(
+        "{:<28} {:>16.0} {:>16.0} {:>8.1}x",
+        "private_chain_c3 (1 thread)",
+        b.private_rps,
+        SEED_PRIVATE_C3_RPS,
+        b.private_rps / SEED_PRIVATE_C3_RPS
+    );
+    println!(
+        "{:<28} {:>16.0} {:>16.0} {:>8.1}x",
+        "immediate_n1000 (1 thread)",
+        b.immediate_rps,
+        SEED_IMMEDIATE_N1000_RPS,
+        b.immediate_rps / SEED_IMMEDIATE_N1000_RPS
+    );
+    for &(threads, wall) in &b.sweep_walls {
+        println!(
+            "{:<28} {:>15.3}s {:>15.3}s {:>8.1}x",
+            format!("attack_sweep ({threads} threads)"),
+            wall,
+            SEED_SWEEP_WALL_SECS,
+            SEED_SWEEP_WALL_SECS / wall
+        );
+    }
+    println!(
+        "{:<28} {:>16.0} {:>16} {:>9}",
+        "check workload (CI smoke)", b.check_rps, "-", "-"
+    );
+}
+
+fn to_json(b: &Baseline) -> String {
+    let sweep: Vec<String> = b
+        .sweep_walls
+        .iter()
+        .map(|(threads, wall)| {
+            format!(
+                "    {{ \"threads\": {threads}, \"wall_secs\": {wall:.4}, \
+                 \"total_rounds\": {}, \"speedup_vs_seed\": {:.2} }}",
+                b.sweep_rounds,
+                SEED_SWEEP_WALL_SECS / wall
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"bench_sim/v1\",\n  \"regenerate\": \"cargo run --release -p \
+         consistency_bench --bin bench_sim -- --write BENCH_sim.json\",\n  \"host_cpus\": {},\n  \
+         \"seed_baseline\": {{\n    \"description\": \"pre-overhaul engine: boxed dispatch, \
+         per-round sampling, unbounded arena (commit 3627bf5, same container)\",\n    \
+         \"private_chain_c3_rounds_per_sec\": {:.0},\n    \
+         \"immediate_n1000_rounds_per_sec\": {:.0},\n    \"attack_sweep_wall_secs\": {:.3}\n  \
+         }},\n  \"private_chain_c3_rounds_per_sec\": {:.0},\n  \
+         \"private_chain_c3_speedup_vs_seed\": {:.2},\n  \
+         \"immediate_n1000_rounds_per_sec\": {:.0},\n  \
+         \"immediate_n1000_speedup_vs_seed\": {:.2},\n  \"attack_sweep\": [\n{}\n  ],\n  \
+         \"check_rounds_per_sec\": {:.0},\n  \"check_regression_floor\": {:.2}\n}}\n",
+        b.cpus,
+        SEED_PRIVATE_C3_RPS,
+        SEED_IMMEDIATE_N1000_RPS,
+        SEED_SWEEP_WALL_SECS,
+        b.private_rps,
+        b.private_rps / SEED_PRIVATE_C3_RPS,
+        b.immediate_rps,
+        b.immediate_rps / SEED_IMMEDIATE_N1000_RPS,
+        sweep.join(",\n"),
+        b.check_rps,
+        CHECK_FLOOR,
+    )
+}
+
+/// Minimal field extraction from our own JSON (no parser dependency):
+/// finds `"key": <number>`.
+fn json_number(source: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = source.find(&needle)? + needle.len();
+    let rest = source[at..].trim_start();
+    let end = rest
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--check") => {
+            let path = args.get(1).map_or("BENCH_sim.json", String::as_str);
+            let committed = std::fs::read_to_string(path)?;
+            let baseline = json_number(&committed, "check_rounds_per_sec")
+                .ok_or("BENCH_sim.json has no check_rounds_per_sec")?;
+            let floor = json_number(&committed, "check_regression_floor").unwrap_or(CHECK_FLOOR);
+            let fresh = check_throughput();
+            let ratio = fresh / baseline;
+            println!(
+                "check workload: {fresh:.0} rounds/sec vs committed {baseline:.0} \
+                 (ratio {ratio:.2}, floor {floor:.2})"
+            );
+            if ratio < floor {
+                eprintln!(
+                    "FAIL: single-thread round throughput regressed more than \
+                     {:.0}% vs the committed baseline",
+                    (1.0 - floor) * 100.0
+                );
+                std::process::exit(1);
+            }
+            println!("OK: within the regression budget");
+        }
+        Some("--write") => {
+            let path = args.get(1).map_or("BENCH_sim.json", String::as_str);
+            let baseline = measure();
+            print_table(&baseline);
+            std::fs::write(path, to_json(&baseline))?;
+            println!("\nwrote {path}");
+        }
+        Some(other) => return Err(format!("unknown flag {other}").into()),
+        None => print_table(&measure()),
+    }
+    Ok(())
+}

@@ -3,14 +3,27 @@
 //! the analytic Chernoff bounds (Chung-et-al. for the Markov chain with
 //! a stationary start, Arratia–Gordon for the binomial).
 //!
-//! `cargo run --release -p consistency-bench --bin concentration [trials]`
+//! Tail probabilities are estimated over parallel Monte-Carlo trials
+//! (disjoint RNG streams, thread-count-independent results) and shown
+//! with 95% Wilson intervals.
+//!
+//! `cargo run --release -p consistency_bench --bin concentration [trials]`
+//!
+//! Budgets and expected runtime: see EXPERIMENTS.md.
 
 use consistency_core::extended_chain;
 use consistency_core::params::ProtocolParams;
 use consistency_core::theorem1;
 use nakamoto_sim::adversary::ImmediateReleaseAdversary;
-use nakamoto_sim::execution::run_simulation;
+use nakamoto_sim::config::SimConfig;
+use nakamoto_sim::montecarlo::{TrialPlan, WilsonInterval};
 use probability::chernoff::adversary_tail_bound;
+
+/// Tail frequency with a Wilson interval from per-trial counts.
+fn tail_freq(counts: &[u64], hit: impl Fn(u64) -> bool) -> (u64, WilsonInterval) {
+    let hits = counts.iter().filter(|&&c| hit(c)).count() as u64;
+    (hits, WilsonInterval::new(hits, counts.len() as u64, 1.96))
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trials: u64 = std::env::args()
@@ -22,34 +35,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta2 = 0.05; // lower-tail slack for C
     let delta3 = 0.05; // upper-tail slack for A
 
+    // One trial fan-out per horizon serves both tails: the per-trial C
+    // and A counts come back in the aggregate.
+    let runs: Vec<_> = [2_000u64, 8_000, 32_000, 128_000]
+        .into_iter()
+        .map(|t| {
+            let cfg: SimConfig = params.to_sim_config(1_000_000 + t);
+            let run = TrialPlan::new(cfg, t, trials).run(|_| ImmediateReleaseAdversary::new());
+            (t, run)
+        })
+        .collect();
+
     consistency_bench::section(&format!(
-        "Ineq. 19/47: P[C ≤ (1−δ₂)E[C]] with δ₂ = {delta2}, decay in T"
+        "Ineq. 19/47: P[C ≤ (1−δ₂)E[C]] with δ₂ = {delta2}, decay in T ({trials} trials)"
     ));
     println!(
-        "{:>9} {:>12} {:>14} {:>14} {:>22}",
-        "T", "E[C]", "empirical", "ln(empirical)", "ln(bnd, φ=π start)"
+        "{:>9} {:>12} {:>11} {:>22} {:>14} {:>22}",
+        "T", "E[C]", "empirical", "95% Wilson CI", "ln(empirical)", "ln(bnd, φ=π start)"
     );
-    for &t in &[2_000u64, 8_000, 32_000, 128_000] {
-        let expected = theorem1::expected_convergence_opportunities(&params, t);
+    for (t, run) in &runs {
+        let expected = theorem1::expected_convergence_opportunities(&params, *t);
         let threshold = (1.0 - delta2) * expected;
-        let mut hits = 0u64;
-        for trial in 0..trials {
-            let cfg = params.to_sim_config(1_000_000 + trial);
-            let report = run_simulation(cfg, Box::new(ImmediateReleaseAdversary::new()), t);
-            if (report.convergence_opportunities as f64) <= threshold {
-                hits += 1;
-            }
-        }
-        let emp = hits as f64 / trials as f64;
-        // Stationary-start Chung-et-al. bound (‖φ‖_π = 1).
-        let analytic = extended_chain::walk_bound_params(&params, t, 1.0)?.ln_lower_tail(delta2)?;
+        let (hits, wilson) =
+            tail_freq(&run.aggregate.convergence_counts, |c| c as f64 <= threshold);
+        let analytic =
+            extended_chain::walk_bound_params(&params, *t, 1.0)?.ln_lower_tail(delta2)?;
         println!(
-            "{:>9} {:>12.1} {:>14} {:>14} {:>22.3}",
+            "{:>9} {:>12.1} {:>11} {:>22} {:>14} {:>22.3}",
             t,
             expected,
             format!("{hits}/{trials}"),
-            if emp > 0.0 {
-                format!("{:.2}", emp.ln())
+            format!("[{:.3}, {:.3}]", wilson.lo, wilson.hi),
+            if wilson.estimate > 0.0 {
+                format!("{:.2}", wilson.estimate.ln())
             } else {
                 "-inf".into()
             },
@@ -58,33 +76,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     consistency_bench::section(&format!(
-        "Ineq. 20/49: P[A ≥ (1+δ₃)E[A]] with δ₃ = {delta3} vs Arratia–Gordon"
+        "Ineq. 20/49: P[A ≥ (1+δ₃)E[A]] with δ₃ = {delta3} vs Arratia–Gordon ({trials} trials)"
     ));
     println!(
-        "{:>9} {:>12} {:>14} {:>14} {:>22}",
-        "T", "E[A]", "empirical", "ln(empirical)", "ln(analytic bnd)"
+        "{:>9} {:>12} {:>11} {:>22} {:>14} {:>22}",
+        "T", "E[A]", "empirical", "95% Wilson CI", "ln(empirical)", "ln(analytic bnd)"
     );
-    for &t in &[2_000u64, 8_000, 32_000, 128_000] {
-        let expected = theorem1::expected_adversary_blocks(&params, t);
+    for (t, run) in &runs {
+        let expected = theorem1::expected_adversary_blocks(&params, *t);
         let threshold = (1.0 + delta3) * expected;
-        let mut hits = 0u64;
-        for trial in 0..trials {
-            let cfg = params.to_sim_config(2_000_000 + trial);
-            let report = run_simulation(cfg, Box::new(ImmediateReleaseAdversary::new()), t);
-            if report.adversary_blocks as f64 >= threshold {
-                hits += 1;
-            }
-        }
-        let emp = hits as f64 / trials as f64;
+        let (hits, wilson) = tail_freq(&run.aggregate.adversary_counts, |a| a as f64 >= threshold);
         let t_nu_n = t * params.to_sim_config(0).n_adversary();
         let analytic = adversary_tail_bound(t_nu_n, params.p(), delta3)?;
         println!(
-            "{:>9} {:>12.1} {:>14} {:>14} {:>22.3}",
+            "{:>9} {:>12.1} {:>11} {:>22} {:>14} {:>22.3}",
             t,
             expected,
             format!("{hits}/{trials}"),
-            if emp > 0.0 {
-                format!("{:.2}", emp.ln())
+            format!("[{:.3}, {:.3}]", wilson.lo, wilson.hi),
+            if wilson.estimate > 0.0 {
+                format!("{:.2}", wilson.estimate.ln())
             } else {
                 "-inf".into()
             },

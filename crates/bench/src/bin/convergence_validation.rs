@@ -1,23 +1,31 @@
 //! Validates **Eqs. 26/27/44**: Monte-Carlo convergence-opportunity and
 //! adversary-block counts against their analytic expectations across a
-//! (Δ, n, ν, c) grid.
+//! (Δ, n, ν, c) grid — multi-trial means with standard errors from the
+//! parallel trial engine, so every gap is judged against its own noise
+//! scale.
 //!
-//! `cargo run --release -p consistency-bench --bin convergence_validation [rounds]`
+//! `cargo run --release -p consistency_bench --bin convergence_validation [rounds-per-trial] [trials]`
+//!
+//! Budgets and expected runtime: see EXPERIMENTS.md.
 
-use consistency_core::convergence::validate;
+use consistency_core::convergence::validate_trials;
 use consistency_core::params::ProtocolParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rounds: u64 = std::env::args()
-        .nth(1)
+    let mut args = std::env::args().skip(1);
+    let rounds: u64 = args
+        .next()
         .map(|s| s.parse())
         .transpose()?
-        .unwrap_or(400_000);
+        .unwrap_or(100_000);
+    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4);
 
-    consistency_bench::section("Eq. 26/27 validation: measured vs analytic over T rounds");
+    consistency_bench::section(&format!(
+        "Eq. 26/27 validation: mean over {trials} trials × {rounds} rounds vs analytic"
+    ));
     println!(
-        "{:>5} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>12} {:>12} {:>9} {:>11}",
-        "Δ", "n", "ν", "c", "E[C]", "C", "err%", "E[A]", "A", "err%", "suffix_err"
+        "{:>5} {:>6} {:>6} {:>6} {:>12} {:>12} {:>9} {:>7} {:>12} {:>12} {:>9}",
+        "Δ", "n", "ν", "c", "E[C]", "mean C", "err%", "z", "E[A]", "mean A", "err%"
     );
     let mut seed = 10_000u64;
     for &delta in &[1u64, 2, 4] {
@@ -28,24 +36,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let c = 9.0;
                 let params = ProtocolParams::from_c(n, delta, c, nu)?;
                 seed += 1;
-                let row = validate(&params, rounds, seed)?;
+                let row = validate_trials(&params, rounds, trials, seed)?;
                 println!(
-                    "{:>5} {:>6} {:>6} {:>6.1} {:>12.1} {:>12} {:>8.2}% {:>12.1} {:>12} {:>8.2}% {:>11.5}",
+                    "{:>5} {:>6} {:>6} {:>6.1} {:>12.1} {:>12.1} {:>8.2}% {:>7.2} {:>12.1} {:>12.1} {:>8.2}%",
                     delta,
                     n,
                     nu,
                     params.c(),
                     row.expected_convergence,
-                    row.measured_convergence,
+                    row.mean_convergence,
                     100.0 * row.convergence_rel_error(),
+                    row.convergence_z_score(),
                     row.expected_adversary,
-                    row.measured_adversary,
+                    row.mean_adversary,
                     100.0 * row.adversary_rel_error(),
-                    row.suffix_max_abs_error(),
                 );
             }
         }
     }
-    println!("\nEvery row should show errors at Monte-Carlo noise scale (≲ a few %).");
+    println!("\nEvery row should show errors at Monte-Carlo noise scale: |z| ≲ 3 and");
+    println!("err% shrinking like 1/√(trials·rounds).");
     Ok(())
 }

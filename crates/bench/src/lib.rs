@@ -4,6 +4,7 @@
 
 /// Formats a floating-point value in compact scientific-or-fixed form
 /// for the harness tables.
+#[must_use]
 pub fn fmt(v: f64) -> String {
     if v == 0.0 {
         return "0".into();
@@ -23,6 +24,7 @@ pub fn section(title: &str) {
 }
 
 /// Relative error `|measured − expected| / max(|expected|, floor)`.
+#[must_use]
 pub fn rel_err(measured: f64, expected: f64, floor: f64) -> f64 {
     (measured - expected).abs() / expected.abs().max(floor)
 }

@@ -6,7 +6,8 @@
 use consistency_core::params::ProtocolParams;
 use nakamoto_sim::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
 use nakamoto_sim::config::SimConfig;
-use nakamoto_sim::execution::run_simulation;
+use nakamoto_sim::execution::{run_simulation, run_simulation_with};
+use nakamoto_sim::montecarlo::TrialPlan;
 use nakamoto_sim::selfish::SelfishMiningAdversary;
 
 const ROUNDS: u64 = 2_000;
@@ -55,15 +56,32 @@ fn remark1_entry() {
     assert!(bound > consistency_core::theorem2::neat_bound(0.25));
 }
 
-/// `attack_sweep`: ν_max solvers plus both attack adversaries.
+/// `attack_sweep`: ν_max solvers plus both attack adversaries on the
+/// multi-trial engine with a Wilson-interval failure rate.
 #[test]
 fn attack_sweep_entry() {
     let nu_max = consistency_core::numax::nu_max_for_c(3.0).unwrap();
     assert!(nu_max > 0.0 && nu_max < 0.5);
     let cfg = SimConfig::new(50, 0.25, 1e-3, 2, 7).unwrap();
-    let private = run_simulation(cfg, Box::new(PrivateChainAdversary::new(2)), ROUNDS);
-    let balance = run_simulation(cfg, Box::new(BalanceAdversary::new(2)), ROUNDS);
-    assert!(private.rounds == ROUNDS && balance.rounds == ROUNDS);
+    let plan = TrialPlan::new(cfg, ROUNDS, 3).thresholds(vec![12]);
+    let private = plan.run(|_| PrivateChainAdversary::new(2));
+    let balance = plan.run(|_| BalanceAdversary::new(2));
+    assert_eq!(private.aggregate.total_rounds(), 3 * ROUNDS);
+    assert_eq!(balance.aggregate.total_rounds(), 3 * ROUNDS);
+    let wilson = private.aggregate.failure_interval(12, 1.96).unwrap();
+    assert!(wilson.lo <= wilson.estimate && wilson.estimate <= wilson.hi);
+}
+
+/// `bench_sim`: the throughput harness's workloads at tiny budgets —
+/// a statically dispatched single run plus a parallel trial fan-out.
+#[test]
+fn bench_sim_entry() {
+    let cfg = SimConfig::from_c(100, 4, 3.0, 0.25, 42).unwrap();
+    let report = run_simulation_with(cfg, PrivateChainAdversary::new(4), ROUNDS);
+    assert_eq!(report.rounds, ROUNDS);
+    let run = TrialPlan::new(cfg, 500, 4).run(|_| BalanceAdversary::new(4));
+    assert!(run.rounds_per_sec > 0.0);
+    assert_eq!(run.aggregate.trials, 4);
 }
 
 /// `stationary_check`: suffix chain construction, closed form vs GTH vs
@@ -85,7 +103,8 @@ fn stationary_check_entry() {
     assert!((ret - 1.0 / gth[0]).abs() < 1e-6);
 }
 
-/// `convergence_validation`: the Monte-Carlo validation row.
+/// `convergence_validation`: the Monte-Carlo validation rows (single
+/// run and multi-trial).
 #[test]
 fn convergence_validation_entry() {
     let row = consistency_core::convergence::validate(&tiny_params(), ROUNDS, 1).unwrap();
@@ -93,6 +112,11 @@ fn convergence_validation_entry() {
     assert!(row.convergence_rel_error().is_finite());
     assert!(row.adversary_rel_error().is_finite());
     assert!(row.suffix_max_abs_error() < 1.0);
+    let trials =
+        consistency_core::convergence::validate_trials(&tiny_params(), ROUNDS, 3, 1).unwrap();
+    assert_eq!(trials.trials, 3);
+    assert!(trials.mean_convergence > 0.0);
+    assert!(trials.convergence_z_score().is_finite());
 }
 
 /// `concentration`: expectations, the Chung-et-al. walk bound, and the

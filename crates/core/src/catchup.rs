@@ -97,6 +97,7 @@ pub fn confirmations_for_risk(q: f64, target: f64) -> Result<u32> {
 ///
 /// Returns `None` when the convergence rate underflows relative to the
 /// adversary rate (race hopeless for honest parties).
+#[must_use]
 pub fn effective_adversary_share(params: &crate::params::ProtocolParams) -> Option<f64> {
     let ln_conv = crate::theorem1::ln_convergence_rate(params);
     let adv = crate::theorem1::adversary_rate(params);

@@ -17,6 +17,7 @@ use crate::params::ProtocolParams;
 /// Lower bound on chain growth rate (blocks per round) in the Δ-delay
 /// model: `α / (1 + α·Δ)`. Every honest success grows the chain unless
 /// it lands within Δ rounds of an earlier unpropagated success.
+#[must_use]
 pub fn growth_lower_bound(params: &ProtocolParams) -> f64 {
     let alpha = params.alpha();
     alpha / (1.0 + alpha * params.delta() as f64)
@@ -24,6 +25,7 @@ pub fn growth_lower_bound(params: &ProtocolParams) -> f64 {
 
 /// Upper bound on chain growth rate: `α + pνn` (every honest `H` round
 /// plus every adversarial success can contribute at most one height).
+#[must_use]
 pub fn growth_upper_bound(params: &ProtocolParams) -> f64 {
     params.alpha() + crate::theorem1::adversary_rate(params)
 }
@@ -31,12 +33,14 @@ pub fn growth_upper_bound(params: &ProtocolParams) -> f64 {
 /// Exact growth rate under immediate-release behaviour with a single
 /// honest group (validated against the simulator): `α + pνn` with the
 /// adversary's sequential blocks all counting.
+#[must_use]
 pub fn growth_immediate_release(params: &ProtocolParams) -> f64 {
     params.alpha() + crate::theorem1::adversary_rate(params)
 }
 
 /// Chain-quality lower bound in the ideal (synchronous, immediate
 /// publish) regime: honest share of the chain `α/(α + pνn)`.
+#[must_use]
 pub fn quality_ideal(params: &ProtocolParams) -> f64 {
     let alpha = params.alpha();
     alpha / (alpha + crate::theorem1::adversary_rate(params))
@@ -47,6 +51,7 @@ pub fn quality_ideal(params: &ProtocolParams) -> f64 {
 /// block (by matching), so the honest share drops to
 /// `max(0, (α·ᾱ^Δ − pνn) / α·ᾱ^Δ)`-shaped. We expose the standard
 /// `1 − pνn/(α·ᾱ^Δ)` form, clamped to `[0, 1]`.
+#[must_use]
 pub fn quality_adversarial_lower_bound(params: &ProtocolParams) -> f64 {
     let effective_honest = (params.delta() as f64 * params.ln_alpha_bar()).exp() * params.alpha();
     if effective_honest <= 0.0 {

@@ -32,6 +32,7 @@ pub fn ln_convergence_state_probability(params: &ProtocolParams) -> Result<f64> 
 /// `ln min_{s} P[s] = min{µn·ln p, µn·ln(1−p)}` (the rarest detailed
 /// state is `H_{µn}` — all honest miners succeed — or `N`, whichever is
 /// smaller).
+#[must_use]
 pub fn ln_min_detailed_state_probability(params: &ProtocolParams) -> f64 {
     let mu_n = params.mu_n();
     (mu_n * params.p().ln()).min(mu_n * (-params.p()).ln_1p())
@@ -66,6 +67,7 @@ pub fn ln_phi_pi_norm_bound(params: &ProtocolParams) -> Result<f64> {
 /// For `C_F` itself we use the coupling bound: from any two starts the
 /// chains coalesce at the first `H` round followed by a common suffix,
 /// giving `τ_F(1/8) ≤ ⌈ln 8 / α⌉ + 2Δ`.
+#[must_use]
 pub fn mixing_time_surrogate(params: &ProtocolParams) -> u64 {
     let alpha = params.alpha();
     let tau_f = (8f64.ln() / alpha).ceil() as u64 + 2 * params.delta();
@@ -109,6 +111,7 @@ pub fn ln_lower_tail_bound(
 /// Rounds `T` needed for Ineq. (47)'s bound to drop below `target`,
 /// using the mixing-time surrogate; `None` when the rate underflows so
 /// badly that no finite `T` fits in `u64`.
+#[must_use]
 pub fn rounds_for_tail_target(params: &ProtocolParams, delta2: f64, target_ln: f64) -> Option<u64> {
     let tau = mixing_time_surrogate(params);
     let ln_rate = crate::theorem1::ln_convergence_rate(params);
@@ -186,6 +189,7 @@ pub mod explicit {
 
     impl ExplicitChain {
         /// Flat index of `(suffix, window of detailed states)`.
+        #[must_use]
         pub fn encode(&self, suffix: usize, window: &[usize]) -> usize {
             assert_eq!(window.len(), self.window);
             let mut idx = suffix;
@@ -196,6 +200,7 @@ pub mod explicit {
         }
 
         /// Inverse of [`ExplicitChain::encode`].
+        #[must_use]
         pub fn decode(&self, mut index: usize) -> (usize, Vec<usize>) {
             let mut window = vec![0usize; self.window];
             for slot in (0..self.window).rev() {
@@ -207,6 +212,7 @@ pub mod explicit {
 
         /// The product-form stationary probability of Eq. (40):
         /// `π_F(f)·Π P[s⁽ⁱ⁾]`.
+        #[must_use]
         pub fn product_form(&self, pi_f: &[f64], index: usize) -> f64 {
             let (suffix, window) = self.decode(index);
             let mut p = pi_f[suffix];
@@ -218,6 +224,7 @@ pub mod explicit {
 
         /// Flat index of the convergence-opportunity state
         /// `HN^{≥Δ}‖H₁N^Δ`.
+        #[must_use]
         pub fn convergence_state(&self) -> usize {
             let suffix = SuffixState::LongGap.index(self.delta);
             let mut window = vec![0usize; self.window];

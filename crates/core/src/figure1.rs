@@ -91,6 +91,7 @@ pub fn point_at(c: f64) -> Result<Figure1Point> {
 
 /// Renders the curve data as the tab-separated table printed by the
 /// `figure1` bench binary.
+#[must_use]
 pub fn to_table(points: &[Figure1Point]) -> String {
     let mut s = String::from("c\tours(magenta)\tpss_consistency(blue)\tpss_attack(red)\n");
     for p in points {

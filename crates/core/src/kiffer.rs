@@ -17,18 +17,21 @@
 use crate::params::ProtocolParams;
 
 /// Corrected expected waiting time between `H` rounds: `1/α`.
+#[must_use]
 pub fn interarrival_corrected(params: &ProtocolParams) -> f64 {
     1.0 / params.alpha()
 }
 
 /// The reported-as-incorrect waiting time: `1/(µp)` (per-miner rate,
 /// missing the aggregation over `n` miners).
+#[must_use]
 pub fn interarrival_incorrect(params: &ProtocolParams) -> f64 {
     1.0 / (params.mu() * params.p())
 }
 
 /// The ratio `incorrect / corrected = α/(µp)` — approaches `n` as
 /// `p → 0` (showing the mistake is not a constant-factor slip).
+#[must_use]
 pub fn interarrival_error_factor(params: &ProtocolParams) -> f64 {
     interarrival_incorrect(params) / interarrival_corrected(params)
 }
@@ -36,6 +39,7 @@ pub fn interarrival_error_factor(params: &ProtocolParams) -> f64 {
 /// Kiffer-style sufficient condition with the **corrected** rate: the
 /// convergence-opportunity rate must exceed the adversary rate, i.e.
 /// `ᾱ^{2Δ}α₁ > pνn` (Theorem 1 at `δ₁ → 0`).
+#[must_use]
 pub fn corrected_condition_holds(params: &ProtocolParams) -> bool {
     crate::theorem1::ln_margin(params) > 0.0
 }
@@ -44,11 +48,13 @@ pub fn corrected_condition_holds(params: &ProtocolParams) -> bool {
 /// same inequality evaluated on *per-miner* rates throughout (honest
 /// rate `µp` instead of `α`, adversary rate `νp` instead of `νnp`) —
 /// the systematic substitution the `1/(µp)` slip corresponds to.
+#[must_use]
 pub fn incorrect_condition_holds(params: &ProtocolParams) -> bool {
     ln_incorrect_margin(params) > 0.0
 }
 
 /// Log-margin of the incorrect variant (for plotting the ablation).
+#[must_use]
 pub fn ln_incorrect_margin(params: &ProtocolParams) -> f64 {
     let rate = params.mu() * params.p(); // erroneous "α" = µp
     if rate >= 1.0 {

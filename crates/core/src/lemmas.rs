@@ -10,11 +10,13 @@
 use crate::params::ProtocolParams;
 
 /// `(ν/µ)^{1/(2Δ)}`, computed as `exp(−L/(2Δ))`.
+#[must_use]
 pub fn nu_over_mu_root(params: &ProtocolParams) -> f64 {
     (-params.ln_mu_over_nu() / (2.0 * params.delta() as f64)).exp()
 }
 
 /// `1 − (ν/µ)^{1/(2Δ)}` without cancellation (`−expm1(−L/(2Δ))`).
+#[must_use]
 pub fn one_minus_nu_over_mu_root(params: &ProtocolParams) -> f64 {
     -(-params.ln_mu_over_nu() / (2.0 * params.delta() as f64)).exp_m1()
 }
@@ -25,6 +27,7 @@ pub fn one_minus_nu_over_mu_root(params: &ProtocolParams) -> f64 {
 ///
 /// Returns `(lhs_holds, rhs_holds)` so callers can assert the
 /// implication `lhs → rhs`.
+#[must_use]
 pub fn lemma2(params: &ProtocolParams, delta1: f64) -> (bool, bool) {
     let p_mu_n = params.p() * params.mu_n();
     assert!(
@@ -45,6 +48,7 @@ pub fn lemma2(params: &ProtocolParams, delta1: f64) -> (bool, bool) {
 ///
 /// Returns `(lhs, rhs)` of Ineq. (70) so the caller can assert
 /// `lhs ≤ rhs`.
+#[must_use]
 pub fn lemma3(params: &ProtocolParams, eps1: f64, eps2: f64) -> (f64, f64) {
     let consts =
         crate::theorem3::Constants::new(eps1, eps2, params.nu()).expect("validated upstream");
@@ -61,6 +65,7 @@ pub fn lemma3(params: &ProtocolParams, eps1: f64, eps2: f64) -> (f64, f64) {
 ///
 /// Returns `(c_threshold_74, alpha_bar_target_71_ln)` — the caller
 /// compares `params.c()` to the first and `ln ᾱ` to the second.
+#[must_use]
 pub fn lemma4(params: &ProtocolParams, delta4: f64) -> (f64, f64) {
     assert_delta4_range(params, delta4);
     let two_delta = 2.0 * params.delta() as f64;
@@ -75,6 +80,7 @@ pub fn lemma4(params: &ProtocolParams, delta4: f64) -> (f64, f64) {
 
 /// **Proposition 2** (Appendix E): under `0 < δ₄ < L`,
 /// `1 − (1+δ₄/(2Δ))(ν/µ)^{1/(2Δ)} > 0`. Returns that quantity.
+#[must_use]
 pub fn proposition2(params: &ProtocolParams, delta4: f64) -> f64 {
     assert_delta4_range(params, delta4);
     let two_delta = 2.0 * params.delta() as f64;
@@ -88,6 +94,7 @@ pub fn proposition2(params: &ProtocolParams, delta4: f64) -> f64 {
 ///
 /// Returns `(lemma5_threshold, lemma4_threshold)`; Lemma 5 asserts
 /// `lemma5_threshold ≥ lemma4_threshold`.
+#[must_use]
 pub fn lemma5(params: &ProtocolParams, delta4: f64) -> (f64, f64) {
     let a = proposition2(params, delta4);
     let lemma5_threshold = params.mu() / (params.delta() as f64 * a);
@@ -100,6 +107,7 @@ pub fn lemma5(params: &ProtocolParams, delta4: f64) -> (f64, f64) {
 /// `1/(1−(1+δ₄/(2Δ))(ν/µ)^{1/(2Δ)})`.
 ///
 /// Returns `(lhs, rhs)` of Ineq. (79); the lemma asserts `lhs > rhs`.
+#[must_use]
 pub fn lemma6(params: &ProtocolParams, delta4: f64) -> (f64, f64) {
     assert_delta4_range(params, delta4);
     let ell = params.ln_mu_over_nu();
@@ -112,6 +120,7 @@ pub fn lemma6(params: &ProtocolParams, delta4: f64) -> (f64, f64) {
 /// `2/L ≤ 1/(Δ·[1−(ν/µ)^{1/(2Δ)}]) ≤ 2/L + 1/Δ`.
 ///
 /// Returns `(lower, middle, upper)`.
+#[must_use]
 pub fn lemma7(params: &ProtocolParams) -> (f64, f64, f64) {
     let ell = params.ln_mu_over_nu();
     let lower = 2.0 / ell;
@@ -124,6 +133,7 @@ pub fn lemma7(params: &ProtocolParams) -> (f64, f64, f64) {
 /// `1 + δ₄/(L−δ₄) < (1+ε₂)/(1−ε₁)`.
 ///
 /// Returns `(lhs, rhs)`.
+#[must_use]
 pub fn lemma8(nu: f64, eps1: f64, eps2: f64) -> (f64, f64) {
     let consts = crate::theorem3::Constants::new(eps1, eps2, nu).expect("validated upstream");
     let ell = ((1.0 - nu) / nu).ln();

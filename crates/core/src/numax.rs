@@ -91,6 +91,7 @@ pub fn nu_max_theorem2(c: f64, delta: u64) -> Result<f64> {
 /// # Panics
 ///
 /// Panics unless `0 < ν < ½`.
+#[must_use]
 pub fn c_required(nu: f64) -> f64 {
     crate::theorem2::neat_bound(nu)
 }

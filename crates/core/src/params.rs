@@ -78,95 +78,113 @@ impl ProtocolParams {
     }
 
     /// Number of miners `n`.
+    #[must_use]
     pub fn n(&self) -> u64 {
         self.n
     }
 
     /// Maximum message delay `Δ`.
+    #[must_use]
     pub fn delta(&self) -> u64 {
         self.delta
     }
 
     /// Proof-of-work hardness `p`.
+    #[must_use]
     pub fn p(&self) -> f64 {
         self.p
     }
 
     /// Adversarial fraction `ν`.
+    #[must_use]
     pub fn nu(&self) -> f64 {
         self.nu
     }
 
     /// Honest fraction `µ = 1 − ν` (Eq. 1).
+    #[must_use]
     pub fn mu(&self) -> f64 {
         1.0 - self.nu
     }
 
     /// Honest computational mass `µn` (a real number; the simulator
     /// rounds it to a miner count).
+    #[must_use]
     pub fn mu_n(&self) -> f64 {
         self.mu() * self.n as f64
     }
 
     /// Adversarial computational mass `νn`.
+    #[must_use]
     pub fn nu_n(&self) -> f64 {
         self.nu * self.n as f64
     }
 
     /// `ln(µ/ν)`, the paper's recurring logarithm.
+    #[must_use]
     pub fn ln_mu_over_nu(&self) -> f64 {
         (self.mu() / self.nu).ln()
     }
 
     /// The paper's `c = 1/(pnΔ)`: expected number of Δ-delays before
     /// some block is mined.
+    #[must_use]
     pub fn c(&self) -> f64 {
         1.0 / (self.p * self.n as f64 * self.delta as f64)
     }
 
     /// `ln ᾱ = µn·ln(1−p)` — log of the probability that no honest
     /// miner succeeds in a round (Eq. 8), exact for any scale.
+    #[must_use]
     pub fn ln_alpha_bar(&self) -> f64 {
         self.mu_n() * (-self.p).ln_1p()
     }
 
     /// `ᾱ = (1−p)^{µn}` (Eq. 8).
+    #[must_use]
     pub fn alpha_bar(&self) -> f64 {
         self.ln_alpha_bar().exp()
     }
 
     /// `α = 1 − (1−p)^{µn}` (Eq. 7), computed without cancellation.
+    #[must_use]
     pub fn alpha(&self) -> f64 {
         -self.ln_alpha_bar().exp_m1()
     }
 
     /// `ln α₁ = ln(pµn) + (µn−1)·ln(1−p)` (Eq. 9).
+    #[must_use]
     pub fn ln_alpha1(&self) -> f64 {
         (self.p * self.mu_n()).ln() + (self.mu_n() - 1.0) * (-self.p).ln_1p()
     }
 
     /// `α₁ = pµn·(1−p)^{µn−1}` (Eq. 9): exactly one honest success.
+    #[must_use]
     pub fn alpha1(&self) -> f64 {
         self.ln_alpha1().exp()
     }
 
     /// `ᾱ` as a [`LogFloat`] (useful for `ᾱ^{2Δ}` at huge Δ).
+    #[must_use]
     pub fn alpha_bar_log(&self) -> LogFloat {
         LogFloat::from_ln(self.ln_alpha_bar())
     }
 
     /// `α₁` as a [`LogFloat`].
+    #[must_use]
     pub fn alpha1_log(&self) -> LogFloat {
         LogFloat::from_ln(self.ln_alpha1())
     }
 
     /// The paper's headline check: `c > 2µ/ln(µ/ν)` (the asymptotic
     /// form of Theorem 2's bound, Figure 1's magenta line).
+    #[must_use]
     pub fn is_consistent_by_neat_bound(&self) -> bool {
         self.c() > crate::theorem2::neat_bound(self.nu)
     }
 
     /// Converts to a simulator configuration (same `(n, ν, p, Δ)`).
+    #[must_use]
     pub fn to_sim_config(&self, seed: u64) -> nakamoto_sim::config::SimConfig {
         nakamoto_sim::config::SimConfig::new(self.n, self.nu, self.p, self.delta, seed)
             .expect("ProtocolParams constraints are a superset of SimConfig's")

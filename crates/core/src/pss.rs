@@ -21,6 +21,7 @@ use probability::rootfind::{bisect, RootConfig};
 /// let v = consistency_nu_max(10.0).unwrap();
 /// assert!(v > 0.3 && v < 0.5);
 /// ```
+#[must_use]
 pub fn consistency_nu_max(c: f64) -> Option<f64> {
     if !(c > 2.0) {
         return None;
@@ -34,6 +35,7 @@ pub fn consistency_nu_max(c: f64) -> Option<f64> {
 /// # Panics
 ///
 /// Panics unless `0 < ν < ½`.
+#[must_use]
 pub fn consistency_c_required(nu: f64) -> f64 {
     assert!(nu > 0.0 && nu < 0.5, "ν must lie in (0, 1/2), got {nu}");
     2.0 * (1.0 - nu) * (1.0 - nu) / (1.0 - 2.0 * nu)
@@ -45,6 +47,7 @@ pub fn consistency_c_required(nu: f64) -> f64 {
 /// # Panics
 ///
 /// Panics unless `c > 0`.
+#[must_use]
 pub fn attack_nu_threshold(c: f64) -> f64 {
     assert!(c > 0.0, "c must be positive, got {c}");
     0.5 * (2.0 * c + 1.0 - (4.0 * c * c + 1.0).sqrt())
@@ -53,6 +56,7 @@ pub fn attack_nu_threshold(c: f64) -> f64 {
 /// PSS's *exact* consistency condition `α[1−(2Δ+2)α] > β` with
 /// `α = 1−(1−p)^{µn}` and `β = νnp` (before the paper's Section-I
 /// approximations).
+#[must_use]
 pub fn exact_consistency_holds(params: &ProtocolParams) -> bool {
     let alpha = params.alpha();
     let beta = params.nu_n() * params.p();
@@ -99,6 +103,7 @@ pub fn exact_consistency_nu_max(n: u64, delta: u64, c: f64) -> Result<Option<f64
 
 /// `true` iff the Remark-8.5 attack applies at these parameters:
 /// `1/c > 1/ν − 1/(1−ν)`.
+#[must_use]
 pub fn attack_applies(params: &ProtocolParams) -> bool {
     1.0 / params.c() > 1.0 / params.nu() - 1.0 / params.mu()
 }

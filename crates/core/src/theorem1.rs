@@ -12,17 +12,20 @@ use probability::logfloat::LogFloat;
 
 /// `ln(ᾱ^{2Δ}·α₁)` — log of the per-round convergence-opportunity
 /// probability (Eq. 44).
+#[must_use]
 pub fn ln_convergence_rate(params: &ProtocolParams) -> f64 {
     2.0 * params.delta() as f64 * params.ln_alpha_bar() + params.ln_alpha1()
 }
 
 /// The per-round convergence-opportunity probability `ᾱ^{2Δ}·α₁` as a
 /// [`LogFloat`] (may be far below `f64` range).
+#[must_use]
 pub fn convergence_rate(params: &ProtocolParams) -> LogFloat {
     LogFloat::from_ln(ln_convergence_rate(params))
 }
 
 /// The per-round adversary block rate `p·ν·n` (Eq. 27's per-round mean).
+#[must_use]
 pub fn adversary_rate(params: &ProtocolParams) -> f64 {
     params.p() * params.nu_n()
 }
@@ -33,6 +36,7 @@ pub fn adversary_rate(params: &ProtocolParams) -> f64 {
 /// Theorem 1's condition holds for constant `δ₁` iff this is
 /// `≥ ln(1+δ₁)`; in particular a positive margin means *some* positive
 /// `δ₁` exists.
+#[must_use]
 pub fn ln_margin(params: &ProtocolParams) -> f64 {
     ln_convergence_rate(params) - adversary_rate(params).ln()
 }
@@ -42,6 +46,7 @@ pub fn ln_margin(params: &ProtocolParams) -> f64 {
 /// # Panics
 ///
 /// Panics if `delta1 ≤ 0` (Theorem 1 requires a positive constant).
+#[must_use]
 pub fn holds(params: &ProtocolParams, delta1: f64) -> bool {
     assert!(delta1 > 0.0, "Theorem 1 requires δ₁ > 0");
     ln_margin(params) >= delta1.ln_1p()
@@ -49,6 +54,7 @@ pub fn holds(params: &ProtocolParams, delta1: f64) -> bool {
 
 /// The largest `δ₁` for which Ineq. (10) holds, or `None` when even
 /// `δ₁ → 0` fails (margin ≤ 0).
+#[must_use]
 pub fn max_delta1(params: &ProtocolParams) -> Option<f64> {
     let margin = ln_margin(params);
     if margin <= 0.0 {
@@ -58,11 +64,13 @@ pub fn max_delta1(params: &ProtocolParams) -> Option<f64> {
 }
 
 /// `E[C(t₀, t₀+T−1)] = T·ᾱ^{2Δ}α₁` (Eq. 26).
+#[must_use]
 pub fn expected_convergence_opportunities(params: &ProtocolParams, t: u64) -> f64 {
     t as f64 * ln_convergence_rate(params).exp()
 }
 
 /// `E[A(t₀, t₀+T−1)] = T·p·ν·n` (Eq. 27).
+#[must_use]
 pub fn expected_adversary_blocks(params: &ProtocolParams, t: u64) -> f64 {
     t as f64 * adversary_rate(params)
 }
@@ -83,6 +91,7 @@ pub struct SlackConstants {
 /// # Panics
 ///
 /// Panics if `delta1 ≤ 0`.
+#[must_use]
 pub fn slack_constants(delta1: f64) -> SlackConstants {
     assert!(delta1 > 0.0, "δ₁ must be positive");
     let third_root = (1.0 + delta1).powf(1.0 / 3.0);
@@ -95,6 +104,7 @@ pub fn slack_constants(delta1: f64) -> SlackConstants {
 /// The guaranteed gap of display (24):
 /// `[(1+δ₁)^{2/3} − (1+δ₁)^{1/3}]·E[A(t₀,t₀+T−1)]` — the lower bound on
 /// `C − A` that holds with probability `1 − e^{−Ω(T)}`.
+#[must_use]
 pub fn guaranteed_gap(params: &ProtocolParams, delta1: f64, t: u64) -> f64 {
     assert!(delta1 > 0.0, "δ₁ must be positive");
     let b = 1.0 + delta1;

@@ -25,6 +25,7 @@ use crate::{Error, Result};
 /// // ν = 0.3: 2·0.7/ln(7/3) ≈ 1.6523.
 /// assert!((neat_bound(0.3) - 1.652).abs() < 1e-3);
 /// ```
+#[must_use]
 pub fn neat_bound(nu: f64) -> f64 {
     assert!(nu > 0.0 && nu < 0.5, "ν must lie in (0, 1/2), got {nu}");
     let mu = 1.0 - nu;
@@ -65,6 +66,7 @@ pub fn holds(params: &ProtocolParams, eps1: f64, eps2: f64) -> Result<bool> {
 /// minimising the bound over `ε₁` (the bound is monotone increasing in
 /// `ε₂`, so `ε₂ → 0` is optimal; the max of a decreasing and an
 /// increasing function of `ε₁` is minimised where they cross).
+#[must_use]
 pub fn holds_for_some_epsilons(params: &ProtocolParams) -> bool {
     params.c() > infimum_c_bound(params.nu(), params.delta())
 }
@@ -72,6 +74,7 @@ pub fn holds_for_some_epsilons(params: &ProtocolParams) -> bool {
 /// The infimum over admissible `(ε₁, ε₂)` of Ineq. (11)'s right-hand
 /// side. Strictly speaking the infimum is not attained (`ε₂ > 0` is
 /// open), so consistency needs `c` strictly greater.
+#[must_use]
 pub fn infimum_c_bound(nu: f64, delta: u64) -> f64 {
     assert!(nu > 0.0 && nu < 0.5, "ν must lie in (0, 1/2), got {nu}");
     // With ε₂ → 0 the two branches are
@@ -122,6 +125,7 @@ pub struct NuRange {
 
 impl NuRange {
     /// `true` iff `nu` lies in the closed interval.
+    #[must_use]
     pub fn contains(&self, nu: f64) -> bool {
         (self.lo..=self.hi).contains(&nu)
     }

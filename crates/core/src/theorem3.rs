@@ -68,6 +68,7 @@ impl Constants {
 /// # Panics
 ///
 /// Panics unless `0 < ε₁ < 1` and `0 < ν < ½`.
+#[must_use]
 pub fn pn_budget(nu: f64, eps1: f64) -> f64 {
     assert!(eps1 > 0.0 && eps1 < 1.0, "ε₁ must lie in (0, 1)");
     assert!(nu > 0.0 && nu < 0.5, "ν must lie in (0, 1/2)");
@@ -77,6 +78,7 @@ pub fn pn_budget(nu: f64, eps1: f64) -> f64 {
 }
 
 /// Checks Ineq. (50): `p·n ≤ pn_budget`.
+#[must_use]
 pub fn pn_condition_holds(params: &ProtocolParams, eps1: f64) -> bool {
     params.p() * params.n() as f64 <= pn_budget(params.nu(), eps1)
 }
@@ -86,6 +88,7 @@ pub fn pn_condition_holds(params: &ProtocolParams, eps1: f64) -> bool {
 /// # Panics
 ///
 /// Panics unless `0 < ε₁ < 1`, `ε₂ > 0`, `0 < ν < ½`.
+#[must_use]
 pub fn c_bound(nu: f64, delta: u64, eps1: f64, eps2: f64) -> f64 {
     assert!(eps1 > 0.0 && eps1 < 1.0, "ε₁ must lie in (0, 1)");
     assert!(eps2 > 0.0, "ε₂ must be positive");
@@ -94,11 +97,13 @@ pub fn c_bound(nu: f64, delta: u64, eps1: f64, eps2: f64) -> f64 {
 }
 
 /// Checks Ineq. (51).
+#[must_use]
 pub fn c_condition_holds(params: &ProtocolParams, eps1: f64, eps2: f64) -> bool {
     params.c() >= c_bound(params.nu(), params.delta(), eps1, eps2)
 }
 
 /// Checks Theorem 3's full condition (both Ineq. 50 and 51).
+#[must_use]
 pub fn holds(params: &ProtocolParams, eps1: f64, eps2: f64) -> bool {
     pn_condition_holds(params, eps1) && c_condition_holds(params, eps1, eps2)
 }

@@ -29,6 +29,7 @@ pub struct WindowReport {
 impl WindowReport {
     /// `true` iff every window satisfied Lemma 1's premise
     /// (`C_window > A_window`).
+    #[must_use]
     pub fn all_windows_safe(&self) -> bool {
         self.violating_windows == 0
     }

@@ -32,6 +32,7 @@ impl AbsorbingAnalysis {
     /// # Panics
     ///
     /// Panics if `from` is not transient or `into` not absorbing.
+    #[must_use]
     pub fn probability(&self, from: usize, into: usize) -> f64 {
         let i = self
             .transient
@@ -51,6 +52,7 @@ impl AbsorbingAnalysis {
     /// # Panics
     ///
     /// Panics if `from` is not transient.
+    #[must_use]
     pub fn steps_from(&self, from: usize) -> f64 {
         let i = self
             .transient

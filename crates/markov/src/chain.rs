@@ -80,12 +80,14 @@ impl MarkovChain {
 
     /// Number of states.
     #[inline]
+    #[must_use]
     pub fn n_states(&self) -> usize {
         self.n_states
     }
 
     /// Number of stored (non-zero) transitions.
     #[inline]
+    #[must_use]
     pub fn n_transitions(&self) -> usize {
         self.values.len()
     }
@@ -95,6 +97,7 @@ impl MarkovChain {
     /// # Panics
     ///
     /// Panics if `i` or `j` is out of range.
+    #[must_use]
     pub fn prob(&self, i: usize, j: usize) -> f64 {
         assert!(i < self.n_states && j < self.n_states, "state out of range");
         self.successors(i)
@@ -122,6 +125,7 @@ impl MarkovChain {
     /// # Panics
     ///
     /// Panics if `dist.len() != n_states`.
+    #[must_use]
     pub fn step(&self, dist: &[f64]) -> Vec<f64> {
         assert_eq!(dist.len(), self.n_states, "distribution length mismatch");
         let mut out = vec![0.0; self.n_states];
@@ -137,6 +141,7 @@ impl MarkovChain {
     }
 
     /// Evolves a distribution `steps` times.
+    #[must_use]
     pub fn step_n(&self, dist: &[f64], steps: usize) -> Vec<f64> {
         let mut d = dist.to_vec();
         for _ in 0..steps {
@@ -146,6 +151,7 @@ impl MarkovChain {
     }
 
     /// The uniform distribution over all states.
+    #[must_use]
     pub fn uniform_distribution(&self) -> Vec<f64> {
         vec![1.0 / self.n_states as f64; self.n_states]
     }
@@ -155,6 +161,7 @@ impl MarkovChain {
     /// # Panics
     ///
     /// Panics if `state ≥ n_states`.
+    #[must_use]
     pub fn point_distribution(&self, state: usize) -> Vec<f64> {
         assert!(state < self.n_states, "state out of range");
         let mut d = vec![0.0; self.n_states];
@@ -164,6 +171,7 @@ impl MarkovChain {
 
     /// Materialises the dense transition matrix (row-major). Intended for
     /// small chains (tests, GTH elimination).
+    #[must_use]
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut m = vec![vec![0.0; self.n_states]; self.n_states];
         for (i, row) in m.iter_mut().enumerate() {
@@ -203,6 +211,7 @@ pub struct MarkovChainBuilder {
 
 impl MarkovChainBuilder {
     /// Creates a builder for a chain with `n_states` states.
+    #[must_use]
     pub fn new(n_states: usize) -> Self {
         MarkovChainBuilder {
             n_states,
@@ -410,7 +419,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "state out of range")]
     fn prob_panics_out_of_range() {
-        two_state().prob(0, 7);
+        let _ = two_state().prob(0, 7);
     }
 }
 

@@ -35,6 +35,7 @@ pub const CHUNG_ET_AL_CONSTANT: f64 = 1.0;
 /// assert!((pi_norm(&pi, &pi) - 1.0).abs() < 1e-12);
 /// assert!((pi_norm(&[1.0, 0.0], &pi) - 2.0).abs() < 1e-12);
 /// ```
+#[must_use]
 pub fn pi_norm(phi: &[f64], pi: &[f64]) -> f64 {
     assert_eq!(phi.len(), pi.len(), "distribution length mismatch");
     let mut acc = 0.0;
@@ -56,6 +57,7 @@ pub fn pi_norm(phi: &[f64], pi: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics unless `0 < min_pi ≤ 1`.
+#[must_use]
 pub fn pi_norm_worst_case(min_pi: f64) -> f64 {
     assert!(min_pi > 0.0 && min_pi <= 1.0, "min_pi must be in (0, 1]");
     1.0 / min_pi.sqrt()
@@ -64,6 +66,7 @@ pub fn pi_norm_worst_case(min_pi: f64) -> f64 {
 /// Log-space variant of [`pi_norm_worst_case`] for stationary minima far
 /// below `f64` range (e.g. `min π_{F‖P} = exp(-10⁸)`): given
 /// `ln(min π)`, returns `ln ‖φ‖_π ≤ −½·ln(min π)`.
+#[must_use]
 pub fn ln_pi_norm_worst_case(ln_min_pi: f64) -> f64 {
     assert!(ln_min_pi <= 0.0, "ln(min_pi) must be ≤ 0");
     -0.5 * ln_min_pi

@@ -18,6 +18,7 @@ use crate::{Error, Result};
 /// assert_eq!(tv_distance(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
 /// assert_eq!(tv_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
 /// ```
+#[must_use]
 pub fn tv_distance(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "distribution length mismatch");
     0.5 * p
@@ -122,6 +123,7 @@ pub fn mixing_time(
 ///
 /// Returns `None` when the one-step Dobrushin coefficient is 1 (no
 /// contraction visible in one step; the chain may still mix).
+#[must_use]
 pub fn dobrushin_mixing_bound(chain: &MarkovChain, epsilon: f64) -> Option<usize> {
     assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
     let n = chain.n_states();

@@ -20,6 +20,7 @@ pub struct SccDecomposition {
 /// Tarjan's strongly-connected-components algorithm (iterative, so deep
 /// chains like `C_F` with `Δ` in the thousands cannot overflow the call
 /// stack).
+#[must_use]
 pub fn strongly_connected_components(chain: &MarkovChain) -> SccDecomposition {
     let n = chain.n_states();
     const UNVISITED: usize = usize::MAX;
@@ -87,6 +88,7 @@ pub fn strongly_connected_components(chain: &MarkovChain) -> SccDecomposition {
 }
 
 /// `true` iff every state can reach every other state.
+#[must_use]
 pub fn is_irreducible(chain: &MarkovChain) -> bool {
     strongly_connected_components(chain).n_components == 1
 }
@@ -100,6 +102,7 @@ pub fn is_irreducible(chain: &MarkovChain) -> bool {
 ///
 /// Panics if the chain is not irreducible (callers should check
 /// [`is_irreducible`] first).
+#[must_use]
 pub fn period(chain: &MarkovChain) -> usize {
     assert!(
         is_irreducible(chain),
@@ -132,6 +135,7 @@ pub fn period(chain: &MarkovChain) -> usize {
 
 /// `true` iff the chain is irreducible and aperiodic (period 1), which
 /// for a finite chain is equivalent to ergodicity.
+#[must_use]
 pub fn is_ergodic(chain: &MarkovChain) -> bool {
     is_irreducible(chain) && period(chain) == 1
 }
@@ -235,7 +239,7 @@ mod tests {
     #[should_panic(expected = "irreducible")]
     fn period_panics_on_reducible() {
         let c = MarkovChain::from_rows(vec![vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
-        period(&c);
+        let _ = period(&c);
     }
 
     #[test]

@@ -31,21 +31,25 @@ impl Bernoulli {
     }
 
     /// Success probability.
+    #[must_use]
     pub fn p(&self) -> f64 {
         self.p
     }
 
     /// Mean (equals `p`).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         self.p
     }
 
     /// Variance `p(1-p)`.
+    #[must_use]
     pub fn variance(&self) -> f64 {
         self.p * (1.0 - self.p)
     }
 
     /// Entropy in nats; `0` for the degenerate cases.
+    #[must_use]
     pub fn entropy(&self) -> f64 {
         if self.p == 0.0 || self.p == 1.0 {
             return 0.0;

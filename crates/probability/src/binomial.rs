@@ -5,6 +5,7 @@
 //! (Eqs. 7–9), and the adversary's block count over `T` rounds follows
 //! `binom(Tνn, p)` (Eq. 27).
 
+use crate::geometric::Geometric;
 use crate::rng::RandomSource;
 use crate::special::{ln_choose, reg_inc_beta};
 use crate::{Error, Result};
@@ -38,21 +39,25 @@ impl Binomial {
     }
 
     /// Number of trials.
+    #[must_use]
     pub fn n(&self) -> u64 {
         self.n
     }
 
     /// Per-trial success probability.
+    #[must_use]
     pub fn p(&self) -> f64 {
         self.p
     }
 
     /// Mean `np`.
+    #[must_use]
     pub fn mean(&self) -> f64 {
         self.n as f64 * self.p
     }
 
     /// Variance `np(1-p)`.
+    #[must_use]
     pub fn variance(&self) -> f64 {
         self.n as f64 * self.p * (1.0 - self.p)
     }
@@ -60,6 +65,7 @@ impl Binomial {
     /// Natural log of the probability mass `ln P[X = k]`.
     ///
     /// Returns `-inf` for `k > n`.
+    #[must_use]
     pub fn ln_pmf(&self, k: u64) -> f64 {
         if k > self.n {
             return f64::NEG_INFINITY;
@@ -81,16 +87,19 @@ impl Binomial {
     /// assert!((d.pmf(2) - 0.375).abs() < 1e-14);
     /// # Ok::<(), probability::Error>(())
     /// ```
+    #[must_use]
     pub fn pmf(&self, k: u64) -> f64 {
         self.ln_pmf(k).exp()
     }
 
     /// `P[X = 0] = (1-p)^n` — the paper's `ᾱ` when `n = µn`.
+    #[must_use]
     pub fn prob_zero(&self) -> f64 {
         self.ln_prob_zero().exp()
     }
 
     /// `ln P[X = 0] = n·ln(1-p)`, stable for tiny `p` and huge `n`.
+    #[must_use]
     pub fn ln_prob_zero(&self) -> f64 {
         if self.p == 1.0 && self.n > 0 {
             return f64::NEG_INFINITY;
@@ -100,6 +109,7 @@ impl Binomial {
 
     /// `P[X > 0] = 1 - (1-p)^n` — the paper's `α`, computed without
     /// cancellation via `-expm1(n·ln(1-p))`.
+    #[must_use]
     pub fn prob_positive(&self) -> f64 {
         -self.ln_prob_zero().exp_m1()
     }
@@ -231,6 +241,61 @@ impl Binomial {
             .expect("binomial quantile cannot fail for valid parameters")
     }
 
+    /// Draws one sample conditioned on at least one success, i.e. from
+    /// `X | X ≥ 1`.
+    ///
+    /// Together with [`Binomial::gap_geometric`] this supports
+    /// quiet-round fast-forwarding: instead of sampling every round's
+    /// block count, sample the geometric gap to the next round with a
+    /// success and then the conditional count for that round. The pair
+    /// `(gap, sample_positive)` is distributed exactly as the sequence
+    /// of per-round samples restricted to its first non-zero entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `P[X ≥ 1] = 0` (`n == 0` or `p == 0`), where the
+    /// conditional distribution does not exist.
+    pub fn sample_positive<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
+        assert!(
+            self.n > 0 && self.p > 0.0,
+            "X | X >= 1 undefined for binom({}, {})",
+            self.n,
+            self.p
+        );
+        if self.p == 1.0 {
+            return self.n;
+        }
+        let q0 = self.prob_zero();
+        // When a zero round is likely, truncated BINV from k = 1 is
+        // cheap and exact. When zeros are rare (q0 tiny), rejection on
+        // the unconditional sampler almost never rejects.
+        if q0 >= 1e-3 {
+            let r1 = self.pmf(1) / self.prob_positive();
+            if r1 > 0.0 && r1.is_finite() {
+                return sample_positive_binv(self.n, self.p, r1, rng);
+            }
+        }
+        loop {
+            let k = self.sample(rng);
+            if k > 0 {
+                return k;
+            }
+        }
+    }
+
+    /// The geometric distribution of the 1-based round index of the
+    /// first round with at least one success, when each round draws an
+    /// independent copy of this binomial — the paper's waiting time for
+    /// the next block (`N^{k−1}`-then-success pattern).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] when `P[X ≥ 1] = 0`
+    /// (`n == 0` or `p == 0`), where the gap is infinite.
+    pub fn gap_geometric(&self) -> Result<Geometric> {
+        Geometric::new(self.prob_positive())
+    }
+
     /// BINV (inverse transform by sequential search from k = 0).
     fn sample_binv<R: RandomSource + ?Sized>(&self, rng: &mut R) -> u64 {
         let q = 1.0 - self.p;
@@ -260,6 +325,33 @@ impl Binomial {
             }
             r *= a / k as f64 - s;
         }
+    }
+}
+
+/// Truncated BINV over `k ∈ {1, …, n}` with precomputed first mass
+/// `r1 = P[X = 1 | X ≥ 1]` — the reference implementation backing
+/// [`Binomial::sample_positive`]. (`nakamoto_sim`'s mining oracle keeps
+/// its own copy of this recurrence with a per-run ratio cache; its
+/// correctness is pinned to this one by the oracle's statistical
+/// tests.)
+pub fn sample_positive_binv<R: RandomSource + ?Sized>(n: u64, p: f64, r1: f64, rng: &mut R) -> u64 {
+    let q = 1.0 - p;
+    let s = p / q;
+    let a = (n + 1) as f64 * s;
+    let mut r = r1;
+    let mut u = rng.next_f64();
+    let mut k = 1u64;
+    loop {
+        if u < r {
+            return k;
+        }
+        u -= r;
+        k += 1;
+        if k > n {
+            // Floating-point leakage past the support: clamp.
+            return n;
+        }
+        r *= a / k as f64 - s;
     }
 }
 
@@ -420,6 +512,66 @@ mod tests {
     }
 
     #[test]
+    fn sample_positive_matches_conditional_pmf() {
+        // Rare-success regime: q0 large, truncated-BINV path.
+        let d = Binomial::new(100, 1e-2).unwrap(); // np = 1
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(46);
+        let trials = 200_000;
+        let mut counts = [0u64; 8];
+        for _ in 0..trials {
+            let k = d.sample_positive(&mut rng);
+            assert!(
+                (1..=100).contains(&k),
+                "k = {k} outside conditional support"
+            );
+            counts[(k as usize).min(7)] += 1;
+        }
+        let p_pos = d.prob_positive();
+        for k in 1..=6u64 {
+            let freq = counts[k as usize] as f64 / trials as f64;
+            let expected = d.pmf(k) / p_pos;
+            assert!(
+                (freq - expected).abs() < 0.01,
+                "k={k} freq={freq} expected={expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_positive_rejection_regime() {
+        // Common-success regime: q0 tiny, rejection path.
+        let d = Binomial::new(10_000, 0.02).unwrap(); // np = 200
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(47);
+        let mut sum = 0u64;
+        let trials = 2_000;
+        for _ in 0..trials {
+            let k = d.sample_positive(&mut rng);
+            assert!(k >= 1);
+            sum += k;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 200.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn sample_positive_rejects_impossible_success() {
+        let d = Binomial::new(10, 0.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::seed_from_u64(0);
+        d.sample_positive(&mut rng);
+    }
+
+    #[test]
+    fn gap_geometric_mean_is_inverse_alpha() {
+        let d = Binomial::new(1_000, 1e-3).unwrap();
+        let g = d.gap_geometric().unwrap();
+        assert!((g.p() - d.prob_positive()).abs() < 1e-15);
+        assert!((g.mean() - 1.0 / d.prob_positive()).abs() < 1e-9);
+        assert!(Binomial::new(0, 0.5).unwrap().gap_geometric().is_err());
+        assert!(Binomial::new(5, 0.0).unwrap().gap_geometric().is_err());
+    }
+
+    #[test]
     fn small_n_direct_sampling_exactness() {
         let d = Binomial::new(8, 0.5).unwrap();
         let mut rng = Xoshiro256PlusPlus::seed_from_u64(45);
@@ -491,6 +643,24 @@ mod randomized_tests {
             assert!(
                 (s - 1.0).abs() < 1e-12,
                 "identity broken: n={n} p={p} s={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn positive_samples_within_conditional_support() {
+        let mut rng = SplitMix64::new(0xB1_05);
+        for _ in 0..CASES {
+            let n = rng.next_range(1, 500);
+            // log-uniform p in [1e-6, 1).
+            let p = 1e-6 * (1.0 / 1e-6f64).powf(rng.next_f64() * 0.999);
+            let seed = rng.next_below(1_000);
+            let d = Binomial::new(n, p).unwrap();
+            let mut sample_rng = crate::rng::Xoshiro256PlusPlus::seed_from_u64(seed);
+            let s = d.sample_positive(&mut sample_rng);
+            assert!(
+                (1..=n).contains(&s),
+                "conditional sample outside support: n={n} p={p} s={s}"
             );
         }
     }

@@ -119,6 +119,7 @@ pub fn adversary_tail_bound(t_nu_n: u64, p: f64, delta3: f64) -> Result<f64> {
 ///
 /// A weaker but simpler companion to the entropy bound; used for
 /// cross-checks.
+#[must_use]
 pub fn chernoff_upper(mean: f64, delta: f64) -> f64 {
     assert!(delta >= 0.0 && mean >= 0.0);
     (-(delta * delta) * mean / (2.0 + delta)).exp()
@@ -126,6 +127,7 @@ pub fn chernoff_upper(mean: f64, delta: f64) -> f64 {
 
 /// Multiplicative Chernoff lower bound:
 /// `P[X ≤ (1−δ)µ] ≤ exp(−δ²µ/2)` for `δ ∈ [0, 1]`.
+#[must_use]
 pub fn chernoff_lower(mean: f64, delta: f64) -> f64 {
     assert!((0.0..=1.0).contains(&delta) && mean >= 0.0);
     (-(delta * delta) * mean / 2.0).exp()
@@ -133,6 +135,7 @@ pub fn chernoff_lower(mean: f64, delta: f64) -> f64 {
 
 /// Hoeffding's inequality for `n` independent variables in `[0, 1]`:
 /// `P[|X̄ − E X̄| ≥ t] ≤ 2·exp(−2nt²)`.
+#[must_use]
 pub fn hoeffding_two_sided(n: u64, t: f64) -> f64 {
     assert!(t >= 0.0);
     2.0 * (-2.0 * n as f64 * t * t).exp()

@@ -77,11 +77,13 @@ impl AliasTable {
     }
 
     /// Number of outcomes.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.prob.len()
     }
 
     /// `false` always (the constructor rejects empty weights).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         false
     }

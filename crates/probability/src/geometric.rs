@@ -33,21 +33,25 @@ impl Geometric {
     }
 
     /// Success probability per trial.
+    #[must_use]
     pub fn p(&self) -> f64 {
         self.p
     }
 
     /// Mean `1/p`.
+    #[must_use]
     pub fn mean(&self) -> f64 {
         1.0 / self.p
     }
 
     /// Variance `(1-p)/p²`.
+    #[must_use]
     pub fn variance(&self) -> f64 {
         (1.0 - self.p) / (self.p * self.p)
     }
 
     /// `P[X = k] = (1-p)^{k-1} p` for `k ≥ 1`, else 0.
+    #[must_use]
     pub fn pmf(&self, k: u64) -> f64 {
         if k == 0 {
             return 0.0;
@@ -61,11 +65,13 @@ impl Geometric {
 
     /// `P[X > k] = (1-p)^k` — the probability a run of `N` rounds lasts
     /// longer than `k` (used for `P[N^{≥Δ}]`-style quantities).
+    #[must_use]
     pub fn sf(&self, k: u64) -> f64 {
         (k as f64 * (-self.p).ln_1p()).exp()
     }
 
     /// `P[X ≤ k] = 1 - (1-p)^k`.
+    #[must_use]
     pub fn cdf(&self, k: u64) -> f64 {
         -(k as f64 * (-self.p).ln_1p()).exp_m1()
     }

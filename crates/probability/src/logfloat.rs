@@ -43,6 +43,7 @@ impl LogFloat {
     /// # Panics
     ///
     /// Panics if `value` is negative or NaN.
+    #[must_use]
     pub fn new(value: f64) -> Self {
         assert!(
             value >= 0.0 && !value.is_nan(),
@@ -56,6 +57,7 @@ impl LogFloat {
     /// # Panics
     ///
     /// Panics if `ln_value` is NaN or `+inf`.
+    #[must_use]
     pub fn from_ln(ln_value: f64) -> Self {
         assert!(
             !ln_value.is_nan() && ln_value != f64::INFINITY,
@@ -66,6 +68,7 @@ impl LogFloat {
 
     /// The natural logarithm of the value (`-inf` for zero).
     #[inline]
+    #[must_use]
     pub fn ln(self) -> f64 {
         self.ln
     }
@@ -73,12 +76,14 @@ impl LogFloat {
     /// Converts to linear space (may underflow to `0.0` or overflow to
     /// `+inf`; that is the caller's explicit choice).
     #[inline]
+    #[must_use]
     pub fn to_f64(self) -> f64 {
         self.ln.exp()
     }
 
     /// Returns `true` iff the value is exactly zero.
     #[inline]
+    #[must_use]
     pub fn is_zero(self) -> bool {
         self.ln == f64::NEG_INFINITY
     }
@@ -90,6 +95,7 @@ impl LogFloat {
     /// let half = LogFloat::new(0.5);
     /// assert!((half.powi(10).to_f64() - 1.0 / 1024.0).abs() < 1e-18);
     /// ```
+    #[must_use]
     pub fn powi(self, exponent: i64) -> Self {
         if self.is_zero() {
             assert!(exponent > 0, "0^e undefined for e ≤ 0 in LogFloat::powi");
@@ -102,6 +108,7 @@ impl LogFloat {
 
     /// Real power for non-negative exponents (and any exponent when the
     /// base is positive).
+    #[must_use]
     pub fn powf(self, exponent: f64) -> Self {
         if self.is_zero() {
             assert!(exponent > 0.0, "0^e undefined for e ≤ 0 in LogFloat::powf");
@@ -116,6 +123,7 @@ impl LogFloat {
     ///
     /// Returns [`LogFloat::ZERO`] when `other ≥ self`; callers that need
     /// signed differences should work in linear space.
+    #[must_use]
     pub fn saturating_sub(self, other: LogFloat) -> LogFloat {
         if other.ln >= self.ln {
             return LogFloat::ZERO;
@@ -135,6 +143,7 @@ impl LogFloat {
     /// # Panics
     ///
     /// Panics if `self > 1`.
+    #[must_use]
     pub fn complement(self) -> LogFloat {
         assert!(self.ln <= 0.0, "complement requires a value in [0, 1]");
         LogFloat::ONE.saturating_sub(self)
@@ -340,7 +349,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-negative")]
     fn negative_value_panics() {
-        LogFloat::new(-1.0);
+        let _ = LogFloat::new(-1.0);
     }
 
     #[test]

@@ -37,32 +37,38 @@ impl Poisson {
     }
 
     /// Rate `λ` (mean and variance).
+    #[must_use]
     pub fn lambda(&self) -> f64 {
         self.lambda
     }
 
     /// Mean (equals `λ`).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         self.lambda
     }
 
     /// Variance (equals `λ`).
+    #[must_use]
     pub fn variance(&self) -> f64 {
         self.lambda
     }
 
     /// `ln P[X = k] = k·ln λ − λ − ln k!`.
+    #[must_use]
     pub fn ln_pmf(&self, k: u64) -> f64 {
         k as f64 * self.lambda.ln() - self.lambda - ln_factorial(k)
     }
 
     /// `P[X = k]`.
+    #[must_use]
     pub fn pmf(&self, k: u64) -> f64 {
         self.ln_pmf(k).exp()
     }
 
     /// `P[X ≤ k]` by direct summation (the rates in this workspace are
     /// small, so the sum is short).
+    #[must_use]
     pub fn cdf(&self, k: u64) -> f64 {
         (0..=k).map(|j| self.pmf(j)).sum::<f64>().min(1.0)
     }

@@ -35,6 +35,7 @@ const LANCZOS_COEF: [f64; 9] = [
 /// # Panics
 ///
 /// Panics if `x ≤ 0` (poles of Γ are not supported).
+#[must_use]
 pub fn ln_gamma(x: f64) -> f64 {
     assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
     if x < 0.5 {
@@ -77,6 +78,7 @@ fn ln_factorial_small(k: usize) -> f64 {
 /// assert_eq!(ln_factorial(0), 0.0);
 /// assert!((ln_factorial(10) - 3628800f64.ln()).abs() < 1e-12);
 /// ```
+#[must_use]
 pub fn ln_factorial(k: u64) -> f64 {
     if k < 256 {
         ln_factorial_small(k as usize)
@@ -94,6 +96,7 @@ pub fn ln_factorial(k: u64) -> f64 {
 /// assert!((ln_choose(10, 3) - 120f64.ln()).abs() < 1e-12);
 /// assert_eq!(ln_choose(3, 10), f64::NEG_INFINITY);
 /// ```
+#[must_use]
 pub fn ln_choose(n: u64, k: u64) -> f64 {
     if k > n {
         return f64::NEG_INFINITY;
@@ -103,6 +106,7 @@ pub fn ln_choose(n: u64, k: u64) -> f64 {
 
 /// `ln(1 + x)` accurate for tiny `|x|`; thin wrapper kept for discoverability.
 #[inline]
+#[must_use]
 pub fn ln_1p(x: f64) -> f64 {
     x.ln_1p()
 }
@@ -115,6 +119,7 @@ pub fn ln_1p(x: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `x ≥ 0` (the argument of the outer log would be non-positive).
+#[must_use]
 pub fn ln_1m_exp(x: f64) -> f64 {
     assert!(x < 0.0, "ln_1m_exp requires x < 0, got {x}");
     // Split at ln(1/2) per Mächler (2012).
@@ -233,6 +238,7 @@ pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> Result<f64> {
 /// Error function `erf(x)`, accurate to ~1.2e-7 absolute (Abramowitz &
 /// Stegun 7.1.26 with the sign extension), sufficient for the normal-tail
 /// sanity checks in tests; not used on any accuracy-critical path.
+#[must_use]
 pub fn erf(x: f64) -> f64 {
     let sign = if x < 0.0 { -1.0 } else { 1.0 };
     let x = x.abs();
@@ -246,6 +252,7 @@ pub fn erf(x: f64) -> f64 {
 }
 
 /// Standard normal CDF `Φ(x)` via [`erf`].
+#[must_use]
 pub fn std_normal_cdf(x: f64) -> f64 {
     0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
 }
@@ -291,7 +298,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "requires x > 0")]
     fn ln_gamma_rejects_nonpositive() {
-        ln_gamma(0.0);
+        let _ = ln_gamma(0.0);
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub struct NeumaierSum {
 
 impl NeumaierSum {
     /// Creates an empty (zero) sum.
+    #[must_use]
     pub fn new() -> Self {
         NeumaierSum::default()
     }
@@ -40,6 +41,7 @@ impl NeumaierSum {
 
     /// The compensated total.
     #[inline]
+    #[must_use]
     pub fn value(&self) -> f64 {
         self.sum + self.compensation
     }
@@ -64,11 +66,13 @@ impl Extend<f64> for NeumaierSum {
 }
 
 /// Compensated sum of a slice.
+#[must_use]
 pub fn compensated_sum(xs: &[f64]) -> f64 {
     xs.iter().copied().collect::<NeumaierSum>().value()
 }
 
 /// Pairwise (cascade) summation: O(log n) error growth, cache-friendly.
+#[must_use]
 pub fn pairwise_sum(xs: &[f64]) -> f64 {
     const BASE: usize = 32;
     if xs.len() <= BASE {
@@ -102,6 +106,7 @@ pub struct RunningMoments {
 
 impl RunningMoments {
     /// Creates an empty accumulator.
+    #[must_use]
     pub fn new() -> Self {
         RunningMoments::default()
     }
@@ -115,11 +120,13 @@ impl RunningMoments {
     }
 
     /// Number of observations.
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.count
     }
 
     /// Sample mean (0 for an empty accumulator).
+    #[must_use]
     pub fn mean(&self) -> f64 {
         self.mean
     }
@@ -129,6 +136,7 @@ impl RunningMoments {
     /// # Panics
     ///
     /// Panics if no observations have been added.
+    #[must_use]
     pub fn population_variance(&self) -> f64 {
         assert!(self.count > 0, "variance of empty accumulator");
         self.m2 / self.count as f64
@@ -139,6 +147,7 @@ impl RunningMoments {
     /// # Panics
     ///
     /// Panics if fewer than two observations have been added.
+    #[must_use]
     pub fn sample_variance(&self) -> f64 {
         assert!(
             self.count > 1,
@@ -152,6 +161,7 @@ impl RunningMoments {
     /// # Panics
     ///
     /// Panics if fewer than two observations have been added.
+    #[must_use]
     pub fn standard_error(&self) -> f64 {
         (self.sample_variance() / self.count as f64).sqrt()
     }
@@ -211,7 +221,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty accumulator")]
     fn variance_of_empty_panics() {
-        RunningMoments::new().population_variance();
+        let _ = RunningMoments::new().population_variance();
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub trait Adversary {
     fn honest_delay(&mut self, round: Round, from_group: usize, to_group: usize) -> u64;
 
     /// Reacts to this round's `successes` adversary PoW wins: mines
-    /// private blocks by mutating `tree` and returns release directives.
+    /// private blocks by mutating `tree` and appends release directives
+    /// to `releases` (an engine-owned buffer reused across rounds, so
+    /// the per-round hot path never allocates; it arrives empty).
     /// `group_tips` holds each honest group's current tip (duplicated
     /// for single-group strategies).
     fn act(
@@ -60,7 +62,71 @@ pub trait Adversary {
         group_tips: &[BlockId; 2],
         tree: &mut BlockTree,
         successes: u64,
-    ) -> Vec<ReleaseDirective>;
+        releases: &mut Vec<ReleaseDirective>,
+    );
+
+    /// `true` iff the strategy is *round-invariant*, which lets the
+    /// engine fast-forward quiet gaps (rounds with no PoW success and
+    /// no delivery) in O(1) instead of calling [`Adversary::act`] once
+    /// per round. A strategy may declare this when:
+    ///
+    /// * its decisions depend only on the observable state (group tips,
+    ///   tree, successes) and its own accumulated state — never on the
+    ///   round number itself (using the round merely to stamp mined
+    ///   blocks is fine), and
+    /// * an [`Adversary::act`] call with zero successes and unchanged
+    ///   tips/tree, immediately after a call that scheduled no
+    ///   releases, is a no-op that schedules nothing.
+    ///
+    /// Defaults to `false`: unknown strategies keep the exact
+    /// call-every-round semantics.
+    fn supports_fast_forward(&self) -> bool {
+        false
+    }
+
+    /// Blocks the strategy still holds references to (e.g. the tip of a
+    /// withheld fork). The engine keeps the ancestor closure of these
+    /// alive when pruning the block tree; everything else below the
+    /// finalized common prefix may be discarded. Defaults to none.
+    fn live_blocks(&self) -> Vec<BlockId> {
+        Vec::new()
+    }
+}
+
+/// Boxed strategies forward every method, so `Box<dyn Adversary>` (and
+/// `Box<ConcreteAdversary>`) can drive the generic, statically
+/// dispatched engine.
+impl<A: Adversary + ?Sized> Adversary for Box<A> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn group_count(&self) -> usize {
+        (**self).group_count()
+    }
+
+    fn honest_delay(&mut self, round: Round, from_group: usize, to_group: usize) -> u64 {
+        (**self).honest_delay(round, from_group, to_group)
+    }
+
+    fn act(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
+        (**self).act(round, group_tips, tree, successes, releases);
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        (**self).supports_fast_forward()
+    }
+
+    fn live_blocks(&self) -> Vec<BlockId> {
+        (**self).live_blocks()
+    }
 }
 
 /// Baseline adversary: publishes everything immediately and never
@@ -70,6 +136,7 @@ pub struct ImmediateReleaseAdversary;
 
 impl ImmediateReleaseAdversary {
     /// Creates the baseline adversary.
+    #[must_use]
     pub fn new() -> Self {
         ImmediateReleaseAdversary
     }
@@ -78,6 +145,10 @@ impl ImmediateReleaseAdversary {
 impl Adversary for ImmediateReleaseAdversary {
     fn name(&self) -> &'static str {
         "immediate-release"
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        true
     }
 
     fn honest_delay(&mut self, _round: Round, _from: usize, _to: usize) -> u64 {
@@ -90,8 +161,8 @@ impl Adversary for ImmediateReleaseAdversary {
         group_tips: &[BlockId; 2],
         tree: &mut BlockTree,
         successes: u64,
-    ) -> Vec<ReleaseDirective> {
-        let mut releases = Vec::new();
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
         let mut tip = group_tips[0];
         for _ in 0..successes {
             tip = tree.add_block(tip, round, Provenance::Adversary);
@@ -101,7 +172,6 @@ impl Adversary for ImmediateReleaseAdversary {
                 delay: 1,
             });
         }
-        releases
     }
 }
 
@@ -118,6 +188,7 @@ pub struct PrivateChainAdversary {
 
 impl PrivateChainAdversary {
     /// Creates the private-chain adversary for delay bound `delta`.
+    #[must_use]
     pub fn new(delta: u64) -> Self {
         PrivateChainAdversary {
             delta,
@@ -127,6 +198,7 @@ impl PrivateChainAdversary {
     }
 
     /// Current number of withheld blocks.
+    #[must_use]
     pub fn withheld_len(&self) -> usize {
         self.withheld.len()
     }
@@ -135,6 +207,16 @@ impl PrivateChainAdversary {
 impl Adversary for PrivateChainAdversary {
     fn name(&self) -> &'static str {
         "private-chain"
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        true
+    }
+
+    fn live_blocks(&self) -> Vec<BlockId> {
+        // The withheld fork hangs off `private_tip`'s ancestor chain;
+        // keeping the tip alive keeps the whole fork alive.
+        vec![self.private_tip]
     }
 
     fn honest_delay(&mut self, _round: Round, _from: usize, _to: usize) -> u64 {
@@ -147,7 +229,8 @@ impl Adversary for PrivateChainAdversary {
         group_tips: &[BlockId; 2],
         tree: &mut BlockTree,
         successes: u64,
-    ) -> Vec<ReleaseDirective> {
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
         let public_tip = if tree.height(group_tips[0]) >= tree.height(group_tips[1]) {
             group_tips[0]
         } else {
@@ -174,7 +257,6 @@ impl Adversary for PrivateChainAdversary {
             && private_height > public_height
             && private_height - public_height <= 1
         {
-            let mut releases = Vec::new();
             for &block in &self.withheld {
                 for group in 0..2 {
                     releases.push(ReleaseDirective {
@@ -185,9 +267,7 @@ impl Adversary for PrivateChainAdversary {
                 }
             }
             self.withheld.clear();
-            return releases;
         }
-        Vec::new()
     }
 }
 
@@ -204,6 +284,7 @@ pub struct BalanceAdversary {
 
 impl BalanceAdversary {
     /// Creates the balance adversary for delay bound `delta`.
+    #[must_use]
     pub fn new(delta: u64) -> Self {
         BalanceAdversary { delta }
     }
@@ -212,6 +293,10 @@ impl BalanceAdversary {
 impl Adversary for BalanceAdversary {
     fn name(&self) -> &'static str {
         "balance"
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        true
     }
 
     fn group_count(&self) -> usize {
@@ -228,8 +313,8 @@ impl Adversary for BalanceAdversary {
         group_tips: &[BlockId; 2],
         tree: &mut BlockTree,
         successes: u64,
-    ) -> Vec<ReleaseDirective> {
-        let mut releases = Vec::new();
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
         let mut tips = *group_tips;
         for _ in 0..successes {
             // Extend the branch that is behind (ties favour branch 0 so
@@ -250,7 +335,6 @@ impl Adversary for BalanceAdversary {
                 delay: 1,
             });
         }
-        releases
     }
 }
 
@@ -267,11 +351,24 @@ mod tests {
         (tree, tip)
     }
 
+    /// Test convenience: run `act` into a fresh buffer.
+    fn act_collect<A: Adversary>(
+        adv: &mut A,
+        round: Round,
+        tips: [BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+    ) -> Vec<ReleaseDirective> {
+        let mut out = Vec::new();
+        adv.act(round, &tips, tree, successes, &mut out);
+        out
+    }
+
     #[test]
     fn immediate_release_publishes_every_success() {
         let (mut tree, tip) = tree_with_public_chain(3);
         let mut adv = ImmediateReleaseAdversary::new();
-        let releases = adv.act(4, &[tip, tip], &mut tree, 2);
+        let releases = act_collect(&mut adv, 4, [tip, tip], &mut tree, 2);
         assert_eq!(releases.len(), 2);
         // Successes chain on one another.
         assert_eq!(tree.height(releases[1].block), 5);
@@ -285,7 +382,7 @@ mod tests {
         let mut adv = PrivateChainAdversary::new(8);
         assert_eq!(adv.honest_delay(1, 0, 1), 8, "max-delays honest blocks");
         // Adversary gets 3 successes: private chain reaches height 5 > 2.
-        let releases = adv.act(3, &[tip, tip], &mut tree, 3);
+        let releases = act_collect(&mut adv, 3, [tip, tip], &mut tree, 3);
         assert!(releases.is_empty(), "lead of 3 is safe; keep withholding");
         assert_eq!(adv.withheld_len(), 3);
         // Public chain grows to height 4: lead shrinks to 1 → release.
@@ -293,7 +390,7 @@ mod tests {
         for r in 4..=5 {
             public_tip = tree.add_block(public_tip, r, Provenance::Honest(0));
         }
-        let releases = adv.act(6, &[public_tip, public_tip], &mut tree, 0);
+        let releases = act_collect(&mut adv, 6, [public_tip, public_tip], &mut tree, 0);
         assert_eq!(releases.len(), 3 * 2, "3 blocks × 2 groups");
         assert_eq!(adv.withheld_len(), 0);
     }
@@ -304,7 +401,7 @@ mod tests {
         let mut adv = PrivateChainAdversary::new(4);
         // One success from genesis-height private tip: it is behind the
         // public chain, so it restarts from the public tip.
-        let _ = adv.act(6, &[tip, tip], &mut tree, 1);
+        let _ = act_collect(&mut adv, 6, [tip, tip], &mut tree, 1);
         assert_eq!(tree.height(adv.private_tip), 6);
     }
 
@@ -317,7 +414,7 @@ mod tests {
         let b1 = tree.add_block(BlockId::GENESIS, 1, Provenance::Honest(1));
         let mut adv = BalanceAdversary::new(5);
         assert_eq!(adv.group_count(), 2);
-        let releases = adv.act(3, &[a2, b1], &mut tree, 1);
+        let releases = act_collect(&mut adv, 3, [a2, b1], &mut tree, 1);
         assert_eq!(releases.len(), 1);
         let block = releases[0].block;
         // The new block extends branch 1 (the lagging one) and is
@@ -333,7 +430,13 @@ mod tests {
         let mut adv = BalanceAdversary::new(3);
         // From a level start, two successes go to alternating branches
         // (0 first, then the other branch is lagging).
-        let releases = adv.act(1, &[BlockId::GENESIS, BlockId::GENESIS], &mut tree, 2);
+        let releases = act_collect(
+            &mut adv,
+            1,
+            [BlockId::GENESIS, BlockId::GENESIS],
+            &mut tree,
+            2,
+        );
         assert_eq!(releases.len(), 2);
         let first = releases[0].block;
         let second = releases[1].block;

@@ -23,6 +23,7 @@ impl BlockId {
     pub const GENESIS: BlockId = BlockId(0);
 
     /// The raw arena index.
+    #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
     }
@@ -47,11 +48,13 @@ pub enum Provenance {
 
 impl Provenance {
     /// `true` iff the block was mined by an honest miner.
+    #[must_use]
     pub fn is_honest(self) -> bool {
         matches!(self, Provenance::Honest(_))
     }
 
     /// `true` iff the block was mined by the adversary.
+    #[must_use]
     pub fn is_adversary(self) -> bool {
         matches!(self, Provenance::Adversary)
     }
@@ -74,6 +77,7 @@ pub struct Block {
 
 impl Block {
     /// `true` iff this is the genesis block.
+    #[must_use]
     pub fn is_genesis(&self) -> bool {
         self.id == BlockId::GENESIS
     }

@@ -96,22 +96,26 @@ impl SimConfig {
     }
 
     /// Number of corrupted miners `⌊νn⌉` (rounded to nearest).
+    #[must_use]
     pub fn n_adversary(&self) -> u64 {
         (self.adversary_fraction * self.n_miners as f64).round() as u64
     }
 
     /// Number of honest miners `n − νn`.
+    #[must_use]
     pub fn n_honest(&self) -> u64 {
         self.n_miners - self.n_adversary()
     }
 
     /// The honest fraction `µ = 1 − ν`.
+    #[must_use]
     pub fn honest_fraction(&self) -> f64 {
         1.0 - self.adversary_fraction
     }
 
     /// The paper's `c = 1/(pnΔ)`: expected number of Δ-delays before any
     /// block is mined.
+    #[must_use]
     pub fn c(&self) -> f64 {
         1.0 / (self.hardness * self.n_miners as f64 * self.delta as f64)
     }

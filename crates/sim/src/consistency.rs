@@ -18,10 +18,23 @@ use crate::tree::BlockTree;
 
 /// Tracks the adopted chain of each honest group and consistency
 /// statistics across the run.
+///
+/// Chains are stored from a movable `base_height` upward so that, with
+/// periodic [`ChainTracker::prune_below`] calls at the engine's
+/// finalized prefix, memory stays proportional to the live fork window
+/// instead of the full chain length. All heights in the API remain
+/// absolute.
 #[derive(Debug, Clone)]
 pub struct ChainTracker {
-    /// Per group: `chains[g][h]` is the adopted block at height `h`.
+    /// Per group: `chains[g][h - base_height]` is the adopted block at
+    /// absolute height `h`.
     chains: Vec<Vec<BlockId>>,
+    /// Reusable path buffer for [`ChainTracker::consider`] (hot path:
+    /// one adoption per honest block round).
+    scratch: Vec<BlockId>,
+    /// Absolute height of `chains[g][0]` for every group. Entries below
+    /// are finalized and have been discarded.
+    base_height: u64,
     /// Height of the last common block between group 0 and group 1
     /// (only meaningful with two groups).
     common_prefix_height: u64,
@@ -37,10 +50,13 @@ impl ChainTracker {
     /// # Panics
     ///
     /// Panics unless `n_groups ∈ {1, 2}`.
+    #[must_use]
     pub fn new(n_groups: usize) -> Self {
         assert!(n_groups == 1 || n_groups == 2, "1 or 2 honest groups");
         ChainTracker {
             chains: vec![vec![BlockId::GENESIS]; n_groups],
+            scratch: Vec::new(),
+            base_height: 0,
             common_prefix_height: 0,
             max_reorg_depth: 0,
             max_divergence_depth: 0,
@@ -49,23 +65,64 @@ impl ChainTracker {
     }
 
     /// Number of groups tracked.
+    #[must_use]
     pub fn n_groups(&self) -> usize {
         self.chains.len()
     }
 
     /// Current tip of a group's chain.
+    #[must_use]
     pub fn tip(&self, group: usize) -> BlockId {
-        *self.chains[group].last().expect("chain contains genesis")
+        *self.chains[group].last().expect("chain contains its base")
     }
 
     /// Current height of a group's chain.
+    #[must_use]
     pub fn height(&self, group: usize) -> u64 {
-        self.chains[group].len() as u64 - 1
+        self.base_height + self.chains[group].len() as u64 - 1
     }
 
-    /// The adopted block of `group` at `height`, if the chain is that tall.
+    /// Absolute height below which chain entries have been pruned.
+    #[must_use]
+    pub fn base_height(&self) -> u64 {
+        self.base_height
+    }
+
+    /// The adopted block of `group` at absolute `height`. Returns
+    /// `None` if the chain is not that tall *or* the entry has been
+    /// pruned away (below [`ChainTracker::base_height`]).
+    #[must_use]
     pub fn block_at(&self, group: usize, height: u64) -> Option<BlockId> {
-        self.chains[group].get(height as usize).copied()
+        let idx = height.checked_sub(self.base_height)?;
+        self.chains[group].get(idx as usize).copied()
+    }
+
+    /// Discards chain entries below absolute height `floor` for every
+    /// group. The caller must pass a finalized height: one at which all
+    /// groups agree and below which no future reorg can reach (the
+    /// engine uses the tree's pruned-root height).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` exceeds a group's current height or the groups
+    /// disagree at `floor`.
+    pub fn prune_below(&mut self, floor: u64) {
+        if floor <= self.base_height {
+            return;
+        }
+        let drop = (floor - self.base_height) as usize;
+        let shared = self.chains[0].get(drop).copied();
+        for chain in &mut self.chains {
+            assert!(chain.len() > drop, "prune floor {floor} above a chain tip");
+            assert_eq!(
+                chain.get(drop).copied(),
+                shared,
+                "prune floor {floor} is not finalized across groups"
+            );
+            chain.drain(..drop);
+        }
+        self.base_height = floor;
+        debug_assert!(self.common_prefix_height >= self.base_height || self.chains.len() == 1);
     }
 
     /// Offers a block to a group; it is adopted iff strictly higher than
@@ -81,19 +138,44 @@ impl ChainTracker {
     }
 
     fn adopt(&mut self, group: usize, tip: BlockId, tree: &BlockTree) {
-        let chain = &mut self.chains[group];
-        let old_height = chain.len() as u64 - 1;
+        let base = self.base_height;
+        // Fast path for the overwhelmingly common case: the new tip
+        // directly extends the stored tip (ordinary chain growth, no
+        // reorg). Skips the walk, the truncate and — with one group —
+        // the whole cross-group bookkeeping.
+        if tree.height(tip) == base + self.chains[group].len() as u64
+            && tree.parent(tip) == *self.chains[group].last().expect("chain non-empty")
+        {
+            self.chains[group].push(tip);
+            if self.chains.len() == 2 {
+                self.advance_common_prefix();
+                let deepest = self
+                    .chains
+                    .iter()
+                    .map(|c| base + c.len() as u64 - 1)
+                    .max()
+                    .expect("non-empty");
+                let divergence = deepest - self.common_prefix_height;
+                self.max_divergence_depth = self.max_divergence_depth.max(divergence);
+            }
+            return;
+        }
         // Collect the path from the new tip down to the first block that
-        // already agrees with the stored chain.
-        let mut path = Vec::new();
+        // already agrees with the stored chain (reusable buffer: this
+        // runs once per honest block round).
+        let mut path = std::mem::take(&mut self.scratch);
+        path.clear();
+        let chain = &mut self.chains[group];
+        let old_height = base + chain.len() as u64 - 1;
         let mut cur = tip;
         loop {
             let h = tree.height(cur);
-            if (h as usize) < chain.len() && chain[h as usize] == cur {
+            if h >= base && ((h - base) as usize) < chain.len() && chain[(h - base) as usize] == cur
+            {
                 break;
             }
             path.push(cur);
-            debug_assert!(h > 0, "genesis always agrees");
+            debug_assert!(h > base, "the chain base is finalized and always agrees");
             cur = tree.parent(cur);
         }
         let fork_height = tree.height(cur);
@@ -102,8 +184,9 @@ impl ChainTracker {
             self.reorg_count += 1;
             self.max_reorg_depth = self.max_reorg_depth.max(discarded);
         }
-        chain.truncate(fork_height as usize + 1);
-        chain.extend(path.into_iter().rev());
+        chain.truncate((fork_height - base) as usize + 1);
+        chain.extend(path.drain(..).rev());
+        self.scratch = path;
         // Maintain the cross-group common prefix.
         if self.chains.len() == 2 {
             self.common_prefix_height = self.common_prefix_height.min(fork_height);
@@ -111,7 +194,7 @@ impl ChainTracker {
             let deepest = self
                 .chains
                 .iter()
-                .map(|c| c.len() as u64 - 1)
+                .map(|c| base + c.len() as u64 - 1)
                 .max()
                 .expect("non-empty");
             let divergence = deepest - self.common_prefix_height;
@@ -120,32 +203,37 @@ impl ChainTracker {
     }
 
     fn advance_common_prefix(&mut self) {
-        let limit = self.chains.iter().map(Vec::len).min().expect("non-empty") as u64 - 1;
+        let base = self.base_height;
+        let limit = base + self.chains.iter().map(Vec::len).min().expect("non-empty") as u64 - 1;
         let (a, b) = (&self.chains[0], &self.chains[1]);
         let mut cp = self.common_prefix_height;
-        while cp < limit && a[(cp + 1) as usize] == b[(cp + 1) as usize] {
+        while cp < limit && a[(cp + 1 - base) as usize] == b[(cp + 1 - base) as usize] {
             cp += 1;
         }
         self.common_prefix_height = cp;
     }
 
     /// Deepest suffix any group ever discarded in a reorg.
+    #[must_use]
     pub fn max_reorg_depth(&self) -> u64 {
         self.max_reorg_depth
     }
 
     /// Deepest simultaneous cross-group disagreement observed.
+    #[must_use]
     pub fn max_divergence_depth(&self) -> u64 {
         self.max_divergence_depth
     }
 
     /// Number of reorgs (tip switches discarding ≥ 1 block).
+    #[must_use]
     pub fn reorg_count(&self) -> u64 {
         self.reorg_count
     }
 
     /// Height of the last block shared by both groups' current chains
     /// (equals the tip height with a single group).
+    #[must_use]
     pub fn common_prefix_height(&self) -> u64 {
         if self.chains.len() == 1 {
             self.height(0)
@@ -156,6 +244,7 @@ impl ChainTracker {
 
     /// `true` iff the whole run satisfied `T`-consistency: no reorg and
     /// no simultaneous divergence deeper than `T`.
+    #[must_use]
     pub fn is_consistent(&self, t: u64) -> bool {
         self.max_reorg_depth <= t && self.max_divergence_depth <= t
     }
@@ -339,6 +428,47 @@ mod tests {
     #[test]
     #[should_panic(expected = "1 or 2")]
     fn rejects_three_groups() {
-        ChainTracker::new(3);
+        let _ = ChainTracker::new(3);
+    }
+
+    #[test]
+    fn prune_below_preserves_absolute_queries_and_stats() {
+        let mut tree = BlockTree::new();
+        let mut tracker = ChainTracker::new(2);
+        let mut tip = BlockId::GENESIS;
+        let mut blocks = vec![BlockId::GENESIS];
+        for r in 1..=10 {
+            tip = tree.add_block(tip, r, Provenance::Honest(0));
+            blocks.push(tip);
+            tracker.consider(0, tip, &tree);
+            tracker.consider(1, tip, &tree);
+        }
+        tracker.prune_below(6);
+        assert_eq!(tracker.base_height(), 6);
+        assert_eq!(tracker.height(0), 10, "heights stay absolute");
+        assert_eq!(tracker.tip(1), tip);
+        assert_eq!(tracker.block_at(0, 5), None, "pruned entries are gone");
+        assert_eq!(tracker.block_at(0, 6), Some(blocks[6]));
+        assert_eq!(tracker.common_prefix_height(), 10);
+        // A reorg above the pruned base is still measured correctly.
+        let fork = tree.add_block(blocks[8], 11, Provenance::Adversary);
+        let fork2 = tree.add_block(fork, 12, Provenance::Adversary);
+        let fork3 = tree.add_block(fork2, 13, Provenance::Adversary);
+        assert!(tracker.consider(0, fork3, &tree));
+        assert_eq!(tracker.max_reorg_depth(), 2, "blocks 9 and 10 discarded");
+        assert_eq!(tracker.block_at(0, 9), Some(fork));
+        // Idempotent / no-op below current base.
+        tracker.prune_below(3);
+        assert_eq!(tracker.base_height(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "above a chain tip")]
+    fn prune_above_tip_rejected() {
+        let mut tree = BlockTree::new();
+        let mut tracker = ChainTracker::new(1);
+        let a = tree.add_block(BlockId::GENESIS, 1, Provenance::Honest(0));
+        tracker.consider(0, a, &tree);
+        tracker.prune_below(5);
     }
 }

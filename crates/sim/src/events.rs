@@ -25,6 +25,7 @@ pub enum RoundState {
 
 impl RoundState {
     /// Classifies a round from its honest block count.
+    #[must_use]
     pub fn from_count(honest_blocks: u64) -> Self {
         match honest_blocks {
             0 => RoundState::NoHonest,
@@ -34,6 +35,7 @@ impl RoundState {
     }
 
     /// `true` for any `H` round (at least one honest block).
+    #[must_use]
     pub fn is_h(self) -> bool {
         !matches!(self, RoundState::NoHonest)
     }
@@ -61,6 +63,7 @@ pub enum SuffixState {
 
 impl SuffixState {
     /// Flat index in `0..2Δ+1` (see the module table).
+    #[must_use]
     pub fn index(self, delta: u64) -> usize {
         match self {
             SuffixState::RecentH => 0,
@@ -81,6 +84,7 @@ impl SuffixState {
     /// # Panics
     ///
     /// Panics if `index ≥ 2Δ+1`.
+    #[must_use]
     pub fn from_index(index: usize, delta: u64) -> Self {
         let d = delta as usize;
         if index == 0 {
@@ -97,6 +101,7 @@ impl SuffixState {
     }
 
     /// Number of suffix states for a given Δ: `2Δ+1`.
+    #[must_use]
     pub fn count(delta: u64) -> usize {
         2 * delta as usize + 1
     }
@@ -125,6 +130,7 @@ impl SuffixTracker {
     /// # Panics
     ///
     /// Panics if `delta == 0`.
+    #[must_use]
     pub fn new(delta: u64) -> Self {
         assert!(delta >= 1, "Δ must be at least 1");
         SuffixTracker {
@@ -138,16 +144,19 @@ impl SuffixTracker {
     }
 
     /// The current suffix state, if defined yet.
+    #[must_use]
     pub fn state(&self) -> Option<SuffixState> {
         self.state
     }
 
     /// Per-state visit counts (indexed per [`SuffixState::index`]).
+    #[must_use]
     pub fn occupancy(&self) -> &[u64] {
         &self.occupancy
     }
 
     /// Number of rounds included in [`SuffixTracker::occupancy`].
+    #[must_use]
     pub fn rounds_counted(&self) -> u64 {
         self.rounds_counted
     }
@@ -213,11 +222,70 @@ impl SuffixTracker {
         }
     }
 
+    /// Consumes `k` consecutive `N` (no-honest-block) rounds at once.
+    ///
+    /// Exactly equivalent to `k` calls of
+    /// `update(RoundState::NoHonest)`, but O(min(k, Δ)): the suffix
+    /// state reaches the absorbing-on-`N` state `HN^{≥Δ}` after at most
+    /// Δ transitions, so the remaining occupancy is added in bulk. This
+    /// is what lets the simulator fast-forward quiet gaps in O(1).
+    pub fn advance_n_run(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let Some(mut state) = self.state else {
+            // Warm-up: N rounds only grow the tracked gap (and only
+            // once an H has been seen); nothing is counted.
+            if self.h_rounds_seen > 0 {
+                self.warmup_gap += k;
+            }
+            return;
+        };
+        let delta = self.delta;
+        let mut consumed = 0u64;
+        while consumed < k {
+            if state == SuffixState::LongGap {
+                // Absorbing under N: charge the rest of the run here.
+                self.occupancy[SuffixState::LongGap.index(delta)] += k - consumed;
+                break;
+            }
+            state = match state {
+                SuffixState::RecentH => {
+                    if delta >= 2 {
+                        SuffixState::ShortGap(1)
+                    } else {
+                        SuffixState::LongGap
+                    }
+                }
+                SuffixState::ShortGap(a) => {
+                    if a < delta - 1 {
+                        SuffixState::ShortGap(a + 1)
+                    } else {
+                        SuffixState::LongGap
+                    }
+                }
+                SuffixState::AfterLongGap(b) => {
+                    if b < delta - 1 {
+                        SuffixState::AfterLongGap(b + 1)
+                    } else {
+                        SuffixState::LongGap
+                    }
+                }
+                SuffixState::LongGap => unreachable!("handled above"),
+            };
+            self.occupancy[state.index(delta)] += 1;
+            consumed += 1;
+        }
+        self.state = Some(state);
+        self.rounds_counted += k;
+    }
+
     /// Empirical state distribution (occupancy / rounds counted).
     ///
     /// # Panics
     ///
     /// Panics if no rounds have been counted yet.
+    #[must_use]
     pub fn empirical_distribution(&self) -> Vec<f64> {
         assert!(self.rounds_counted > 0, "no rounds counted yet");
         self.occupancy
@@ -251,6 +319,7 @@ impl ConvergenceDetector {
     /// # Panics
     ///
     /// Panics if `delta == 0`.
+    #[must_use]
     pub fn new(delta: u64) -> Self {
         assert!(delta >= 1, "Δ must be at least 1");
         ConvergenceDetector {
@@ -263,6 +332,7 @@ impl ConvergenceDetector {
     }
 
     /// Number of completed convergence opportunities so far.
+    #[must_use]
     pub fn count(&self) -> u64 {
         self.count
     }
@@ -291,6 +361,21 @@ impl ConvergenceDetector {
                 self.n_run = 0;
             }
         }
+    }
+
+    /// Consumes `k` consecutive `N` rounds at once; O(1) and exactly
+    /// equivalent to `k` calls of `update(0)` (the quiet-gap
+    /// fast-forward path of the simulator).
+    pub fn advance_n_run(&mut self, k: u64) {
+        if let Some(remaining) = self.pending {
+            if remaining <= k {
+                self.count += 1;
+                self.pending = None;
+            } else {
+                self.pending = Some(remaining - k);
+            }
+        }
+        self.n_run += k;
     }
 }
 
@@ -543,6 +628,56 @@ mod randomized_tests {
                 naive_convergence_count(&rounds, delta),
                 "detector disagrees with naive reference: delta={delta} rounds={rounds:?}"
             );
+        }
+    }
+
+    /// Bulk quiet advance must be indistinguishable from per-round
+    /// updates for both detectors, from any reachable starting state.
+    #[test]
+    fn advance_n_run_equals_per_round_updates() {
+        let mut rng = SplitMix64::new(0xE7_03);
+        for _ in 0..256 {
+            let delta = rng.next_range(1, 6);
+            // Random warm-up prefix to land in an arbitrary state.
+            let prefix_len = rng.next_below(30) as usize;
+            let prefix: Vec<u64> = (0..prefix_len).map(|_| rng.next_below(3)).collect();
+            let k = rng.next_below(40);
+            let mut bulk_suffix = SuffixTracker::new(delta);
+            let mut step_suffix = SuffixTracker::new(delta);
+            let mut bulk_conv = ConvergenceDetector::new(delta);
+            let mut step_conv = ConvergenceDetector::new(delta);
+            for &h in &prefix {
+                bulk_suffix.update(RoundState::from_count(h));
+                step_suffix.update(RoundState::from_count(h));
+                bulk_conv.update(h);
+                step_conv.update(h);
+            }
+            bulk_suffix.advance_n_run(k);
+            bulk_conv.advance_n_run(k);
+            for _ in 0..k {
+                step_suffix.update(RoundState::NoHonest);
+                step_conv.update(0);
+            }
+            assert_eq!(bulk_suffix.state(), step_suffix.state(), "Δ={delta} k={k}");
+            assert_eq!(
+                bulk_suffix.occupancy(),
+                step_suffix.occupancy(),
+                "Δ={delta} k={k} prefix={prefix:?}"
+            );
+            assert_eq!(bulk_suffix.rounds_counted(), step_suffix.rounds_counted());
+            assert_eq!(bulk_conv.count(), step_conv.count(), "Δ={delta} k={k}");
+            // Continue both with a shared random tail: internal state
+            // (n_run, pending, warmup_gap) must also have converged.
+            let tail_len = rng.next_below(30) as usize;
+            for _ in 0..tail_len {
+                let h = rng.next_below(3);
+                bulk_suffix.update(RoundState::from_count(h));
+                step_suffix.update(RoundState::from_count(h));
+                bulk_conv.update(h);
+                step_conv.update(h);
+            }
+            assert_eq!(bulk_suffix.occupancy(), step_suffix.occupancy());
+            assert_eq!(bulk_conv.count(), step_conv.count());
         }
     }
 

@@ -14,6 +14,26 @@
 //! 3. **Schedule** — honest blocks reach their own group immediately and
 //!    other groups after the adversary-chosen delay `∈ [1, Δ]`;
 //!    adversary releases are scheduled likewise.
+//!
+//! # Hot path
+//!
+//! The engine is generic over the adversary, so strategy calls are
+//! statically dispatched ([`run_simulation_with`]); the historical
+//! boxed entry point [`run_simulation`] is a thin wrapper. Mining is
+//! sampled through the oracle's gap interface: instead of drawing block
+//! counts round by round, the engine draws the geometric gap to the
+//! next proof-of-work success and buffers that round's outcome. In
+//! [`Simulation::run`], quiet stretches of a gap with no pending
+//! delivery are then skipped in O(1) for strategies that declare
+//! [`Adversary::supports_fast_forward`] — in the paper's interesting
+//! regimes (`c ≥ 1`, i.e. most rounds mine nothing) this is the
+//! difference between O(T) and O(#blocks · Δ) work per run.
+//!
+//! Long runs also stay in bounded memory: every
+//! [`Simulation::prune_interval`] rounds the engine prunes the block
+//! tree (and the trackers' chain storage) below the common ancestor of
+//! every *live* block — group tips, in-flight deliveries, and blocks
+//! the adversary still references — which no future reorg can cross.
 
 use crate::adversary::Adversary;
 use crate::block::{BlockId, Provenance, Round};
@@ -22,9 +42,13 @@ use crate::consistency::ChainTracker;
 use crate::events::{ConvergenceDetector, RoundState, SuffixTracker};
 use crate::metrics::SimReport;
 use crate::network::Network;
-use crate::oracle::MiningOracle;
+use crate::oracle::{MiningOracle, RoundOutcome};
 use crate::tree::BlockTree;
 use probability::rng::Xoshiro256PlusPlus;
+
+/// Default number of rounds between automatic prunes of the block tree
+/// and tracker storage (see [`Simulation::set_prune_interval`]).
+pub const DEFAULT_PRUNE_INTERVAL: u64 = 4_096;
 
 /// Per-round record kept when round logging is enabled (see
 /// [`Simulation::enable_round_log`]); feeds the sliding-window Lemma-1
@@ -39,14 +63,16 @@ pub struct RoundRecord {
     pub convergence_completed: bool,
 }
 
-/// A running simulation.
-pub struct Simulation {
+/// A running simulation, generic over the adversary strategy so the
+/// per-round strategy calls are statically dispatched. The default
+/// parameter keeps the historical boxed API compiling unchanged.
+pub struct Simulation<A: Adversary = Box<dyn Adversary>> {
     config: SimConfig,
     tree: BlockTree,
     network: Network,
     tracker: ChainTracker,
     oracle: MiningOracle,
-    adversary: Box<dyn Adversary>,
+    adversary: A,
     suffix: SuffixTracker,
     convergence: ConvergenceDetector,
     round: Round,
@@ -55,9 +81,20 @@ pub struct Simulation {
     h_rounds: u64,
     h1_rounds: u64,
     round_log: Option<Vec<RoundRecord>>,
+    /// Reusable buffer for the per-round delivery drain.
+    delivery_buf: Vec<crate::network::Delivery>,
+    /// Reusable buffer for the per-round adversary releases.
+    release_buf: Vec<crate::adversary::ReleaseDirective>,
+    /// Buffered mining outcome: `Some((k, out))` means the next `k − 1`
+    /// rounds are quiet and the `k`-th applies `out` (which has ≥ 1
+    /// success). Refilled from the oracle's gap sampler when empty.
+    pending_outcome: Option<(u64, RoundOutcome)>,
+    /// Rounds between automatic prunes; `None` disables pruning.
+    prune_interval: Option<u64>,
+    last_prune: Round,
 }
 
-impl std::fmt::Debug for Simulation {
+impl<A: Adversary> std::fmt::Debug for Simulation<A> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("config", &self.config)
@@ -68,12 +105,21 @@ impl std::fmt::Debug for Simulation {
     }
 }
 
-impl Simulation {
-    /// Creates a simulation from a validated config and a strategy.
+impl<A: Adversary> Simulation<A> {
+    /// Creates a simulation from a validated config and a strategy,
+    /// seeding the mining RNG from `config.seed`.
     ///
     /// Honest miners are split evenly across the delivery groups the
     /// strategy requests (1 or 2).
-    pub fn new(config: SimConfig, adversary: Box<dyn Adversary>) -> Self {
+    pub fn new(config: SimConfig, adversary: A) -> Self {
+        let rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
+        Simulation::with_rng(config, adversary, rng)
+    }
+
+    /// Creates a simulation driving mining from an explicit generator,
+    /// ignoring `config.seed`. This is how the Monte-Carlo engine hands
+    /// each trial its own `jump()`-derived disjoint stream.
+    pub fn with_rng(config: SimConfig, adversary: A, rng: Xoshiro256PlusPlus) -> Self {
         let n_groups = adversary.group_count();
         assert!(n_groups == 1 || n_groups == 2, "1 or 2 honest groups");
         let n_honest = config.n_honest();
@@ -82,7 +128,6 @@ impl Simulation {
         } else {
             [n_honest / 2, n_honest - n_honest / 2]
         };
-        let rng = Xoshiro256PlusPlus::seed_from_u64(config.seed);
         Simulation {
             tree: BlockTree::new(),
             network: Network::new(),
@@ -97,12 +142,19 @@ impl Simulation {
             h_rounds: 0,
             h1_rounds: 0,
             round_log: None,
+            delivery_buf: Vec::new(),
+            release_buf: Vec::new(),
+            pending_outcome: None,
+            prune_interval: Some(DEFAULT_PRUNE_INTERVAL),
+            last_prune: 0,
             config,
         }
     }
 
     /// Turns on per-round logging (honest/adversary block counts and
     /// convergence completions). Must be called before stepping.
+    /// Disables the quiet-gap bulk skip (each logged round needs its
+    /// own record) but not gap-based sampling.
     ///
     /// # Panics
     ///
@@ -132,6 +184,15 @@ impl Simulation {
         &self.tree
     }
 
+    /// Sets the automatic prune cadence (`None` disables pruning, e.g.
+    /// to keep the full tree for post-run forensics). Pruning never
+    /// changes any simulation observable — it only bounds memory — so
+    /// the default ([`DEFAULT_PRUNE_INTERVAL`]) is safe for all runs.
+    pub fn set_prune_interval(&mut self, interval: Option<u64>) {
+        assert!(interval != Some(0), "prune interval must be ≥ 1 round");
+        self.prune_interval = interval;
+    }
+
     /// Both group tips (duplicated in the single-group setting).
     fn group_tips(&self) -> [BlockId; 2] {
         if self.tracker.n_groups() == 1 {
@@ -149,15 +210,35 @@ impl Simulation {
         let n_groups = self.tracker.n_groups();
 
         // 1. Receive.
-        for delivery in self.network.due(round) {
+        let mut deliveries = std::mem::take(&mut self.delivery_buf);
+        self.network.drain_due_into(round, &mut deliveries);
+        for delivery in &deliveries {
             if delivery.group < n_groups {
                 self.tracker
                     .consider(delivery.group, delivery.block, &self.tree);
             }
         }
+        self.delivery_buf = deliveries;
 
-        // 2. Mine (honest).
-        let outcome = self.oracle.sample_round();
+        // 2. Mine (honest). The outcome comes from the gap buffer: when
+        // it is empty the oracle samples how many all-quiet rounds
+        // precede the next success together with that round's counts.
+        let outcome = match self.pending_outcome.take() {
+            Some((1, out)) => out,
+            Some((left, out)) => {
+                self.pending_outcome = Some((left - 1, out));
+                RoundOutcome::quiet()
+            }
+            None => match self.oracle.sample_gap_to_success() {
+                Some((1, out)) => out,
+                Some((gap, out)) => {
+                    self.pending_outcome = Some((gap - 1, out));
+                    RoundOutcome::quiet()
+                }
+                // No miners exist: every round is quiet.
+                None => RoundOutcome::quiet(),
+            },
+        };
         let honest_total = outcome.honest_total();
         self.honest_blocks += honest_total;
         if honest_total >= 1 {
@@ -202,10 +283,16 @@ impl Simulation {
         // 3. Adversary mining and releases.
         self.adversary_blocks += outcome.adversary;
         let tips = self.group_tips();
-        let releases = self
-            .adversary
-            .act(round, &tips, &mut self.tree, outcome.adversary);
-        for release in releases {
+        let mut releases = std::mem::take(&mut self.release_buf);
+        releases.clear();
+        self.adversary.act(
+            round,
+            &tips,
+            &mut self.tree,
+            outcome.adversary,
+            &mut releases,
+        );
+        for release in &releases {
             if release.group >= n_groups {
                 continue;
             }
@@ -213,6 +300,7 @@ impl Simulation {
             self.network
                 .schedule(release.block, release.group, round + delay);
         }
+        self.release_buf = releases;
 
         // 4. Detectors.
         self.suffix.update(RoundState::from_count(honest_total));
@@ -225,12 +313,91 @@ impl Simulation {
                 convergence_completed: self.convergence.count() > before,
             });
         }
+
+        // 5. Housekeeping.
+        self.maybe_prune();
     }
 
     /// Runs `rounds` further rounds.
+    ///
+    /// For strategies declaring [`Adversary::supports_fast_forward`],
+    /// stretches of buffered quiet rounds with no delivery due are
+    /// consumed in bulk: by the trait contract the skipped `act` calls
+    /// are no-ops, deliveries cannot materialise out of thin air, and
+    /// the detectors advance by closed form, so the result is
+    /// bit-identical to stepping round by round (see the
+    /// `step_by_step_equals_run` test).
     pub fn run(&mut self, rounds: u64) {
-        for _ in 0..rounds {
+        let target = self.round + rounds;
+        let fast = self.adversary.supports_fast_forward();
+        while self.round < target {
             self.step();
+            if !fast || self.round_log.is_some() {
+                continue;
+            }
+            // Refill the gap buffer eagerly: sampling order (and hence
+            // the random stream) is unchanged, but the round that would
+            // otherwise execute just to draw the next gap becomes
+            // skippable like the rest of the quiet stretch.
+            if self.pending_outcome.is_none() {
+                self.pending_outcome = self.oracle.sample_gap_to_success();
+            }
+            let Some((left, _)) = self.pending_outcome else {
+                continue;
+            };
+            // Rounds strictly before the buffered success round are
+            // quiet; stop early for the run target and for the next
+            // delivery (its round must execute for real).
+            let mut skip = (left - 1).min(target - self.round);
+            if let Some(due) = self.network.next_due() {
+                skip = skip.min(due.saturating_sub(self.round + 1));
+            }
+            if skip > 0 {
+                self.skip_quiet(skip);
+            }
+        }
+    }
+
+    /// Consumes `k` quiet rounds in O(min(k, Δ)): no mining, no
+    /// deliveries, no strategy calls — only the round counter, the gap
+    /// buffer, and the streaming detectors advance.
+    fn skip_quiet(&mut self, k: u64) {
+        debug_assert!(self.network.next_due().map_or(true, |d| d > self.round + k));
+        self.round += k;
+        if let Some((left, _)) = &mut self.pending_outcome {
+            debug_assert!(*left > k);
+            *left -= k;
+        }
+        self.suffix.advance_n_run(k);
+        self.convergence.advance_n_run(k);
+        self.maybe_prune();
+    }
+
+    fn maybe_prune(&mut self) {
+        let Some(interval) = self.prune_interval else {
+            return;
+        };
+        if self.round - self.last_prune < interval {
+            return;
+        }
+        self.last_prune = self.round;
+        // The finalized point: the common ancestor of everything that
+        // can still influence the future — group tips, blocks in
+        // flight, and blocks the adversary holds. Every future block
+        // descends from one of these, so no later reorg can cross it.
+        let mut root = self.tracker.tip(0);
+        for g in 1..self.tracker.n_groups() {
+            root = self.tree.common_ancestor(root, self.tracker.tip(g));
+        }
+        for block in self.network.pending_blocks() {
+            root = self.tree.common_ancestor(root, block);
+        }
+        for block in self.adversary.live_blocks() {
+            root = self.tree.common_ancestor(root, block);
+        }
+        if root != self.tree.root() {
+            self.tree.prune_to(root);
+            self.tracker.prune_below(self.tree.height(root));
         }
     }
 
@@ -260,7 +427,33 @@ impl Simulation {
     }
 }
 
-/// Convenience wrapper: builds, runs and reports in one call.
+/// Statically dispatched convenience wrapper: builds, runs and reports
+/// in one call. This is the hot-path entry point — the adversary's
+/// methods are monomorphized into the round loop.
+///
+/// ```
+/// use nakamoto_sim::config::SimConfig;
+/// use nakamoto_sim::adversary::PrivateChainAdversary;
+/// use nakamoto_sim::execution::run_simulation_with;
+///
+/// let cfg = SimConfig::new(100, 0.2, 1e-3, 2, 42)?;
+/// let report = run_simulation_with(cfg, PrivateChainAdversary::new(2), 10_000);
+/// assert!(report.honest_blocks > 0);
+/// # Ok::<(), nakamoto_sim::config::ConfigError>(())
+/// ```
+pub fn run_simulation_with<A: Adversary>(
+    config: SimConfig,
+    adversary: A,
+    rounds: u64,
+) -> SimReport {
+    let mut sim = Simulation::new(config, adversary);
+    sim.run(rounds);
+    sim.report()
+}
+
+/// Boxed convenience wrapper kept for heterogeneous call sites (e.g.
+/// tables ranging over strategies); delegates to
+/// [`run_simulation_with`].
 ///
 /// ```
 /// use nakamoto_sim::config::SimConfig;
@@ -272,10 +465,9 @@ impl Simulation {
 /// assert!(report.honest_blocks > 0);
 /// # Ok::<(), nakamoto_sim::config::ConfigError>(())
 /// ```
+#[must_use]
 pub fn run_simulation(config: SimConfig, adversary: Box<dyn Adversary>, rounds: u64) -> SimReport {
-    let mut sim = Simulation::new(config, adversary);
-    sim.run(rounds);
-    sim.report()
+    run_simulation_with(config, adversary, rounds)
 }
 
 #[cfg(test)]
@@ -426,18 +618,117 @@ mod tests {
 
     #[test]
     fn step_by_step_equals_run() {
-        let mut a = Simulation::new(
-            cfg(60, 0.2, 1e-3, 2, 5),
-            Box::new(ImmediateReleaseAdversary::new()),
-        );
-        let mut b = Simulation::new(
-            cfg(60, 0.2, 1e-3, 2, 5),
-            Box::new(ImmediateReleaseAdversary::new()),
-        );
-        a.run(1000);
-        for _ in 0..1000 {
+        // `run` bulk-skips quiet gaps; `step` executes every round. The
+        // reports must be bit-identical for every fast-forward-capable
+        // strategy.
+        for delta in [1u64, 2, 4] {
+            let mut a = Simulation::new(
+                cfg(60, 0.2, 1e-3, delta, 5),
+                ImmediateReleaseAdversary::new(),
+            );
+            let mut b = Simulation::new(
+                cfg(60, 0.2, 1e-3, delta, 5),
+                ImmediateReleaseAdversary::new(),
+            );
+            a.run(5000);
+            for _ in 0..5000 {
+                b.step();
+            }
+            assert_eq!(a.report(), b.report(), "Δ = {delta}");
+        }
+        let mut a = Simulation::new(cfg(60, 0.3, 2e-3, 3, 7), PrivateChainAdversary::new(3));
+        let mut b = Simulation::new(cfg(60, 0.3, 2e-3, 3, 7), PrivateChainAdversary::new(3));
+        a.run(20_000);
+        for _ in 0..20_000 {
             b.step();
         }
         assert_eq!(a.report(), b.report());
+        let mut a = Simulation::new(cfg(60, 0.3, 2e-3, 3, 8), BalanceAdversary::new(3));
+        let mut b = Simulation::new(cfg(60, 0.3, 2e-3, 3, 8), BalanceAdversary::new(3));
+        a.run(20_000);
+        for _ in 0..20_000 {
+            b.step();
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn static_and_boxed_dispatch_agree() {
+        let a = run_simulation_with(
+            cfg(80, 0.25, 1e-3, 3, 99),
+            PrivateChainAdversary::new(3),
+            20_000,
+        );
+        let b = run_simulation(
+            cfg(80, 0.25, 1e-3, 3, 99),
+            Box::new(PrivateChainAdversary::new(3)),
+            20_000,
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pruning_never_changes_results() {
+        // Satellite regression: 50k-round private-chain run, pruned
+        // vs unpruned trees must agree on every observable, including
+        // the consistency depths.
+        let mk = || {
+            Simulation::new(
+                SimConfig::from_c(100, 4, 1.0, 0.35, 1234).unwrap(),
+                PrivateChainAdversary::new(4),
+            )
+        };
+        let mut pruned = mk();
+        let mut unpruned = mk();
+        unpruned.set_prune_interval(None);
+        pruned.run(50_000);
+        unpruned.run(50_000);
+        let a = pruned.report();
+        let b = unpruned.report();
+        assert_eq!(a, b, "pruning must be behaviour-invisible");
+        assert_eq!(a.max_reorg_depth, b.max_reorg_depth);
+        assert_eq!(a.max_divergence_depth, b.max_divergence_depth);
+        assert!(
+            pruned.tree().len() < unpruned.tree().len(),
+            "pruned {} vs unpruned {}",
+            pruned.tree().len(),
+            unpruned.tree().len()
+        );
+        // Same check under the balance attack (two groups, divergence).
+        let mk = || {
+            Simulation::new(
+                SimConfig::from_c(100, 4, 1.0, 0.4, 77).unwrap(),
+                BalanceAdversary::new(4),
+            )
+        };
+        let mut pruned = mk();
+        let mut unpruned = mk();
+        unpruned.set_prune_interval(None);
+        pruned.run(50_000);
+        unpruned.run(50_000);
+        assert_eq!(pruned.report(), unpruned.report());
+    }
+
+    #[test]
+    fn pruned_long_run_holds_bounded_tree() {
+        // Acceptance: a 10⁷-round private-chain run keeps a bounded
+        // resident block count. The bound covers the live fork window
+        // (private lead + unfinalized suffix) plus up to one prune
+        // interval of fresh blocks.
+        let cfg = SimConfig::from_c(100, 4, 8.0, 0.3, 2024).unwrap();
+        let mut sim = Simulation::new(cfg, PrivateChainAdversary::new(4));
+        const CAP: usize = 8_192;
+        let mut peak = 0usize;
+        for _ in 0..1_000 {
+            sim.run(10_000);
+            peak = peak.max(sim.tree().len());
+        }
+        assert_eq!(sim.round(), 10_000_000);
+        assert!(
+            peak <= CAP,
+            "peak resident block count {peak} exceeds {CAP}"
+        );
+        // Sanity: the run really did mine a deep chain.
+        assert!(sim.report().group_heights[0] > 100_000);
     }
 }

@@ -44,6 +44,7 @@ pub mod consistency;
 pub mod events;
 pub mod execution;
 pub mod metrics;
+pub mod montecarlo;
 pub mod network;
 pub mod oracle;
 pub mod selfish;

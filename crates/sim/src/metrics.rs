@@ -45,6 +45,7 @@ pub struct SimReport {
 
 impl SimReport {
     /// Chain growth rate: blocks of height gained per round by group 0.
+    #[must_use]
     pub fn chain_growth_rate(&self) -> f64 {
         self.group_heights[0] as f64 / self.rounds as f64
     }
@@ -52,6 +53,7 @@ impl SimReport {
     /// Chain quality: honest fraction of group 0's final chain.
     ///
     /// Returns 1.0 for an empty chain (vacuous quality).
+    #[must_use]
     pub fn chain_quality(&self) -> f64 {
         let total = self.chain_honest_blocks + self.chain_adversary_blocks;
         if total == 0 {
@@ -61,22 +63,26 @@ impl SimReport {
     }
 
     /// Empirical convergence-opportunity rate `C/T`.
+    #[must_use]
     pub fn convergence_rate(&self) -> f64 {
         self.convergence_opportunities as f64 / self.rounds as f64
     }
 
     /// Empirical adversary block rate `A/T`.
+    #[must_use]
     pub fn adversary_rate(&self) -> f64 {
         self.adversary_blocks as f64 / self.rounds as f64
     }
 
     /// `true` iff the run exhibited no violation of `T`-consistency.
+    #[must_use]
     pub fn is_consistent(&self, t: u64) -> bool {
         self.max_reorg_depth <= t && self.max_divergence_depth <= t
     }
 
     /// The margin the paper's Lemma 1 requires to be positive:
     /// `C(t₀,t₀+T−1) − A(t₀,t₀+T−1)`.
+    #[must_use]
     pub fn convergence_margin(&self) -> i64 {
         self.convergence_opportunities as i64 - self.adversary_blocks as i64
     }

@@ -1,0 +1,509 @@
+//! Parallel Monte-Carlo experiment engine.
+//!
+//! Every empirical claim in the paper (Figure 1's attack thresholds,
+//! the T-consistency failure rates, the convergence-opportunity counts)
+//! rests on many independent simulation trials. This module fans those
+//! trials out over OS threads with three guarantees:
+//!
+//! * **Disjoint randomness** — trial `t` runs on the master generator
+//!   advanced by `t` [`Xoshiro256PlusPlus::jump`]s (2¹²⁸ steps each),
+//!   so trial streams can never overlap no matter how long a trial
+//!   runs.
+//! * **Thread-count independence** — per-trial generators are derived
+//!   from the master seed alone and trial results are reduced in trial
+//!   order, so [`run_trials`] returns a bit-identical
+//!   [`TrialAggregate`] for 1, 2 or 64 worker threads.
+//! * **No new dependencies** — plain `std::thread::scope` workers over
+//!   an atomic work counter; no rayon, no channels.
+//!
+//! # Example
+//!
+//! ```
+//! use nakamoto_sim::adversary::PrivateChainAdversary;
+//! use nakamoto_sim::config::SimConfig;
+//! use nakamoto_sim::montecarlo::TrialPlan;
+//!
+//! let cfg = SimConfig::from_c(100, 4, 2.0, 0.3, 7)?; // seed 7 = master seed
+//! let plan = TrialPlan::new(cfg, 5_000, 8).thresholds(vec![6, 12]);
+//! let run = plan.run(|_trial| PrivateChainAdversary::new(4));
+//! let wilson = run.aggregate.failure_interval(12, 1.96).unwrap();
+//! println!(
+//!     "T=12 failure rate {:.2} [{:.2}, {:.2}] at {:.0} rounds/sec",
+//!     wilson.estimate, wilson.lo, wilson.hi, run.rounds_per_sec,
+//! );
+//! # Ok::<(), nakamoto_sim::config::ConfigError>(())
+//! ```
+
+use crate::adversary::Adversary;
+use crate::config::SimConfig;
+use crate::execution::Simulation;
+use crate::metrics::SimReport;
+use probability::rng::Xoshiro256PlusPlus;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A Monte-Carlo experiment: `trials` independent simulations of
+/// `rounds` rounds each, all sharing one validated configuration.
+///
+/// `config.seed` is the *master seed*: it determines every trial's
+/// random stream. The number of worker threads affects wall-clock time
+/// only, never results.
+#[derive(Debug, Clone)]
+pub struct TrialPlan {
+    /// Shared simulation parameters; `config.seed` is the master seed.
+    pub config: SimConfig,
+    /// Rounds per trial.
+    pub rounds: u64,
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+    /// Consistency thresholds `T` for which per-trial violation is
+    /// tallied (see [`TrialAggregate::failure_counts`]).
+    pub consistency_thresholds: Vec<u64>,
+}
+
+impl TrialPlan {
+    /// Creates a plan with no consistency thresholds and automatic
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` or `rounds == 0`.
+    #[must_use]
+    pub fn new(config: SimConfig, rounds: u64, trials: u64) -> Self {
+        assert!(trials > 0, "at least one trial");
+        assert!(rounds > 0, "at least one round per trial");
+        TrialPlan {
+            config,
+            rounds,
+            trials,
+            threads: 0,
+            consistency_thresholds: Vec::new(),
+        }
+    }
+
+    /// Sets the consistency thresholds to tally (builder style).
+    #[must_use]
+    pub fn thresholds(mut self, thresholds: Vec<u64>) -> Self {
+        self.consistency_thresholds = thresholds;
+        self
+    }
+
+    /// Sets the worker thread count (builder style); `0` = one per CPU.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the plan; see [`run_trials`].
+    pub fn run<A, F>(&self, make_adversary: F) -> MonteCarloRun
+    where
+        A: Adversary,
+        F: Fn(u64) -> A + Sync,
+    {
+        run_trials(self, make_adversary)
+    }
+}
+
+/// A Wilson score interval for a binomial proportion — the right
+/// confidence interval for failure *rates* near 0 or 1, where the
+/// normal approximation collapses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WilsonInterval {
+    /// Point estimate `x/n`.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+impl WilsonInterval {
+    /// Computes the interval for `successes` out of `n` at critical
+    /// value `z` (1.96 ≈ 95%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(successes: u64, n: u64, z: f64) -> Self {
+        assert!(n > 0, "interval over zero observations");
+        let nf = n as f64;
+        let p_hat = successes as f64 / nf;
+        let z2 = z * z;
+        let denom = 1.0 + z2 / nf;
+        let centre = p_hat + z2 / (2.0 * nf);
+        let half = z * (p_hat * (1.0 - p_hat) / nf + z2 / (4.0 * nf * nf)).sqrt();
+        WilsonInterval {
+            estimate: p_hat,
+            lo: ((centre - half) / denom).max(0.0),
+            hi: ((centre + half) / denom).min(1.0),
+        }
+    }
+}
+
+/// Order-deterministic aggregate over all trials of a [`TrialPlan`].
+///
+/// Everything in here is a pure function of the master seed and the
+/// plan — never of thread count or scheduling (verified by the
+/// determinism tests). Wall-clock metrics live on [`MonteCarloRun`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialAggregate {
+    /// Number of trials aggregated.
+    pub trials: u64,
+    /// Rounds simulated per trial.
+    pub rounds_per_trial: u64,
+    /// Honest blocks summed over trials.
+    pub total_honest_blocks: u64,
+    /// Adversary blocks summed over trials.
+    pub total_adversary_blocks: u64,
+    /// Convergence opportunities summed over trials.
+    pub total_convergence_opportunities: u64,
+    /// Per-trial convergence-opportunity counts, in trial order.
+    pub convergence_counts: Vec<u64>,
+    /// Per-trial adversary block counts, in trial order.
+    pub adversary_counts: Vec<u64>,
+    /// Per-trial deepest reorg, in trial order.
+    pub reorg_depths: Vec<u64>,
+    /// Per-trial deepest cross-group divergence, in trial order.
+    pub divergence_depths: Vec<u64>,
+    /// Deepest reorg over all trials.
+    pub max_reorg_depth: u64,
+    /// Deepest divergence over all trials.
+    pub max_divergence_depth: u64,
+    /// For each plan threshold `T`, `(T, number of trials violating
+    /// T-consistency)` — a violation being a reorg or divergence
+    /// deeper than `T`.
+    pub failure_counts: Vec<(u64, u64)>,
+}
+
+impl TrialAggregate {
+    /// Mean per-trial deepest reorg.
+    #[must_use]
+    pub fn mean_reorg_depth(&self) -> f64 {
+        self.reorg_depths.iter().sum::<u64>() as f64 / self.trials as f64
+    }
+
+    /// Mean per-trial deepest divergence.
+    #[must_use]
+    pub fn mean_divergence_depth(&self) -> f64 {
+        self.divergence_depths.iter().sum::<u64>() as f64 / self.trials as f64
+    }
+
+    /// Mean per-trial convergence-opportunity count.
+    #[must_use]
+    pub fn mean_convergence(&self) -> f64 {
+        self.total_convergence_opportunities as f64 / self.trials as f64
+    }
+
+    /// Mean per-trial adversary block count.
+    #[must_use]
+    pub fn mean_adversary(&self) -> f64 {
+        self.total_adversary_blocks as f64 / self.trials as f64
+    }
+
+    /// Number of trials violating `T`-consistency, if `T` was a plan
+    /// threshold.
+    #[must_use]
+    pub fn failures_at(&self, t: u64) -> Option<u64> {
+        self.failure_counts
+            .iter()
+            .find(|&&(thr, _)| thr == t)
+            .map(|&(_, count)| count)
+    }
+
+    /// Wilson interval for the `T`-consistency failure rate, if `T`
+    /// was a plan threshold.
+    #[must_use]
+    pub fn failure_interval(&self, t: u64, z: f64) -> Option<WilsonInterval> {
+        self.failures_at(t)
+            .map(|failures| WilsonInterval::new(failures, self.trials, z))
+    }
+
+    /// Total rounds simulated across all trials.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.trials * self.rounds_per_trial
+    }
+}
+
+/// Result of [`run_trials`]: the deterministic aggregate plus
+/// wall-clock metrics (which naturally *do* depend on thread count).
+#[derive(Debug, Clone)]
+pub struct MonteCarloRun {
+    /// Thread-count-independent statistics.
+    pub aggregate: TrialAggregate,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole fan-out.
+    pub elapsed_secs: f64,
+    /// Aggregate simulated-round throughput (total rounds / elapsed).
+    pub rounds_per_sec: f64,
+}
+
+/// Derives the per-trial generators: the master stream seeded from
+/// `config.seed`, advanced `t` jumps for trial `t`.
+fn trial_streams(master_seed: u64, trials: u64) -> Vec<Xoshiro256PlusPlus> {
+    let mut stream = Xoshiro256PlusPlus::seed_from_u64(master_seed);
+    let mut streams = Vec::with_capacity(trials as usize);
+    for _ in 0..trials {
+        streams.push(stream.clone());
+        stream = stream.jump();
+    }
+    streams
+}
+
+/// Runs `plan.trials` independent simulations over `std::thread::scope`
+/// workers and reduces their reports in trial order.
+///
+/// `make_adversary` builds a fresh strategy for trial `t`; it runs on
+/// worker threads, so it must be `Sync` (it is called once per trial).
+///
+/// The returned [`TrialAggregate`] is bit-identical for a fixed
+/// `plan.config.seed` regardless of `plan.threads`.
+pub fn run_trials<A, F>(plan: &TrialPlan, make_adversary: F) -> MonteCarloRun
+where
+    A: Adversary,
+    F: Fn(u64) -> A + Sync,
+{
+    assert!(plan.trials > 0, "at least one trial");
+    let threads = effective_threads(plan.threads, plan.trials);
+    let streams = trial_streams(plan.config.seed, plan.trials);
+    let next_trial = AtomicU64::new(0);
+    let reports: Mutex<Vec<(u64, SimReport)>> =
+        Mutex::new(Vec::with_capacity(plan.trials as usize));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(u64, SimReport)> = Vec::new();
+                loop {
+                    let trial = next_trial.fetch_add(1, Ordering::Relaxed);
+                    if trial >= plan.trials {
+                        break;
+                    }
+                    let rng = streams[trial as usize].clone();
+                    let mut sim = Simulation::with_rng(plan.config, make_adversary(trial), rng);
+                    sim.run(plan.rounds);
+                    local.push((trial, sim.report()));
+                }
+                if !local.is_empty() {
+                    reports.lock().expect("no poisoned workers").extend(local);
+                }
+            });
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    let mut reports = reports.into_inner().expect("no poisoned workers");
+    debug_assert_eq!(reports.len() as u64, plan.trials);
+    // Ordered reduction: trial order, not completion order.
+    reports.sort_unstable_by_key(|&(trial, _)| trial);
+
+    let mut aggregate = TrialAggregate {
+        trials: plan.trials,
+        rounds_per_trial: plan.rounds,
+        total_honest_blocks: 0,
+        total_adversary_blocks: 0,
+        total_convergence_opportunities: 0,
+        convergence_counts: Vec::with_capacity(reports.len()),
+        adversary_counts: Vec::with_capacity(reports.len()),
+        reorg_depths: Vec::with_capacity(reports.len()),
+        divergence_depths: Vec::with_capacity(reports.len()),
+        max_reorg_depth: 0,
+        max_divergence_depth: 0,
+        failure_counts: plan
+            .consistency_thresholds
+            .iter()
+            .map(|&t| (t, 0))
+            .collect(),
+    };
+    for (_, report) in &reports {
+        aggregate.total_honest_blocks += report.honest_blocks;
+        aggregate.total_adversary_blocks += report.adversary_blocks;
+        aggregate.total_convergence_opportunities += report.convergence_opportunities;
+        aggregate
+            .convergence_counts
+            .push(report.convergence_opportunities);
+        aggregate.adversary_counts.push(report.adversary_blocks);
+        aggregate.reorg_depths.push(report.max_reorg_depth);
+        aggregate
+            .divergence_depths
+            .push(report.max_divergence_depth);
+        aggregate.max_reorg_depth = aggregate.max_reorg_depth.max(report.max_reorg_depth);
+        aggregate.max_divergence_depth = aggregate
+            .max_divergence_depth
+            .max(report.max_divergence_depth);
+        for (t, failures) in &mut aggregate.failure_counts {
+            if !report.is_consistent(*t) {
+                *failures += 1;
+            }
+        }
+    }
+
+    let total_rounds = aggregate.total_rounds();
+    MonteCarloRun {
+        aggregate,
+        threads,
+        elapsed_secs,
+        rounds_per_sec: total_rounds as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+    }
+}
+
+fn effective_threads(requested: usize, trials: u64) -> usize {
+    let available = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    };
+    available.clamp(1, trials.min(usize::MAX as u64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
+    use crate::execution::run_simulation_with;
+
+    fn plan(seed: u64, trials: u64) -> TrialPlan {
+        let cfg = SimConfig::from_c(60, 3, 1.0, 0.35, seed).unwrap();
+        TrialPlan::new(cfg, 4_000, trials).thresholds(vec![0, 4, 12])
+    }
+
+    #[test]
+    fn aggregate_independent_of_thread_count() {
+        let reference = plan(11, 12)
+            .with_threads(1)
+            .run(|_| PrivateChainAdversary::new(3));
+        for threads in [2usize, 3, 8] {
+            let other = plan(11, 12)
+                .with_threads(threads)
+                .run(|_| PrivateChainAdversary::new(3));
+            assert_eq!(
+                reference.aggregate, other.aggregate,
+                "aggregate differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn trials_match_sequential_jump_streams() {
+        // Trial t must equal a plain simulation run on the master
+        // stream jumped t times.
+        let p = plan(23, 4).with_threads(2);
+        let run = p.run(|_| PrivateChainAdversary::new(3));
+        let mut stream = Xoshiro256PlusPlus::seed_from_u64(23);
+        for t in 0..4usize {
+            let mut sim =
+                Simulation::with_rng(p.config, PrivateChainAdversary::new(3), stream.clone());
+            sim.run(p.rounds);
+            let report = sim.report();
+            assert_eq!(
+                run.aggregate.reorg_depths[t], report.max_reorg_depth,
+                "trial {t} reorg depth"
+            );
+            assert_eq!(
+                run.aggregate.convergence_counts[t], report.convergence_opportunities,
+                "trial {t} convergence count"
+            );
+            stream = stream.jump();
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_give_different_results() {
+        let a = plan(1, 6).run(|_| PrivateChainAdversary::new(3));
+        let b = plan(2, 6).run(|_| PrivateChainAdversary::new(3));
+        assert_ne!(a.aggregate, b.aggregate);
+    }
+
+    #[test]
+    fn trials_are_not_identical_copies() {
+        let run = plan(5, 8).run(|_| PrivateChainAdversary::new(3));
+        // With disjoint streams the per-trial convergence counts can't
+        // all coincide.
+        let first = run.aggregate.convergence_counts[0];
+        assert!(
+            run.aggregate.convergence_counts.iter().any(|&c| c != first),
+            "all trials produced identical counts: streams not disjoint?"
+        );
+    }
+
+    #[test]
+    fn failure_counts_and_intervals() {
+        // ν = 0 with the baseline adversary: nothing can be deeper than
+        // a height-tie reorg, so T = 12 never fails and T = 0 counts
+        // trials with any reorg at all.
+        let cfg = SimConfig::new(50, 0.0, 2e-3, 2, 3).unwrap();
+        let run = TrialPlan::new(cfg, 5_000, 10)
+            .thresholds(vec![0, 12])
+            .run(|_| ImmediateReleaseAdversary::new());
+        assert_eq!(run.aggregate.failures_at(12), Some(0));
+        let w = run.aggregate.failure_interval(12, 1.96).unwrap();
+        assert_eq!(w.estimate, 0.0);
+        assert!(w.hi > 0.0, "upper bound stays positive at 0 successes");
+        assert_eq!(run.aggregate.failures_at(7), None, "unlisted threshold");
+        assert_eq!(run.aggregate.total_adversary_blocks, 0);
+    }
+
+    #[test]
+    fn aggregate_totals_match_single_runs() {
+        let p = plan(77, 3);
+        let run = p.run(|_| BalanceAdversary::new(3));
+        let mut stream = Xoshiro256PlusPlus::seed_from_u64(77);
+        let mut honest = 0u64;
+        for _ in 0..3 {
+            let mut sim = Simulation::with_rng(p.config, BalanceAdversary::new(3), stream.clone());
+            sim.run(p.rounds);
+            honest += sim.report().honest_blocks;
+            stream = stream.jump();
+        }
+        assert_eq!(run.aggregate.total_honest_blocks, honest);
+    }
+
+    #[test]
+    fn wilson_interval_known_values() {
+        // 50/100 at z=1.96: classic ≈ [0.404, 0.596].
+        let w = WilsonInterval::new(50, 100, 1.96);
+        assert!((w.estimate - 0.5).abs() < 1e-12);
+        assert!((w.lo - 0.404).abs() < 0.002, "lo = {}", w.lo);
+        assert!((w.hi - 0.596).abs() < 0.002, "hi = {}", w.hi);
+        // Degenerate edges stay in [0, 1].
+        let w = WilsonInterval::new(0, 10, 1.96);
+        assert_eq!(w.estimate, 0.0);
+        assert!(w.lo >= 0.0 && w.hi <= 1.0 && w.hi > 0.0);
+        let w = WilsonInterval::new(10, 10, 1.96);
+        assert!(w.lo < 1.0 && w.hi <= 1.0);
+    }
+
+    #[test]
+    fn seed_variation_through_config_seed_only() {
+        // The per-trial adversary factory receives the trial index, so
+        // strategies can vary per trial without touching the RNG.
+        let run = plan(9, 4).run(PrivateChainAdversary::new);
+        assert_eq!(run.aggregate.trials, 4);
+    }
+
+    #[test]
+    fn throughput_fields_populated() {
+        let run = plan(3, 2).run(|_| ImmediateReleaseAdversary::new());
+        assert!(run.elapsed_secs > 0.0);
+        assert!(run.rounds_per_sec > 0.0);
+        assert!(run.threads >= 1);
+    }
+
+    /// The engine must agree with `run_simulation_with` when a single
+    /// trial uses the master stream directly (trial 0 = zero jumps).
+    #[test]
+    fn trial_zero_equals_plain_simulation() {
+        let cfg = SimConfig::from_c(80, 2, 2.0, 0.2, 4242).unwrap();
+        let run = TrialPlan::new(cfg, 6_000, 1).run(|_| PrivateChainAdversary::new(2));
+        let report = run_simulation_with(cfg, PrivateChainAdversary::new(2), 6_000);
+        assert_eq!(run.aggregate.total_honest_blocks, report.honest_blocks);
+        assert_eq!(run.aggregate.max_reorg_depth, report.max_reorg_depth);
+    }
+}

@@ -5,10 +5,16 @@
 //! the granularity of honest *groups* (at most two), which is exactly
 //! the resolution the classic attacks need (a split adversary keeps two
 //! halves of the honest miners on different branches).
+//!
+//! Because every delay is clamped to `[1, Δ]`, the pending window spans
+//! at most Δ rounds, so the queue is a small ring of per-round buckets
+//! rather than a priority heap: scheduling and draining are O(1) with
+//! no comparisons on the hot path. Same-round deliveries are handed out
+//! in `(block, group)` order (see [`Delivery`]'s `Ord`), keeping the
+//! engine's first-seen tie-break deterministic and independent of
+//! scheduling order.
 
 use crate::block::{BlockId, Round};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// A scheduled delivery of `block` to honest group `group` at the start
 /// of round `round`.
@@ -34,20 +40,30 @@ impl PartialOrd for Delivery {
     }
 }
 
-/// Priority queue of pending deliveries ordered by round.
+/// Queue of pending deliveries bucketed by round.
 #[derive(Debug, Clone, Default)]
 pub struct Network {
-    queue: BinaryHeap<Reverse<Delivery>>,
+    /// `slots[r % slots.len()]` holds the deliveries due at round `r`,
+    /// for `r` in the active window `(drained, drained + slots.len()]`.
+    slots: Vec<Vec<Delivery>>,
+    /// Total deliveries across all slots.
+    pending: usize,
+    /// Earliest round with a pending delivery (exact iff `pending > 0`).
+    earliest: Round,
+    /// Every round ≤ `drained` has been drained.
+    drained: Round,
     delivered: u64,
 }
 
 impl Network {
     /// Creates an empty network.
+    #[must_use]
     pub fn new() -> Self {
         Network::default()
     }
 
-    /// Schedules a delivery.
+    /// Schedules a delivery. A `round` that is already in the past is
+    /// delivered at the next drain, as with a priority queue.
     ///
     /// # Panics
     ///
@@ -55,32 +71,90 @@ impl Network {
     /// groups).
     pub fn schedule(&mut self, block: BlockId, group: usize, round: Round) {
         assert!(group < 2, "at most two honest groups are supported");
-        self.queue.push(Reverse(Delivery {
+        let round = round.max(self.drained + 1);
+        let window = (round - self.drained) as usize;
+        if window > self.slots.len() {
+            self.grow(window);
+        }
+        let len = self.slots.len() as u64;
+        self.slots[(round % len) as usize].push(Delivery {
             round,
             group,
             block,
-        }));
+        });
+        if self.pending == 0 || round < self.earliest {
+            self.earliest = round;
+        }
+        self.pending += 1;
+    }
+
+    /// Re-buckets all pending deliveries into a ring of at least
+    /// `min_len` slots (rare: the window only grows until it covers Δ).
+    fn grow(&mut self, min_len: usize) {
+        let new_len = min_len.next_power_of_two().max(4);
+        let mut slots = vec![Vec::new(); new_len];
+        for d in self.slots.iter_mut().flat_map(|s| s.drain(..)) {
+            slots[(d.round % new_len as u64) as usize].push(d);
+        }
+        self.slots = slots;
     }
 
     /// Pops every delivery due at or before `round`, in round order.
     pub fn due(&mut self, round: Round) -> Vec<Delivery> {
         let mut out = Vec::new();
-        while let Some(Reverse(d)) = self.queue.peek() {
-            if d.round > round {
-                break;
-            }
-            out.push(self.queue.pop().expect("peeked element exists").0);
-        }
-        self.delivered += out.len() as u64;
+        self.drain_due_into(round, &mut out);
         out
     }
 
+    /// Allocation-free variant of [`Network::due`]: clears `out` and
+    /// fills it with every delivery due at or before `round`, in round
+    /// order (same-round ties in `(block, group)` order). The round
+    /// loop reuses one buffer across all rounds.
+    pub fn drain_due_into(&mut self, round: Round, out: &mut Vec<Delivery>) {
+        out.clear();
+        while self.pending > 0 && self.earliest <= round {
+            let len = self.slots.len() as u64;
+            let slot = &mut self.slots[(self.earliest % len) as usize];
+            if slot.len() > 1 {
+                slot.sort_unstable();
+            }
+            self.pending -= slot.len();
+            self.delivered += slot.len() as u64;
+            out.append(slot);
+            // Advance to the next non-empty bucket (≤ ring length away
+            // by the window invariant).
+            if self.pending > 0 {
+                let mut r = self.earliest + 1;
+                while self.slots[(r % len) as usize].is_empty() {
+                    r += 1;
+                }
+                self.earliest = r;
+            }
+        }
+        self.drained = self.drained.max(round);
+    }
+
+    /// Round of the earliest pending delivery, if any — the horizon up
+    /// to which the simulator may fast-forward quiet rounds.
+    #[must_use]
+    pub fn next_due(&self) -> Option<Round> {
+        (self.pending > 0).then_some(self.earliest)
+    }
+
+    /// Blocks referenced by pending deliveries (arbitrary order); used
+    /// to keep in-flight blocks alive across tree pruning.
+    pub fn pending_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.slots.iter().flatten().map(|d| d.block)
+    }
+
     /// Number of deliveries still pending.
+    #[must_use]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.pending
     }
 
     /// Total deliveries handed out so far.
+    #[must_use]
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
@@ -132,5 +206,82 @@ mod tests {
     #[should_panic(expected = "two honest groups")]
     fn rejects_third_group() {
         Network::new().schedule(BlockId(1), 2, 1);
+    }
+
+    #[test]
+    fn next_due_tracks_earliest_delivery() {
+        let mut net = Network::new();
+        assert_eq!(net.next_due(), None);
+        net.schedule(BlockId(3), 0, 10);
+        net.schedule(BlockId(1), 0, 5);
+        assert_eq!(net.next_due(), Some(5));
+        let _ = net.due(5);
+        assert_eq!(net.next_due(), Some(10));
+        let mut pending: Vec<BlockId> = net.pending_blocks().collect();
+        pending.sort();
+        assert_eq!(pending, vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn past_round_schedules_deliver_at_next_drain() {
+        let mut net = Network::new();
+        assert_eq!(net.due(10).len(), 0);
+        net.schedule(BlockId(1), 0, 3);
+        assert_eq!(net.next_due(), Some(11), "clamped past the drain line");
+        assert_eq!(net.due(11).len(), 1);
+    }
+
+    #[test]
+    fn window_growth_preserves_pending() {
+        let mut net = Network::new();
+        for r in 1..=64u64 {
+            net.schedule(BlockId(r as u32), 0, r);
+        }
+        assert_eq!(net.pending(), 64);
+        let due = net.due(64);
+        assert_eq!(due.len(), 64);
+        let rounds: Vec<Round> = due.iter().map(|d| d.round).collect();
+        let mut sorted = rounds.clone();
+        sorted.sort_unstable();
+        assert_eq!(rounds, sorted, "round order survives re-bucketing");
+    }
+
+    /// The ring must agree with a straightforward priority-queue model
+    /// on random schedules and drains.
+    #[test]
+    fn matches_priority_queue_model() {
+        use probability::rng::{RandomSource, SplitMix64};
+        let mut rng = SplitMix64::new(0x2E7);
+        for _ in 0..64 {
+            let mut net = Network::new();
+            let mut model: Vec<Delivery> = Vec::new();
+            let mut now = 0u64;
+            for _ in 0..200 {
+                if rng.next_below(3) == 0 {
+                    now += rng.next_range(1, 4);
+                    let mut expected: Vec<Delivery> =
+                        model.iter().copied().filter(|d| d.round <= now).collect();
+                    expected.sort_unstable();
+                    model.retain(|d| d.round > now);
+                    assert_eq!(net.due(now), expected, "drain at {now}");
+                } else {
+                    let round = now + rng.next_range(1, 8);
+                    let block = BlockId(rng.next_below(50) as u32);
+                    let group = rng.next_below(2) as usize;
+                    net.schedule(block, group, round);
+                    model.push(Delivery {
+                        round,
+                        group,
+                        block,
+                    });
+                }
+                assert_eq!(net.pending(), model.len());
+                assert_eq!(
+                    net.next_due(),
+                    model.iter().map(|d| d.round).min(),
+                    "earliest pending"
+                );
+            }
+        }
     }
 }

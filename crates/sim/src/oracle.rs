@@ -6,9 +6,23 @@
 //! adversary blocks `binom(n_adversary, p)` (Eqs. 7–9 and 27). The
 //! oracle samples those counts directly instead of looping over miners,
 //! which is what makes 10⁷-round runs feasible.
+//!
+//! Two sampling interfaces are offered:
+//!
+//! * [`MiningOracle::sample_round`] — one round at a time, the model's
+//!   literal transcription.
+//! * [`MiningOracle::sample_gap_to_success`] — samples the geometric
+//!   gap to the next round in which *any* miner succeeds, together with
+//!   that round's block counts conditioned on at least one success.
+//!   Because all miners share the same per-query success probability
+//!   `p`, the round total is `binom(n, p)` and, given the total, the
+//!   split across the subpopulations (two honest groups + adversary) is
+//!   multivariate hypergeometric. This is what the simulator's
+//!   quiet-round fast-forward runs on: empty rounds are skipped in O(1)
+//!   instead of being sampled one by one.
 
 use probability::binomial::Binomial;
-use probability::rng::Xoshiro256PlusPlus;
+use probability::rng::{RandomSource, Xoshiro256PlusPlus};
 
 /// Per-round mining outcome.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,8 +36,150 @@ pub struct RoundOutcome {
 
 impl RoundOutcome {
     /// Total honest successes over all groups.
+    #[must_use]
     pub fn honest_total(&self) -> u64 {
         self.honest_per_group.iter().sum()
+    }
+
+    /// The all-zero outcome of a quiet round.
+    #[must_use]
+    pub fn quiet() -> Self {
+        RoundOutcome {
+            honest_per_group: [0, 0],
+            adversary: 0,
+        }
+    }
+}
+
+/// Precomputed constants for the conditioned-round fast path, derived
+/// once from `(n_total, p)` so the hot loop never reevaluates
+/// transcendentals.
+#[derive(Debug, Clone, Copy)]
+struct GapSampler {
+    /// Total miner count over all subpopulations.
+    n_total: u64,
+    /// Per-query success probability.
+    p: f64,
+    /// `α = P[any success in a round]`.
+    alpha: f64,
+    /// `1 / ln(1 - α)`; the geometric inverse-CDF multiplier.
+    inv_ln_q: f64,
+    /// `P[K = 1 | K ≥ 1]` for the truncated BINV start, or `None` when
+    /// it underflows (large `np`; rejection is then nearly free).
+    r1: Option<f64>,
+    /// `s = p/(1-p)` and `a = (n+1)s`: BINV recurrence constants.
+    s: f64,
+    a: f64,
+    /// `ratios[k-1] = P[K = k+1]/P[K = k]` for `k ≤ RATIO_TABLE`:
+    /// removes the per-iteration division from the hot BINV loop.
+    ratios: [f64; RATIO_TABLE],
+}
+
+/// Number of precomputed BINV mass ratios (covers `K ≤ 9`, far beyond
+/// the typical conditioned round total in the paper's regimes).
+const RATIO_TABLE: usize = 8;
+
+impl GapSampler {
+    fn new(n_total: u64, p: f64) -> Option<Self> {
+        let total = Binomial::new(n_total, p).ok()?;
+        if n_total == 0 || p <= 0.0 {
+            return None;
+        }
+        if p >= 1.0 {
+            // Every miner succeeds every round: gap is always 1 and the
+            // count is n_total; encode via inv_ln_q = 0 (gap sample 1).
+            return Some(GapSampler {
+                n_total,
+                p,
+                alpha: 1.0,
+                inv_ln_q: 0.0,
+                r1: None,
+                s: 0.0,
+                a: 0.0,
+                ratios: [0.0; RATIO_TABLE],
+            });
+        }
+        let alpha = total.prob_positive();
+        let inv_ln_q = 1.0 / (-alpha).ln_1p();
+        let r1 = {
+            let v = total.pmf(1) / alpha;
+            (v > 0.0 && v.is_finite() && total.prob_zero() >= 1e-3).then_some(v)
+        };
+        let s = p / (1.0 - p);
+        let a = (n_total + 1) as f64 * s;
+        let mut ratios = [0.0; RATIO_TABLE];
+        for (k, slot) in ratios.iter_mut().enumerate() {
+            // Transition k+1 → k+2 (1-indexed masses).
+            *slot = (a / (k + 2) as f64 - s).max(0.0);
+        }
+        Some(GapSampler {
+            n_total,
+            p,
+            alpha,
+            inv_ln_q,
+            r1,
+            s,
+            a,
+            ratios,
+        })
+    }
+
+    /// Geometric gap (1-based index of the next success round).
+    #[inline]
+    fn sample_gap(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        // Dense regime: expected gap ≤ ~5, so a handful of uniform
+        // draws beats evaluating a logarithm. Sparse regime: one
+        // logarithm replaces an unbounded number of draws.
+        if self.alpha >= 0.2 {
+            let mut g = 1u64;
+            while rng.next_f64() >= self.alpha {
+                g += 1;
+            }
+            return g;
+        }
+        let u = loop {
+            let u = rng.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let v = (u.ln() * self.inv_ln_q).ceil();
+        (v.max(1.0)) as u64
+    }
+
+    /// Round total conditioned on at least one success.
+    #[inline]
+    fn sample_total(&self, rng: &mut Xoshiro256PlusPlus) -> u64 {
+        if self.p >= 1.0 {
+            return self.n_total;
+        }
+        let Some(r1) = self.r1 else {
+            let total = Binomial::new(self.n_total, self.p).expect("validated at construction");
+            return total.sample_positive(rng);
+        };
+        // Truncated BINV over k ≥ 1 with the mass ratios precomputed —
+        // no divisions in the expected O(1 + np) iterations.
+        let mut u = rng.next_f64();
+        let mut r = r1;
+        let mut k = 1u64;
+        loop {
+            if u < r {
+                return k;
+            }
+            u -= r;
+            let ratio = match self.ratios.get((k - 1) as usize) {
+                Some(&ratio) => ratio,
+                None => (self.a / (k + 1) as f64 - self.s).max(0.0),
+            };
+            k += 1;
+            if k > self.n_total {
+                return self.n_total;
+            }
+            r *= ratio;
+        }
     }
 }
 
@@ -32,6 +188,9 @@ impl RoundOutcome {
 pub struct MiningOracle {
     group_dists: [Option<Binomial>; 2],
     adversary_dist: Option<Binomial>,
+    /// Subpopulation sizes `[group 0, group 1, adversary]`.
+    sizes: [u64; 3],
+    gap: Option<GapSampler>,
     rng: Xoshiro256PlusPlus,
 }
 
@@ -45,6 +204,7 @@ impl MiningOracle {
     /// # Panics
     ///
     /// Panics if `p ∉ (0, 1)` (validated upstream by `SimConfig`).
+    #[must_use]
     pub fn new(group_sizes: [u64; 2], n_adversary: u64, p: f64, rng: Xoshiro256PlusPlus) -> Self {
         let make = |n: u64| {
             if n == 0 {
@@ -53,9 +213,13 @@ impl MiningOracle {
                 Some(Binomial::new(n, p).expect("hardness validated by SimConfig"))
             }
         };
+        let sizes = [group_sizes[0], group_sizes[1], n_adversary];
+        let n_total: u64 = sizes.iter().sum();
         MiningOracle {
             group_dists: [make(group_sizes[0]), make(group_sizes[1])],
             adversary_dist: make(n_adversary),
+            sizes,
+            gap: GapSampler::new(n_total, p),
             rng,
         }
     }
@@ -78,8 +242,49 @@ impl MiningOracle {
         }
     }
 
+    /// Samples the gap to the next round with at least one success and
+    /// that round's outcome: returns `(g, outcome)` meaning rounds
+    /// `1..g` (relative, 1-based) are all-quiet and round `g` mines
+    /// `outcome` (which has ≥ 1 success). Returns `None` when no miner
+    /// exists (the gap would be infinite).
+    ///
+    /// Distribution: exactly the law of repeatedly calling
+    /// [`MiningOracle::sample_round`] until a non-quiet round appears —
+    /// only the random-number *stream* differs, not the statistics.
+    pub fn sample_gap_to_success(&mut self) -> Option<(u64, RoundOutcome)> {
+        let gap = self.gap.as_ref()?;
+        let g = gap.sample_gap(&mut self.rng);
+        let k = gap.sample_total(&mut self.rng);
+        // Split k successes across the subpopulations: successes occupy
+        // k distinct miners chosen uniformly, so draw classes without
+        // replacement (multivariate hypergeometric).
+        let mut remaining = self.sizes;
+        let mut counts = [0u64; 3];
+        let mut pool: u64 = remaining.iter().sum();
+        for _ in 0..k {
+            let mut x = self.rng.next_below(pool);
+            for (count, rem) in counts.iter_mut().zip(remaining.iter_mut()) {
+                if x < *rem {
+                    *count += 1;
+                    *rem -= 1;
+                    break;
+                }
+                x -= *rem;
+            }
+            pool -= 1;
+        }
+        Some((
+            g,
+            RoundOutcome {
+                honest_per_group: [counts[0], counts[1]],
+                adversary: counts[2],
+            },
+        ))
+    }
+
     /// The probability that no honest miner succeeds in one round —
     /// the paper's `ᾱ` restricted to this oracle's honest population.
+    #[must_use]
     pub fn alpha_bar(&self) -> f64 {
         self.group_dists
             .iter()
@@ -105,6 +310,7 @@ mod tests {
             assert_eq!(out.honest_total(), 0);
             assert_eq!(out.adversary, 0);
         }
+        assert!(o.sample_gap_to_success().is_none(), "gap is infinite");
     }
 
     #[test]
@@ -160,5 +366,90 @@ mod tests {
         for _ in 0..1000 {
             assert_eq!(a.sample_round(), b.sample_round());
         }
+        let mut a = MiningOracle::new([100, 50], 30, 0.01, rng(10));
+        let mut b = MiningOracle::new([100, 50], 30, 0.01, rng(10));
+        for _ in 0..1000 {
+            assert_eq!(a.sample_gap_to_success(), b.sample_gap_to_success());
+        }
+    }
+
+    #[test]
+    fn gap_outcome_always_has_a_success() {
+        let mut o = MiningOracle::new([80, 20], 40, 5e-3, rng(11));
+        for _ in 0..10_000 {
+            let (g, out) = o.sample_gap_to_success().expect("miners exist");
+            assert!(g >= 1);
+            assert!(out.honest_total() + out.adversary >= 1);
+            assert!(out.honest_per_group[0] <= 80);
+            assert!(out.honest_per_group[1] <= 20);
+            assert!(out.adversary <= 40);
+        }
+    }
+
+    /// The gap interface must reproduce the per-round interface's
+    /// statistics: block rates per subpopulation and the quiet-round
+    /// frequency.
+    #[test]
+    fn gap_sampling_matches_per_round_rates() {
+        let p = 2e-3;
+        let (g0, g1, adv) = (300u64, 100, 100);
+        let mut o = MiningOracle::new([g0, g1], adv, p, rng(12));
+        let mut rounds = 0u64;
+        let mut blocks = [0u64; 3];
+        let mut success_rounds = 0u64;
+        while rounds < 2_000_000 {
+            let (g, out) = o.sample_gap_to_success().expect("miners exist");
+            rounds += g;
+            success_rounds += 1;
+            blocks[0] += out.honest_per_group[0];
+            blocks[1] += out.honest_per_group[1];
+            blocks[2] += out.adversary;
+        }
+        let total_binom = Binomial::new(g0 + g1 + adv, p).unwrap();
+        let alpha = total_binom.prob_positive();
+        let measured_alpha = success_rounds as f64 / rounds as f64;
+        assert!(
+            (measured_alpha - alpha).abs() < 0.02 * alpha,
+            "success-round rate {measured_alpha} vs α = {alpha}"
+        );
+        for (i, &n_i) in [g0, g1, adv].iter().enumerate() {
+            let expected = n_i as f64 * p;
+            let measured = blocks[i] as f64 / rounds as f64;
+            assert!(
+                (measured - expected).abs() < 0.05 * expected,
+                "population {i}: rate {measured} vs {expected}"
+            );
+        }
+    }
+
+    /// Conditional split: with a single success, the owning population
+    /// is proportional to its size.
+    #[test]
+    fn single_success_split_proportional() {
+        let mut o = MiningOracle::new([60, 20], 20, 1e-4, rng(13));
+        let mut hits = [0u64; 3];
+        let mut singles = 0u64;
+        for _ in 0..50_000 {
+            let (_, out) = o.sample_gap_to_success().expect("miners exist");
+            if out.honest_total() + out.adversary == 1 {
+                singles += 1;
+                if out.honest_per_group[0] == 1 {
+                    hits[0] += 1;
+                } else if out.honest_per_group[1] == 1 {
+                    hits[1] += 1;
+                } else {
+                    hits[2] += 1;
+                }
+            }
+        }
+        assert!(singles > 40_000, "singles dominate at tiny p");
+        let freqs: Vec<f64> = hits.iter().map(|&h| h as f64 / singles as f64).collect();
+        assert!((freqs[0] - 0.6).abs() < 0.02, "group 0 share {}", freqs[0]);
+        assert!((freqs[1] - 0.2).abs() < 0.02, "group 1 share {}", freqs[1]);
+        assert!(
+            (freqs[2] - 0.2).abs() < 0.02,
+            "adversary share {}",
+            freqs[2]
+        );
     }
 }

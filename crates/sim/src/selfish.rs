@@ -36,6 +36,7 @@ pub struct SelfishMiningAdversary {
 
 impl SelfishMiningAdversary {
     /// Creates the strategy for delay bound `delta`.
+    #[must_use]
     pub fn new(delta: u64) -> Self {
         SelfishMiningAdversary {
             delta,
@@ -47,17 +48,18 @@ impl SelfishMiningAdversary {
     }
 
     /// Number of match-races the strategy has initiated.
+    #[must_use]
     pub fn races_started(&self) -> u64 {
         self.races_started
     }
 
     /// Current withheld-block count.
+    #[must_use]
     pub fn withheld_len(&self) -> usize {
         self.withheld.len()
     }
 
-    fn release_up_to(&mut self, height: u64, tree: &BlockTree) -> Vec<ReleaseDirective> {
-        let mut out = Vec::new();
+    fn release_up_to(&mut self, height: u64, tree: &BlockTree, out: &mut Vec<ReleaseDirective>) {
         let mut remaining = Vec::new();
         for &block in &self.withheld {
             if tree.height(block) <= height {
@@ -74,13 +76,23 @@ impl SelfishMiningAdversary {
             }
         }
         self.withheld = remaining;
-        out
     }
 }
 
 impl Adversary for SelfishMiningAdversary {
     fn name(&self) -> &'static str {
         "selfish-mining"
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        // Decisions depend only on heights and the revealed watermark,
+        // never on the round number; a zero-success call after an
+        // empty-handed one is a no-op.
+        true
+    }
+
+    fn live_blocks(&self) -> Vec<BlockId> {
+        vec![self.private_tip]
     }
 
     fn honest_delay(&mut self, _round: Round, _from: usize, _to: usize) -> u64 {
@@ -96,7 +108,8 @@ impl Adversary for SelfishMiningAdversary {
         group_tips: &[BlockId; 2],
         tree: &mut BlockTree,
         successes: u64,
-    ) -> Vec<ReleaseDirective> {
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
         let public_tip = if tree.height(group_tips[0]) >= tree.height(group_tips[1]) {
             group_tips[0]
         } else {
@@ -117,7 +130,7 @@ impl Adversary for SelfishMiningAdversary {
 
         let private_height = tree.height(self.private_tip);
         if self.withheld.is_empty() || private_height <= public_height {
-            return Vec::new();
+            return;
         }
         let lead = private_height - public_height;
         match lead {
@@ -125,16 +138,14 @@ impl Adversary for SelfishMiningAdversary {
             // compete for the next extension.
             1 if public_height > self.revealed_height => {
                 self.races_started += 1;
-                self.release_up_to(private_height, tree)
+                self.release_up_to(private_height, tree, releases);
             }
             // Comfortable lead: reveal just enough to stay one ahead of
             // the public chain whenever honest miners make progress.
-            _ if lead <= 1 => self.release_up_to(public_height + 1, tree),
+            _ if lead <= 1 => self.release_up_to(public_height + 1, tree, releases),
             _ => {
                 if public_height > self.revealed_height {
-                    self.release_up_to(public_height + 1, tree)
-                } else {
-                    Vec::new()
+                    self.release_up_to(public_height + 1, tree, releases);
                 }
             }
         }
@@ -147,6 +158,19 @@ mod tests {
     use crate::config::SimConfig;
     use crate::execution::run_simulation;
 
+    /// Test convenience: run `act` into a fresh buffer.
+    fn act_collect(
+        adv: &mut SelfishMiningAdversary,
+        round: Round,
+        tips: [BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+    ) -> Vec<ReleaseDirective> {
+        let mut out = Vec::new();
+        adv.act(round, &tips, tree, successes, &mut out);
+        out
+    }
+
     #[test]
     fn adopts_public_chain_when_behind() {
         let mut tree = BlockTree::new();
@@ -155,9 +179,9 @@ mod tests {
             tip = tree.add_block(tip, r, Provenance::Honest(0));
         }
         let mut adv = SelfishMiningAdversary::new(4);
-        let _ = adv.act(4, &[tip, tip], &mut tree, 0);
+        let _ = act_collect(&mut adv, 4, [tip, tip], &mut tree, 0);
         assert_eq!(adv.withheld_len(), 0);
-        let _ = adv.act(5, &[tip, tip], &mut tree, 1);
+        let _ = act_collect(&mut adv, 5, [tip, tip], &mut tree, 1);
         assert_eq!(tree.height(adv.private_tip), 4);
     }
 
@@ -165,7 +189,13 @@ mod tests {
     fn withholds_with_large_lead() {
         let mut tree = BlockTree::new();
         let mut adv = SelfishMiningAdversary::new(4);
-        let releases = adv.act(1, &[BlockId::GENESIS, BlockId::GENESIS], &mut tree, 3);
+        let releases = act_collect(
+            &mut adv,
+            1,
+            [BlockId::GENESIS, BlockId::GENESIS],
+            &mut tree,
+            3,
+        );
         // Lead 3 over an empty public chain: nothing is still secret
         // only if public progressed; here public height 0 and
         // revealed_height 0 → stays secret.
@@ -177,13 +207,19 @@ mod tests {
     fn reveals_in_response_to_honest_progress() {
         let mut tree = BlockTree::new();
         let mut adv = SelfishMiningAdversary::new(4);
-        let _ = adv.act(1, &[BlockId::GENESIS, BlockId::GENESIS], &mut tree, 3);
+        let _ = act_collect(
+            &mut adv,
+            1,
+            [BlockId::GENESIS, BlockId::GENESIS],
+            &mut tree,
+            3,
+        );
         // Honest chain reaches height 2.
         let mut tip = BlockId::GENESIS;
         for r in 2..=3 {
             tip = tree.add_block(tip, r, Provenance::Honest(0));
         }
-        let releases = adv.act(4, &[tip, tip], &mut tree, 0);
+        let releases = act_collect(&mut adv, 4, [tip, tip], &mut tree, 0);
         assert!(!releases.is_empty(), "lead shrank to 1: must reveal");
         // Released blocks are at most one above the public height.
         for r in &releases {
