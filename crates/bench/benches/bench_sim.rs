@@ -57,6 +57,7 @@ fn bench_round_loop(c: &mut Criterion) {
     group.bench_function("private_chain_4trials/1000", |b| {
         b.iter(|| {
             TrialPlan::new(black_box(cfg), ROUNDS, 4)
+                .unwrap()
                 .thresholds(vec![12])
                 .run(|_| PrivateChainAdversary::new(4))
         });

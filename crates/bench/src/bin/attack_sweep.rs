@@ -50,17 +50,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // across cells and correlated neighbours).
             let private_seed = cell_seeds.next_u64();
             let balance_seed = cell_seeds.next_u64();
+            // `rounds`/`trials` come from argv: bad values surface as
+            // tidy ConfigErrors from plan construction, not panics.
             let run_cell = |seed: u64, balance: bool| {
                 let cfg = SimConfig::from_c(n, delta, c, nu, seed).expect("valid");
-                let plan = TrialPlan::new(cfg, rounds, trials).thresholds(vec![t_consistency]);
-                if balance {
+                let plan = TrialPlan::new(cfg, rounds, trials)?.thresholds(vec![t_consistency]);
+                Ok::<_, nakamoto_sim::config::ConfigError>(if balance {
                     plan.run(|_| BalanceAdversary::new(delta))
                 } else {
                     plan.run(|_| PrivateChainAdversary::new(delta))
-                }
+                })
             };
-            let private = run_cell(private_seed, false);
-            let balance = run_cell(balance_seed, true);
+            let private = run_cell(private_seed, false)?;
+            let balance = run_cell(balance_seed, true)?;
             let fmt_ci = |run: &nakamoto_sim::montecarlo::MonteCarloRun| {
                 let w = run
                     .aggregate

@@ -68,6 +68,7 @@ fn attack_sweep_grid(threads: usize) -> (f64, u64) {
         for &nu in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45] {
             let mk = |seed: u64| {
                 TrialPlan::new(SimConfig::from_c(100, 4, c, nu, seed).unwrap(), 30_000, 5)
+                    .unwrap()
                     .thresholds(vec![12])
                     .with_threads(threads)
             };

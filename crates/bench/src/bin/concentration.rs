@@ -37,14 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One trial fan-out per horizon serves both tails: the per-trial C
     // and A counts come back in the aggregate.
+    // `trials` comes from argv: a zero value surfaces as a tidy
+    // ConfigError from plan construction, not a panic.
     let runs: Vec<_> = [2_000u64, 8_000, 32_000, 128_000]
         .into_iter()
         .map(|t| {
             let cfg: SimConfig = params.to_sim_config(1_000_000 + t);
-            let run = TrialPlan::new(cfg, t, trials).run(|_| ImmediateReleaseAdversary::new());
-            (t, run)
+            let run = TrialPlan::new(cfg, t, trials)?.run(|_| ImmediateReleaseAdversary::new());
+            Ok::<_, nakamoto_sim::config::ConfigError>((t, run))
         })
-        .collect();
+        .collect::<Result<_, _>>()?;
 
     consistency_bench::section(&format!(
         "Ineq. 19/47: P[C ≤ (1−δ₂)E[C]] with δ₂ = {delta2}, decay in T ({trials} trials)"

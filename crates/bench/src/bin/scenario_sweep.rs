@@ -1,0 +1,174 @@
+//! The **scenario experiment**: Wilson-CI phase diagrams for
+//! time-varying runs. Each cell is a three-phase scenario — a calm
+//! honest warm-up at the base adversary power, an *attack window*
+//! (elevated power, attack strategy, adversarial or eclipse
+//! scheduling), and a calm recovery — swept over the attack-window
+//! power ν and three window shapes, with the empirical T-consistency
+//! failure rate (95% Wilson interval) over parallel Monte-Carlo trials.
+//!
+//! Stationary sweeps (`attack_sweep`) answer "how much steady power
+//! breaks consistency?"; this sweep answers the paper-adjacent
+//! question "how much power *during a bounded window* breaks it?" —
+//! the regime where the Δ-bounded worst-case bounds are loosest.
+//!
+//! `cargo run --release -p consistency_bench --bin scenario_sweep \
+//!     [rounds-per-phase] [trials]`
+//!
+//! Budgets and expected runtime: see EXPERIMENTS.md.
+
+use nakamoto_sim::config::{ConfigError, SimConfig};
+use nakamoto_sim::montecarlo::MonteCarloRun;
+use nakamoto_sim::scenario::{
+    run_scenario, PhaseSpec, Regime, Scenario, ScenarioPlan, StrategyKind,
+};
+use probability::rng::{RandomSource, SplitMix64};
+
+/// Master seed for the whole sweep; every cell derives its own master
+/// seed from it through a SplitMix64 stream (disjoint trial streams
+/// follow from the montecarlo jump() derivation).
+const SWEEP_SEED: u64 = 0x5CE7_A210_5EED;
+
+/// The three attack-window shapes swept as columns.
+const WINDOWS: [(&str, StrategyKind, Regime); 3] = [
+    (
+        "private+fullΔ",
+        StrategyKind::PrivateChain,
+        Regime::Adversarial,
+    ),
+    ("balance+fullΔ", StrategyKind::Balance, Regime::Adversarial),
+    (
+        "private+eclipse(1)",
+        StrategyKind::PrivateChain,
+        Regime::Eclipse { group: 1 },
+    ),
+];
+
+fn cell(
+    base: SimConfig,
+    rounds_per_phase: u64,
+    trials: u64,
+    strategy: StrategyKind,
+    regime: Regime,
+    attack_nu: f64,
+    t_consistency: u64,
+) -> Result<MonteCarloRun, ConfigError> {
+    // `rounds_per_phase` and `trials` come from argv: bad values
+    // surface as tidy ConfigErrors, not panics.
+    let scenario = Scenario::new(
+        base,
+        vec![
+            PhaseSpec::new(rounds_per_phase, StrategyKind::Honest, Regime::Calm),
+            PhaseSpec::new(rounds_per_phase, strategy, regime).with_power(attack_nu),
+            PhaseSpec::new(rounds_per_phase, StrategyKind::Honest, Regime::Calm),
+        ],
+    )?;
+    Ok(ScenarioPlan::new(scenario, trials)?
+        .thresholds(vec![t_consistency])
+        .run())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let rounds_per_phase: u64 = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(20_000);
+    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5);
+    let n = 100u64;
+    let delta = 4u64;
+    let c = 1.0;
+    let base_nu = 0.10;
+    let t_consistency = 12u64;
+    let mut cell_seeds = SplitMix64::new(SWEEP_SEED);
+
+    consistency_bench::section(&format!(
+        "Scenario sweep: calm warm-up (ν = {base_nu}) → attack window → calm recovery; \
+         n = {n}, Δ = {delta}, c = {c}, {trials} trials × 3×{rounds_per_phase} rounds per cell"
+    ));
+    println!(
+        "{:>8} {:>30} {:>30} {:>30}",
+        "ν_attack", WINDOWS[0].0, WINDOWS[1].0, WINDOWS[2].0
+    );
+    println!(
+        "{:>8} {} {} {}",
+        "",
+        format_args!("{:>6} {:>23}", "depth", "P[¬12-cons] (95% CI)"),
+        format_args!("{:>6} {:>23}", "depth", "P[¬12-cons] (95% CI)"),
+        format_args!("{:>6} {:>23}", "depth", "P[¬12-cons] (95% CI)"),
+    );
+    for &nu in &[0.15, 0.25, 0.35, 0.45] {
+        print!("{nu:>8.2}");
+        for &(_, strategy, regime) in &WINDOWS {
+            let seed = cell_seeds.next_u64();
+            let base = SimConfig::from_c(n, delta, c, base_nu, seed).expect("valid base");
+            let run = cell(
+                base,
+                rounds_per_phase,
+                trials,
+                strategy,
+                regime,
+                nu,
+                t_consistency,
+            )?;
+            let depth = run
+                .aggregate
+                .max_reorg_depth
+                .max(run.aggregate.max_divergence_depth);
+            let w = run
+                .aggregate
+                .failure_interval(t_consistency, 1.96)
+                .expect("threshold was requested");
+            print!(
+                " {:>6} {:>23}",
+                depth,
+                format!("{:.2} [{:.2}, {:.2}]", w.estimate, w.lo, w.hi)
+            );
+        }
+        println!();
+    }
+
+    // Per-phase anatomy of one showcase cell: where in the scenario the
+    // damage happens (and that it stops when the window closes).
+    let base = SimConfig::from_c(n, delta, c, base_nu, cell_seeds.next_u64()).expect("valid base");
+    let scenario = Scenario::new(
+        base,
+        vec![
+            PhaseSpec::new(rounds_per_phase, StrategyKind::Honest, Regime::Calm),
+            PhaseSpec::new(
+                rounds_per_phase,
+                StrategyKind::PrivateChain,
+                Regime::Eclipse { group: 1 },
+            )
+            .with_power(0.35),
+            PhaseSpec::new(rounds_per_phase, StrategyKind::Honest, Regime::Calm),
+        ],
+    )?;
+    consistency_bench::section(&format!(
+        "Showcase cell anatomy: private+eclipse(1) window at ν = 0.35 ({rounds_per_phase} rounds per phase)"
+    ));
+    println!(
+        "{:>7} {:>9} {:>9} {:>8} {:>8} {:>12} {:>12}",
+        "phase", "honest", "adversary", "conv", "reorgs", "cum_reorg≤", "cum_diverg≤"
+    );
+    let report = run_scenario(&scenario);
+    for (i, p) in report.phase_reports.iter().enumerate() {
+        println!(
+            "{:>7} {:>9} {:>9} {:>8} {:>8} {:>12} {:>12}",
+            i,
+            p.honest_blocks,
+            p.adversary_blocks,
+            p.convergence_opportunities,
+            p.reorg_count,
+            p.cumulative_max_reorg_depth,
+            p.cumulative_max_divergence_depth,
+        );
+    }
+
+    println!("\nShape to verify: failure rates grow with the attack-window power on every");
+    println!("column; the eclipse column fails hardest (one group is cut off for the whole");
+    println!("window); the showcase anatomy concentrates adversary blocks and depth growth");
+    println!("in phase 1, with clean recovery in phase 2. Results are bit-identical for a");
+    println!("fixed seed at any thread count.");
+    Ok(())
+}

@@ -63,13 +63,51 @@ fn attack_sweep_entry() {
     let nu_max = consistency_core::numax::nu_max_for_c(3.0).unwrap();
     assert!(nu_max > 0.0 && nu_max < 0.5);
     let cfg = SimConfig::new(50, 0.25, 1e-3, 2, 7).unwrap();
-    let plan = TrialPlan::new(cfg, ROUNDS, 3).thresholds(vec![12]);
+    let plan = TrialPlan::new(cfg, ROUNDS, 3)
+        .expect("non-empty plan")
+        .thresholds(vec![12]);
     let private = plan.run(|_| PrivateChainAdversary::new(2));
     let balance = plan.run(|_| BalanceAdversary::new(2));
     assert_eq!(private.aggregate.total_rounds(), 3 * ROUNDS);
     assert_eq!(balance.aggregate.total_rounds(), 3 * ROUNDS);
     let wilson = private.aggregate.failure_interval(12, 1.96).unwrap();
     assert!(wilson.lo <= wilson.estimate && wilson.estimate <= wilson.hi);
+}
+
+/// `scenario_sweep`: a three-phase scenario cell (power shift +
+/// strategy switch + eclipse window) on the scenario Monte-Carlo
+/// engine, with the Wilson-CI failure rate and thread-count
+/// determinism the phase diagram relies on.
+#[test]
+fn scenario_sweep_entry() {
+    use nakamoto_sim::scenario::{PhaseSpec, Regime, Scenario, ScenarioPlan, StrategyKind};
+    let base = SimConfig::from_c(100, 4, 1.0, 0.1, 77).unwrap();
+    let scenario = Scenario::new(
+        base,
+        vec![
+            PhaseSpec::new(ROUNDS / 2, StrategyKind::Honest, Regime::Calm),
+            PhaseSpec::new(
+                ROUNDS / 2,
+                StrategyKind::PrivateChain,
+                Regime::Eclipse { group: 1 },
+            )
+            .with_power(0.4),
+            PhaseSpec::new(ROUNDS / 2, StrategyKind::Honest, Regime::Calm),
+        ],
+    )
+    .unwrap();
+    assert_eq!(scenario.group_count(), 2);
+    let plan = ScenarioPlan::new(scenario, 3).unwrap().thresholds(vec![12]);
+    let run = plan.clone().with_threads(1).run();
+    assert_eq!(run.aggregate.trials, 3);
+    assert_eq!(run.aggregate.rounds_per_trial, 3 * (ROUNDS / 2));
+    let wilson = run.aggregate.failure_interval(12, 1.96).unwrap();
+    assert!(wilson.lo <= wilson.estimate && wilson.estimate <= wilson.hi);
+    let run2 = plan.with_threads(2).run();
+    assert_eq!(
+        run.aggregate, run2.aggregate,
+        "scenario aggregate must be thread-count independent"
+    );
 }
 
 /// `bench_sim`: the throughput harness's workloads at tiny budgets —
@@ -79,7 +117,9 @@ fn bench_sim_entry() {
     let cfg = SimConfig::from_c(100, 4, 3.0, 0.25, 42).unwrap();
     let report = run_simulation_with(cfg, PrivateChainAdversary::new(4), ROUNDS);
     assert_eq!(report.rounds, ROUNDS);
-    let run = TrialPlan::new(cfg, 500, 4).run(|_| BalanceAdversary::new(4));
+    let run = TrialPlan::new(cfg, 500, 4)
+        .expect("non-empty plan")
+        .run(|_| BalanceAdversary::new(4));
     assert!(run.rounds_per_sec > 0.0);
     assert_eq!(run.aggregate.trials, 4);
 }

@@ -215,7 +215,9 @@ pub fn validate_trials(
     seed: u64,
 ) -> Result<TrialValidationRow> {
     let cfg = params.to_sim_config(seed);
-    let run = TrialPlan::new(cfg, rounds, trials).run(|_| ImmediateReleaseAdversary::new());
+    let run = TrialPlan::new(cfg, rounds, trials)
+        .map_err(|e| crate::Error::invalid("trials", e.to_string()))?
+        .run(|_| ImmediateReleaseAdversary::new());
 
     let IntegerPopulationExpectations {
         expected_convergence,

@@ -35,6 +35,17 @@ pub struct ReleaseDirective {
     pub delay: u64,
 }
 
+/// The higher of the two group tips, ties favouring group 0 — the
+/// tie-break every strategy (and the scenario composition's rebase)
+/// must share, or tied states would pick divergent mining bases.
+pub(crate) fn best_tip(tree: &BlockTree, group_tips: &[BlockId; 2]) -> BlockId {
+    if tree.height(group_tips[0]) >= tree.height(group_tips[1]) {
+        group_tips[0]
+    } else {
+        group_tips[1]
+    }
+}
+
 /// An adversary strategy driving delays and corrupted mining.
 pub trait Adversary {
     /// Strategy name for reports.
@@ -163,14 +174,21 @@ impl Adversary for ImmediateReleaseAdversary {
         successes: u64,
         releases: &mut Vec<ReleaseDirective>,
     ) {
-        let mut tip = group_tips[0];
+        // Honest behaviour: mine on the highest tip visible anywhere and
+        // announce to every group at the minimum delay. In the native
+        // single-group setting both tips coincide and the group-1
+        // directives are filtered by the engine; under a two-group
+        // scenario composition they are what keeps the baseline honest.
+        let mut tip = best_tip(tree, group_tips);
         for _ in 0..successes {
             tip = tree.add_block(tip, round, Provenance::Adversary);
-            releases.push(ReleaseDirective {
-                block: tip,
-                group: 0,
-                delay: 1,
-            });
+            for group in 0..2 {
+                releases.push(ReleaseDirective {
+                    block: tip,
+                    group,
+                    delay: 1,
+                });
+            }
         }
     }
 }
@@ -202,6 +220,29 @@ impl PrivateChainAdversary {
     pub fn withheld_len(&self) -> usize {
         self.withheld.len()
     }
+
+    /// Restarts the private fork from `tip` (the scenario layer's
+    /// phase-transition hook: while the strategy is dormant its fork
+    /// base tracks the public tip, so it never references a block the
+    /// tree may have pruned). Only meaningful when nothing is withheld;
+    /// a frozen non-empty fork is kept alive across phases instead.
+    pub(crate) fn rebase(&mut self, tip: BlockId) {
+        debug_assert!(self.withheld.is_empty(), "rebase would drop a live fork");
+        self.private_tip = tip;
+        self.withheld.clear();
+    }
+
+    /// Adopts `public_tip` and drops the withheld fork iff the fork has
+    /// strictly fallen behind — exactly the strategy's own first move
+    /// on its next [`Adversary::act`]. The scenario layer applies this
+    /// to *dormant* forks every round so an overtaken frozen fork stops
+    /// pinning the tree pruner for the rest of its dormant phase.
+    pub(crate) fn abandon_if_behind(&mut self, public_tip: BlockId, tree: &BlockTree) {
+        if tree.height(self.private_tip) < tree.height(public_tip) {
+            self.private_tip = public_tip;
+            self.withheld.clear();
+        }
+    }
 }
 
 impl Adversary for PrivateChainAdversary {
@@ -231,18 +272,11 @@ impl Adversary for PrivateChainAdversary {
         successes: u64,
         releases: &mut Vec<ReleaseDirective>,
     ) {
-        let public_tip = if tree.height(group_tips[0]) >= tree.height(group_tips[1]) {
-            group_tips[0]
-        } else {
-            group_tips[1]
-        };
+        let public_tip = best_tip(tree, group_tips);
         let public_height = tree.height(public_tip);
 
         // Abandon a fallen-behind private fork.
-        if tree.height(self.private_tip) < public_height {
-            self.private_tip = public_tip;
-            self.withheld.clear();
-        }
+        self.abandon_if_behind(public_tip, tree);
 
         for _ in 0..successes {
             self.private_tip = tree.add_block(self.private_tip, round, Provenance::Adversary);
@@ -369,10 +403,15 @@ mod tests {
         let (mut tree, tip) = tree_with_public_chain(3);
         let mut adv = ImmediateReleaseAdversary::new();
         let releases = act_collect(&mut adv, 4, [tip, tip], &mut tree, 2);
-        assert_eq!(releases.len(), 2);
+        assert_eq!(releases.len(), 2 * 2, "2 blocks × 2 groups");
         // Successes chain on one another.
-        assert_eq!(tree.height(releases[1].block), 5);
+        assert_eq!(tree.height(releases[3].block), 5);
         assert!(releases.iter().all(|r| r.delay == 1));
+        assert_eq!(
+            releases.iter().filter(|r| r.group == 0).count(),
+            2,
+            "every block announced to every group"
+        );
         assert_eq!(adv.honest_delay(4, 0, 1), 1);
     }
 

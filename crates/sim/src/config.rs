@@ -9,6 +9,17 @@ pub struct ConfigError {
     message: String,
 }
 
+impl ConfigError {
+    /// Crate-internal constructor, shared by the scenario and
+    /// Monte-Carlo layers so every invalid-experiment condition
+    /// surfaces as the same error type.
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "invalid simulation config: {}", self.message)

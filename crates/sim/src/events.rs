@@ -143,6 +143,17 @@ impl SuffixTracker {
         }
     }
 
+    /// The delay bound `Δ` the tracker was derived from. Both streaming
+    /// detectors are parameterised by the *model bound* `Δ`, not by the
+    /// realised per-message delays, so they remain valid across
+    /// scenario phase boundaries that re-schedule delays within
+    /// `[1, Δ]` (calm, adversarial, or eclipse regimes) — the engine
+    /// asserts this invariant when reconfiguring mining mid-run.
+    #[must_use]
+    pub fn delta(&self) -> u64 {
+        self.delta
+    }
+
     /// The current suffix state, if defined yet.
     #[must_use]
     pub fn state(&self) -> Option<SuffixState> {
@@ -329,6 +340,14 @@ impl ConvergenceDetector {
             pending: None,
             count: 0,
         }
+    }
+
+    /// The delay bound `Δ` the detector was derived from (fixed for the
+    /// detector's lifetime; see [`SuffixTracker::delta`] for why this
+    /// is safe across scenario phase boundaries).
+    #[must_use]
+    pub fn delta(&self) -> u64 {
+        self.delta
     }
 
     /// Number of completed convergence opportunities so far.
@@ -580,6 +599,12 @@ mod tests {
                 "Δ={delta}, rounds {rounds:?}"
             );
         }
+    }
+
+    #[test]
+    fn detectors_expose_their_delta() {
+        assert_eq!(SuffixTracker::new(5).delta(), 5);
+        assert_eq!(ConvergenceDetector::new(3).delta(), 3);
     }
 
     #[test]

@@ -50,6 +50,18 @@ use probability::rng::Xoshiro256PlusPlus;
 /// and tracker storage (see [`Simulation::set_prune_interval`]).
 pub const DEFAULT_PRUNE_INTERVAL: u64 = 4_096;
 
+/// Even split of the honest miners across the delivery groups — the
+/// single policy shared by construction and mid-run oracle
+/// re-derivation, so a reconfigured engine can never disagree with a
+/// freshly built one about who mines.
+fn split_honest(n_groups: usize, n_honest: u64) -> [u64; 2] {
+    if n_groups == 1 {
+        [n_honest, 0]
+    } else {
+        [n_honest / 2, n_honest - n_honest / 2]
+    }
+}
+
 /// Per-round record kept when round logging is enabled (see
 /// [`Simulation::enable_round_log`]); feeds the sliding-window Lemma-1
 /// analysis in `consistency-core`.
@@ -122,12 +134,7 @@ impl<A: Adversary> Simulation<A> {
     pub fn with_rng(config: SimConfig, adversary: A, rng: Xoshiro256PlusPlus) -> Self {
         let n_groups = adversary.group_count();
         assert!(n_groups == 1 || n_groups == 2, "1 or 2 honest groups");
-        let n_honest = config.n_honest();
-        let group_sizes = if n_groups == 1 {
-            [n_honest, 0]
-        } else {
-            [n_honest / 2, n_honest - n_honest / 2]
-        };
+        let group_sizes = split_honest(n_groups, config.n_honest());
         Simulation {
             tree: BlockTree::new(),
             network: Network::new(),
@@ -182,6 +189,70 @@ impl<A: Adversary> Simulation<A> {
     /// Read access to the block tree.
     pub fn tree(&self) -> &BlockTree {
         &self.tree
+    }
+
+    /// Read access to the adversary strategy.
+    pub fn adversary(&self) -> &A {
+        &self.adversary
+    }
+
+    /// Mutable access to the adversary strategy. The scenario layer
+    /// uses this at phase boundaries (between [`Simulation::run`]
+    /// segments) to switch the active strategy or network regime; a
+    /// fast-forward-capable strategy must only be mutated between
+    /// segments, never mid-run.
+    pub fn adversary_mut(&mut self) -> &mut A {
+        &mut self.adversary
+    }
+
+    /// Snapshot of the mining generator state (see
+    /// [`crate::oracle::MiningOracle::rng_clone`]); the scenario
+    /// phase-boundary tests use this to compare a reconfigured engine
+    /// against a from-scratch engine started at the boundary.
+    #[must_use]
+    pub fn mining_rng(&self) -> Xoshiro256PlusPlus {
+        self.oracle.rng_clone()
+    }
+
+    /// Re-derives the mining oracle for a new adversary fraction and
+    /// hardness, continuing the current random stream. This is the
+    /// engine half of a scenario *power shift*: subpopulation sizes and
+    /// all gap-sampler constants are recomputed, and the buffered
+    /// quiet-gap outcome — sampled under the old law — is discarded, so
+    /// mining from here on is distributed exactly as in a fresh engine
+    /// started at this round (geometric gaps are memoryless, so
+    /// restarting the gap at the boundary does not skew the law).
+    ///
+    /// `Δ` is deliberately *not* reconfigurable: the streaming suffix
+    /// and convergence detectors are derived from it at construction,
+    /// so the model's delay bound is fixed for the lifetime of a run.
+    /// Scenario network regimes vary the realised delays *within*
+    /// `[1, Δ]` instead.
+    ///
+    /// No-op when both parameters are unchanged (so a phase boundary
+    /// between identical phases leaves the run bit-identical to an
+    /// unsplit run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new parameters violate the model constraints of
+    /// [`SimConfig::validate`].
+    pub fn reconfigure_mining(&mut self, adversary_fraction: f64, hardness: f64) {
+        if adversary_fraction == self.config.adversary_fraction && hardness == self.config.hardness
+        {
+            return;
+        }
+        self.config.adversary_fraction = adversary_fraction;
+        self.config.hardness = hardness;
+        self.config
+            .validate()
+            .expect("reconfigured parameters must satisfy the model constraints");
+        debug_assert_eq!(self.suffix.delta(), self.config.delta);
+        debug_assert_eq!(self.convergence.delta(), self.config.delta);
+        let group_sizes = split_honest(self.tracker.n_groups(), self.config.n_honest());
+        self.oracle
+            .reconfigure(group_sizes, self.config.n_adversary(), hardness);
+        self.pending_outcome = None;
     }
 
     /// Sets the automatic prune cadence (`None` disables pruning, e.g.
@@ -301,6 +372,15 @@ impl<A: Adversary> Simulation<A> {
                 .schedule(release.block, release.group, round + delay);
         }
         self.release_buf = releases;
+        // Engine invariant: every delay is clamped to ≥ 1 above, so no
+        // engine-originated schedule can land at or before the drain
+        // line and trip the network's re-timing fallback (see
+        // `Network::schedule`'s contract).
+        debug_assert_eq!(
+            self.network.late_schedules(),
+            0,
+            "engine scheduled into the past"
+        );
 
         // 4. Detectors.
         self.suffix.update(RoundState::from_count(honest_total));

@@ -19,6 +19,13 @@
 //!   controls corrupted miners, and sees everything first (rushing).
 //! * Honest miners follow the longest chain, first-seen tie-break.
 //!
+//! Beyond stationary runs, the [`scenario`] module drives the engine
+//! through declarative *time-varying* scenarios — phases of shifting
+//! adversary power, switching strategies, and changing network regimes
+//! (calm / full-Δ adversarial / one-group eclipse) — with the same
+//! bit-for-bit determinism guarantees as the stationary Monte-Carlo
+//! engine.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -47,5 +54,6 @@ pub mod metrics;
 pub mod montecarlo;
 pub mod network;
 pub mod oracle;
+pub mod scenario;
 pub mod selfish;
 pub mod tree;

@@ -24,7 +24,7 @@
 //! use nakamoto_sim::montecarlo::TrialPlan;
 //!
 //! let cfg = SimConfig::from_c(100, 4, 2.0, 0.3, 7)?; // seed 7 = master seed
-//! let plan = TrialPlan::new(cfg, 5_000, 8).thresholds(vec![6, 12]);
+//! let plan = TrialPlan::new(cfg, 5_000, 8)?.thresholds(vec![6, 12]);
 //! let run = plan.run(|_trial| PrivateChainAdversary::new(4));
 //! let wilson = run.aggregate.failure_interval(12, 1.96).unwrap();
 //! println!(
@@ -35,7 +35,7 @@
 //! ```
 
 use crate::adversary::Adversary;
-use crate::config::SimConfig;
+use crate::config::{ConfigError, SimConfig};
 use crate::execution::Simulation;
 use crate::metrics::SimReport;
 use probability::rng::Xoshiro256PlusPlus;
@@ -68,20 +68,32 @@ impl TrialPlan {
     /// Creates a plan with no consistency thresholds and automatic
     /// thread count.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `trials == 0` or `rounds == 0`.
-    #[must_use]
-    pub fn new(config: SimConfig, rounds: u64, trials: u64) -> Self {
-        assert!(trials > 0, "at least one trial");
-        assert!(rounds > 0, "at least one round per trial");
-        TrialPlan {
+    /// Returns [`ConfigError`] if `trials == 0` or `rounds == 0` (an
+    /// empty experiment has no well-defined aggregate — a zero-trial
+    /// run used to surface only much later, as an `n > 0` assertion
+    /// deep inside [`WilsonInterval::new`]) or if `config` itself fails
+    /// [`SimConfig::validate`].
+    pub fn new(config: SimConfig, rounds: u64, trials: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        if trials == 0 {
+            return Err(ConfigError::new(
+                "a trial plan needs at least one trial (trials = 0)",
+            ));
+        }
+        if rounds == 0 {
+            return Err(ConfigError::new(
+                "a trial plan needs at least one round per trial (rounds = 0)",
+            ));
+        }
+        Ok(TrialPlan {
             config,
             rounds,
             trials,
             threads: 0,
             consistency_thresholds: Vec::new(),
-        }
+        })
     }
 
     /// Sets the consistency thresholds to tally (builder style).
@@ -91,7 +103,10 @@ impl TrialPlan {
         self
     }
 
-    /// Sets the worker thread count (builder style); `0` = one per CPU.
+    /// Sets the worker thread count (builder style). `0` selects one
+    /// worker per available CPU, falling back to a single worker when
+    /// parallelism detection fails — the fan-out never runs with an
+    /// empty worker pool.
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
@@ -216,9 +231,15 @@ impl TrialAggregate {
     }
 
     /// Wilson interval for the `T`-consistency failure rate, if `T`
-    /// was a plan threshold.
+    /// was a plan threshold. Returns `None` for an empty (zero-trial)
+    /// aggregate — an interval over zero observations is undefined, and
+    /// used to panic deep inside [`WilsonInterval::new`] instead of
+    /// being reported as absent.
     #[must_use]
     pub fn failure_interval(&self, t: u64, z: f64) -> Option<WilsonInterval> {
+        if self.trials == 0 {
+            return None;
+        }
         self.failures_at(t)
             .map(|failures| WilsonInterval::new(failures, self.trials, z))
     }
@@ -256,25 +277,29 @@ fn trial_streams(master_seed: u64, trials: u64) -> Vec<Xoshiro256PlusPlus> {
     streams
 }
 
-/// Runs `plan.trials` independent simulations over `std::thread::scope`
-/// workers and reduces their reports in trial order.
+/// The deterministic fan-out shared by [`run_trials`] and the scenario
+/// layer's `ScenarioPlan`: runs `run_one(trial, stream)` for every
+/// trial over `std::thread::scope` workers pulling from an atomic work
+/// counter, and returns the reports **in trial order** together with
+/// the wall-clock seconds and the worker count actually used.
 ///
-/// `make_adversary` builds a fresh strategy for trial `t`; it runs on
-/// worker threads, so it must be `Sync` (it is called once per trial).
-///
-/// The returned [`TrialAggregate`] is bit-identical for a fixed
-/// `plan.config.seed` regardless of `plan.threads`.
-pub fn run_trials<A, F>(plan: &TrialPlan, make_adversary: F) -> MonteCarloRun
+/// Trial `t`'s stream is the master generator advanced by `t` jumps,
+/// and the reduction order is the trial index, so the result is a pure
+/// function of `(master_seed, run_one)` — never of thread count or
+/// scheduling.
+pub(crate) fn fan_out_reports<F>(
+    master_seed: u64,
+    trials: u64,
+    requested_threads: usize,
+    run_one: &F,
+) -> (Vec<SimReport>, f64, usize)
 where
-    A: Adversary,
-    F: Fn(u64) -> A + Sync,
+    F: Fn(u64, Xoshiro256PlusPlus) -> SimReport + Sync,
 {
-    assert!(plan.trials > 0, "at least one trial");
-    let threads = effective_threads(plan.threads, plan.trials);
-    let streams = trial_streams(plan.config.seed, plan.trials);
+    let threads = effective_threads(requested_threads, trials);
+    let streams = trial_streams(master_seed, trials);
     let next_trial = AtomicU64::new(0);
-    let reports: Mutex<Vec<(u64, SimReport)>> =
-        Mutex::new(Vec::with_capacity(plan.trials as usize));
+    let reports: Mutex<Vec<(u64, SimReport)>> = Mutex::new(Vec::with_capacity(trials as usize));
 
     let started = Instant::now();
     std::thread::scope(|scope| {
@@ -283,13 +308,10 @@ where
                 let mut local: Vec<(u64, SimReport)> = Vec::new();
                 loop {
                     let trial = next_trial.fetch_add(1, Ordering::Relaxed);
-                    if trial >= plan.trials {
+                    if trial >= trials {
                         break;
                     }
-                    let rng = streams[trial as usize].clone();
-                    let mut sim = Simulation::with_rng(plan.config, make_adversary(trial), rng);
-                    sim.run(plan.rounds);
-                    local.push((trial, sim.report()));
+                    local.push((trial, run_one(trial, streams[trial as usize].clone())));
                 }
                 if !local.is_empty() {
                     reports.lock().expect("no poisoned workers").extend(local);
@@ -300,13 +322,23 @@ where
     let elapsed_secs = started.elapsed().as_secs_f64();
 
     let mut reports = reports.into_inner().expect("no poisoned workers");
-    debug_assert_eq!(reports.len() as u64, plan.trials);
+    debug_assert_eq!(reports.len() as u64, trials);
     // Ordered reduction: trial order, not completion order.
     reports.sort_unstable_by_key(|&(trial, _)| trial);
+    let reports = reports.into_iter().map(|(_, report)| report).collect();
+    (reports, elapsed_secs, threads)
+}
 
+/// Order-preserving reduction of per-trial reports into a
+/// [`TrialAggregate`]; shared by [`run_trials`] and the scenario layer.
+pub(crate) fn aggregate_reports(
+    reports: &[SimReport],
+    rounds_per_trial: u64,
+    thresholds: &[u64],
+) -> TrialAggregate {
     let mut aggregate = TrialAggregate {
-        trials: plan.trials,
-        rounds_per_trial: plan.rounds,
+        trials: reports.len() as u64,
+        rounds_per_trial,
         total_honest_blocks: 0,
         total_adversary_blocks: 0,
         total_convergence_opportunities: 0,
@@ -316,13 +348,9 @@ where
         divergence_depths: Vec::with_capacity(reports.len()),
         max_reorg_depth: 0,
         max_divergence_depth: 0,
-        failure_counts: plan
-            .consistency_thresholds
-            .iter()
-            .map(|&t| (t, 0))
-            .collect(),
+        failure_counts: thresholds.iter().map(|&t| (t, 0)).collect(),
     };
-    for (_, report) in &reports {
+    for report in reports {
         aggregate.total_honest_blocks += report.honest_blocks;
         aggregate.total_adversary_blocks += report.adversary_blocks;
         aggregate.total_convergence_opportunities += report.convergence_opportunities;
@@ -344,7 +372,41 @@ where
             }
         }
     }
+    aggregate
+}
 
+/// Runs `plan.trials` independent simulations over `std::thread::scope`
+/// workers and reduces their reports in trial order.
+///
+/// `make_adversary` builds a fresh strategy for trial `t`; it runs on
+/// worker threads, so it must be `Sync` (it is called once per trial).
+///
+/// The returned [`TrialAggregate`] is bit-identical for a fixed
+/// `plan.config.seed` regardless of `plan.threads`.
+///
+/// # Panics
+///
+/// Panics if the plan's public fields were mutated into an empty
+/// experiment (`trials == 0` or `rounds == 0`) after construction —
+/// [`TrialPlan::new`] rejects those as [`ConfigError`]s; bypassing it
+/// is a programming error, not a silently-empty result.
+pub fn run_trials<A, F>(plan: &TrialPlan, make_adversary: F) -> MonteCarloRun
+where
+    A: Adversary,
+    F: Fn(u64) -> A + Sync,
+{
+    assert!(
+        plan.trials > 0 && plan.rounds > 0,
+        "empty experiment: construct plans through TrialPlan::new"
+    );
+    let run_one = |trial: u64, rng: Xoshiro256PlusPlus| {
+        let mut sim = Simulation::with_rng(plan.config, make_adversary(trial), rng);
+        sim.run(plan.rounds);
+        sim.report()
+    };
+    let (reports, elapsed_secs, threads) =
+        fan_out_reports(plan.config.seed, plan.trials, plan.threads, &run_one);
+    let aggregate = aggregate_reports(&reports, plan.rounds, &plan.consistency_thresholds);
     let total_rounds = aggregate.total_rounds();
     MonteCarloRun {
         aggregate,
@@ -354,13 +416,18 @@ where
     }
 }
 
+/// Worker count for a fan-out: `requested`, or one per available CPU
+/// when `requested == 0` (falling back to 1 if detection fails), capped
+/// by the trial count — and never zero, so the fan-out cannot degenerate
+/// into an empty `std::thread::scope` that hangs the reduction on an
+/// empty report set.
 fn effective_threads(requested: usize, trials: u64) -> usize {
     let available = if requested == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
         requested
     };
-    available.clamp(1, trials.min(usize::MAX as u64) as usize)
+    available.min(trials.min(usize::MAX as u64) as usize).max(1)
 }
 
 #[cfg(test)]
@@ -371,7 +438,52 @@ mod tests {
 
     fn plan(seed: u64, trials: u64) -> TrialPlan {
         let cfg = SimConfig::from_c(60, 3, 1.0, 0.35, seed).unwrap();
-        TrialPlan::new(cfg, 4_000, trials).thresholds(vec![0, 4, 12])
+        TrialPlan::new(cfg, 4_000, trials)
+            .unwrap()
+            .thresholds(vec![0, 4, 12])
+    }
+
+    #[test]
+    fn empty_plans_are_rejected_at_construction() {
+        // Satellite regression: zero trials / zero rounds used to panic
+        // (or, for hand-built aggregates, to blow up much later inside
+        // WilsonInterval); now they are proper ConfigErrors.
+        let cfg = SimConfig::from_c(60, 3, 1.0, 0.35, 1).unwrap();
+        let err = TrialPlan::new(cfg, 4_000, 0).unwrap_err();
+        assert!(err.to_string().contains("trial"), "{err}");
+        let err = TrialPlan::new(cfg, 0, 4).unwrap_err();
+        assert!(err.to_string().contains("round"), "{err}");
+        // An invalid config is caught at the same place.
+        let mut bad = cfg;
+        bad.adversary_fraction = 0.7;
+        assert!(TrialPlan::new(bad, 4_000, 4).is_err());
+    }
+
+    #[test]
+    fn empty_aggregate_reports_no_interval() {
+        let aggregate = aggregate_reports(&[], 1_000, &[12]);
+        assert_eq!(aggregate.trials, 0);
+        assert_eq!(aggregate.failures_at(12), Some(0));
+        assert_eq!(
+            aggregate.failure_interval(12, 1.96),
+            None,
+            "an interval over zero observations is undefined, not a panic"
+        );
+    }
+
+    #[test]
+    fn worker_pool_is_never_empty() {
+        for requested in [0usize, 1, 7, 64] {
+            for trials in [1u64, 3, 100] {
+                let threads = effective_threads(requested, trials);
+                assert!(threads >= 1, "requested {requested}, trials {trials}");
+                assert!(threads as u64 <= trials.max(1));
+            }
+        }
+        // Degenerate trial count still yields a worker (the scope must
+        // terminate rather than hang on an empty fan-out).
+        assert_eq!(effective_threads(0, 0), 1);
+        assert_eq!(effective_threads(8, 0), 1);
     }
 
     #[test]
@@ -440,6 +552,7 @@ mod tests {
         // trials with any reorg at all.
         let cfg = SimConfig::new(50, 0.0, 2e-3, 2, 3).unwrap();
         let run = TrialPlan::new(cfg, 5_000, 10)
+            .unwrap()
             .thresholds(vec![0, 12])
             .run(|_| ImmediateReleaseAdversary::new());
         assert_eq!(run.aggregate.failures_at(12), Some(0));
@@ -501,7 +614,9 @@ mod tests {
     #[test]
     fn trial_zero_equals_plain_simulation() {
         let cfg = SimConfig::from_c(80, 2, 2.0, 0.2, 4242).unwrap();
-        let run = TrialPlan::new(cfg, 6_000, 1).run(|_| PrivateChainAdversary::new(2));
+        let run = TrialPlan::new(cfg, 6_000, 1)
+            .unwrap()
+            .run(|_| PrivateChainAdversary::new(2));
         let report = run_simulation_with(cfg, PrivateChainAdversary::new(2), 6_000);
         assert_eq!(run.aggregate.total_honest_blocks, report.honest_blocks);
         assert_eq!(run.aggregate.max_reorg_depth, report.max_reorg_depth);

@@ -53,6 +53,9 @@ pub struct Network {
     /// Every round ≤ `drained` has been drained.
     drained: Round,
     delivered: u64,
+    /// Deliveries whose requested round was already drained and were
+    /// re-timed to `drained + 1` (see [`Network::schedule`]).
+    late: u64,
 }
 
 impl Network {
@@ -62,8 +65,21 @@ impl Network {
         Network::default()
     }
 
-    /// Schedules a delivery. A `round` that is already in the past is
-    /// delivered at the next drain, as with a priority queue.
+    /// Schedules a delivery.
+    ///
+    /// # Contract for past rounds
+    ///
+    /// A `round` at or before the drain line (everything consumed by
+    /// [`Network::due`] / [`Network::drain_due_into`], which after a
+    /// quiet-gap bulk skip can be far ahead of the last *executed*
+    /// round) cannot be delivered on time any more. Such a delivery is
+    /// **re-timed to `drained + 1`**, the earliest round that can still
+    /// deliver — the same behaviour a priority queue would exhibit —
+    /// and counted in [`Network::late_schedules`] so callers can detect
+    /// the silent re-timing. The simulation engine clamps every delay
+    /// to `≥ 1` *before* scheduling and `debug_assert`s that this
+    /// counter stays zero, so inside the engine the fallback is
+    /// unreachable; it exists for direct users of `Network`.
     ///
     /// # Panics
     ///
@@ -71,6 +87,9 @@ impl Network {
     /// groups).
     pub fn schedule(&mut self, block: BlockId, group: usize, round: Round) {
         assert!(group < 2, "at most two honest groups are supported");
+        if round <= self.drained {
+            self.late += 1;
+        }
         let round = round.max(self.drained + 1);
         let window = (round - self.drained) as usize;
         if window > self.slots.len() {
@@ -158,6 +177,15 @@ impl Network {
     pub fn delivered(&self) -> u64 {
         self.delivered
     }
+
+    /// Number of deliveries scheduled for an already-drained round and
+    /// re-timed to `drained + 1` (see [`Network::schedule`]). The
+    /// engine asserts this stays zero; external schedulers can use it
+    /// as a tracing hook for silently re-timed deliveries.
+    #[must_use]
+    pub fn late_schedules(&self) -> u64 {
+        self.late
+    }
 }
 
 #[cfg(test)]
@@ -228,7 +256,48 @@ mod tests {
         assert_eq!(net.due(10).len(), 0);
         net.schedule(BlockId(1), 0, 3);
         assert_eq!(net.next_due(), Some(11), "clamped past the drain line");
+        assert_eq!(net.late_schedules(), 1, "re-timing is observable");
         assert_eq!(net.due(11).len(), 1);
+    }
+
+    /// Satellite regression: a schedule into the past (re-timed to
+    /// `drained + 1`) must survive a `grow()` re-bucketing triggered
+    /// mid-window by a far-future schedule, and the re-timing must be
+    /// visible through the `late_schedules` tracing hook.
+    #[test]
+    fn late_schedule_survives_regrowth_mid_window() {
+        let mut net = Network::new();
+        net.schedule(BlockId(1), 0, 4);
+        assert_eq!(net.due(10).len(), 1); // drained = 10, ring len 4
+        assert_eq!(net.late_schedules(), 0);
+        // Into the past: re-timed to 11, the earliest deliverable round.
+        net.schedule(BlockId(2), 0, 3);
+        assert_eq!(net.late_schedules(), 1);
+        assert_eq!(net.next_due(), Some(11));
+        // Far-future schedules force grow() while the re-timed delivery
+        // is pending; re-bucketing must preserve its effective round.
+        net.schedule(BlockId(3), 1, 70);
+        net.schedule(BlockId(4), 0, 33);
+        assert_eq!(net.pending(), 3);
+        let due = net.due(11);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].block, BlockId(2));
+        assert_eq!(due[0].round, 11, "re-timed round survives re-bucketing");
+        // Another past schedule after the window grew: clamps to the
+        // new drain line, not the old one.
+        net.schedule(BlockId(5), 1, 2);
+        assert_eq!(net.late_schedules(), 2);
+        let due = net.due(12);
+        assert_eq!(due.len(), 1);
+        assert_eq!((due[0].block, due[0].round), (BlockId(5), 12));
+        let rest = net.due(100);
+        assert_eq!(rest.len(), 2);
+        assert_eq!(
+            rest.iter().map(|d| d.round).collect::<Vec<_>>(),
+            vec![33, 70],
+            "in-window deliveries keep their original rounds"
+        );
+        assert_eq!(net.late_schedules(), 2, "future schedules are never late");
     }
 
     #[test]

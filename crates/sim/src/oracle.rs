@@ -206,6 +206,30 @@ impl MiningOracle {
     /// Panics if `p ∉ (0, 1)` (validated upstream by `SimConfig`).
     #[must_use]
     pub fn new(group_sizes: [u64; 2], n_adversary: u64, p: f64, rng: Xoshiro256PlusPlus) -> Self {
+        let mut oracle = MiningOracle {
+            group_dists: [None, None],
+            adversary_dist: None,
+            sizes: [0; 3],
+            gap: None,
+            rng,
+        };
+        oracle.reconfigure(group_sizes, n_adversary, p);
+        oracle
+    }
+
+    /// Re-derives every distribution and the gap-sampler constants for
+    /// new subpopulation sizes and hardness, **continuing the existing
+    /// random stream**. This is the scenario layer's phase-boundary
+    /// hook: when adversary power (or `p`) shifts mid-run, the oracle
+    /// after `reconfigure` behaves exactly like a freshly constructed
+    /// oracle handed the current generator state (see the
+    /// `reconfigure_matches_fresh_oracle` test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)` while any miner exists (same contract as
+    /// [`MiningOracle::new`]; validated upstream by `SimConfig`).
+    pub fn reconfigure(&mut self, group_sizes: [u64; 2], n_adversary: u64, p: f64) {
         let make = |n: u64| {
             if n == 0 {
                 None
@@ -215,13 +239,19 @@ impl MiningOracle {
         };
         let sizes = [group_sizes[0], group_sizes[1], n_adversary];
         let n_total: u64 = sizes.iter().sum();
-        MiningOracle {
-            group_dists: [make(group_sizes[0]), make(group_sizes[1])],
-            adversary_dist: make(n_adversary),
-            sizes,
-            gap: GapSampler::new(n_total, p),
-            rng,
-        }
+        self.group_dists = [make(group_sizes[0]), make(group_sizes[1])];
+        self.adversary_dist = make(n_adversary);
+        self.sizes = sizes;
+        self.gap = GapSampler::new(n_total, p);
+    }
+
+    /// Snapshot of the oracle's generator state. Used by the scenario
+    /// phase-boundary tests to prove that [`MiningOracle::reconfigure`]
+    /// is indistinguishable from starting a fresh oracle at the
+    /// boundary.
+    #[must_use]
+    pub fn rng_clone(&self) -> Xoshiro256PlusPlus {
+        self.rng.clone()
     }
 
     /// Samples one round.
@@ -420,6 +450,51 @@ mod tests {
                 "population {i}: rate {measured} vs {expected}"
             );
         }
+    }
+
+    /// Phase-boundary contract: after `reconfigure`, the oracle must be
+    /// bit-identical to a from-scratch oracle built with the new
+    /// parameters and the generator state captured at the boundary —
+    /// this is what makes scenario power shifts equivalent to starting
+    /// a fresh engine at the phase boundary.
+    #[test]
+    fn reconfigure_matches_fresh_oracle() {
+        let mut live = MiningOracle::new([80, 0], 20, 2e-3, rng(42));
+        // Burn an arbitrary prefix of the stream under the old law,
+        // through both sampling interfaces.
+        for _ in 0..500 {
+            let _ = live.sample_gap_to_success();
+        }
+        for _ in 0..100 {
+            let _ = live.sample_round();
+        }
+        let boundary_rng = live.rng_clone();
+        live.reconfigure([30, 30], 40, 5e-3);
+        let mut fresh = MiningOracle::new([30, 30], 40, 5e-3, boundary_rng);
+        assert_eq!(live.alpha_bar(), fresh.alpha_bar());
+        for i in 0..2_000 {
+            assert_eq!(
+                live.sample_gap_to_success(),
+                fresh.sample_gap_to_success(),
+                "gap sample {i} diverged after reconfigure"
+            );
+        }
+        for i in 0..500 {
+            assert_eq!(
+                live.sample_round(),
+                fresh.sample_round(),
+                "round sample {i} diverged after reconfigure"
+            );
+        }
+    }
+
+    #[test]
+    fn reconfigure_to_empty_population_stops_mining() {
+        let mut o = MiningOracle::new([50, 0], 10, 1e-2, rng(7));
+        assert!(o.sample_gap_to_success().is_some());
+        o.reconfigure([0, 0], 0, 1e-2);
+        assert!(o.sample_gap_to_success().is_none(), "gap is infinite");
+        assert_eq!(o.sample_round().honest_total(), 0);
     }
 
     /// Conditional split: with a single success, the owning population

@@ -1,0 +1,1130 @@
+//! Declarative time-varying scenarios: phases of adversary power,
+//! strategy, and network regime driving one continuous run.
+//!
+//! The paper's Δ-bounded-delay bounds are worst-case over *all*
+//! adversarial schedules, but a stationary simulation (one strategy,
+//! one power level, one delay regime for the whole run) only probes a
+//! single point of that schedule space. This module drives the round
+//! engine through a [`Scenario`]: an ordered list of [`PhaseSpec`]s,
+//! each fixing for some number of rounds
+//!
+//! * the **adversary power** (hash-power shifts re-derive the mining
+//!   oracle at the boundary while continuing the same random stream —
+//!   see [`crate::oracle::MiningOracle::reconfigure`]),
+//! * the **strategy** (a [`StrategyKind`]; withheld private forks are
+//!   frozen across a switch and resumed on re-activation), and
+//! * the **network regime** (a [`Regime`]: calm delay-1 scheduling,
+//!   full-Δ adversarial scheduling, or a one-group eclipse window) —
+//!   regimes re-schedule delays *within* the model bound `[1, Δ]`, so
+//!   the streaming detectors (derived from Δ) stay valid throughout.
+//!
+//! Determinism carries over from the stationary engine: a scenario run
+//! is a pure function of the base config's seed, and the Monte-Carlo
+//! fan-out ([`ScenarioPlan`]) reuses the `montecarlo` trial engine, so
+//! aggregates are **bit-identical for a fixed master seed at any
+//! thread count**.
+//!
+//! # Example
+//!
+//! A calm warm-up, an eclipse window with a power surge and a private
+//! chain, then recovery:
+//!
+//! ```
+//! use nakamoto_sim::config::SimConfig;
+//! use nakamoto_sim::scenario::{PhaseSpec, Regime, Scenario, ScenarioPlan, StrategyKind};
+//!
+//! let base = SimConfig::from_c(100, 4, 1.0, 0.1, 7)?;
+//! let scenario = Scenario::new(
+//!     base,
+//!     vec![
+//!         PhaseSpec::new(2_000, StrategyKind::Honest, Regime::Calm),
+//!         PhaseSpec::new(2_000, StrategyKind::PrivateChain, Regime::Eclipse { group: 1 })
+//!             .with_power(0.4),
+//!         PhaseSpec::new(2_000, StrategyKind::Honest, Regime::Calm),
+//!     ],
+//! )?;
+//! let run = ScenarioPlan::new(scenario, 4)?.thresholds(vec![12]).run();
+//! assert_eq!(run.aggregate.trials, 4);
+//! # Ok::<(), nakamoto_sim::config::ConfigError>(())
+//! ```
+
+use crate::adversary::{
+    Adversary, BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary, ReleaseDirective,
+};
+use crate::block::{BlockId, Round};
+use crate::config::{ConfigError, SimConfig};
+use crate::execution::Simulation;
+use crate::metrics::SimReport;
+use crate::montecarlo::{aggregate_reports, fan_out_reports, MonteCarloRun};
+use crate::selfish::SelfishMiningAdversary;
+use crate::tree::BlockTree;
+use probability::rng::Xoshiro256PlusPlus;
+
+/// How the adversary schedules message delays during a phase. Every
+/// regime stays within the model bound `[1, Δ]`, so the Δ-derived
+/// detectors remain valid across regime changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Benign network: every delivery takes the minimum one round.
+    Calm,
+    /// Fully adversarial scheduling: every cross-group delivery is
+    /// delayed the maximum Δ rounds (the paper's worst case).
+    Adversarial,
+    /// One honest group is eclipsed: everything delivered *to* it —
+    /// honest announcements and adversary releases alike — takes the
+    /// full Δ, while the rest of the network stays calm.
+    Eclipse {
+        /// The eclipsed honest group (0 or 1; forces two groups).
+        group: usize,
+    },
+}
+
+impl Regime {
+    /// Delay applied to an honest block delivered to `to_group`.
+    fn honest_delay(self, delta: u64, to_group: usize) -> u64 {
+        match self {
+            Regime::Calm => 1,
+            Regime::Adversarial => delta,
+            Regime::Eclipse { group } => {
+                if to_group == group {
+                    delta
+                } else {
+                    1
+                }
+            }
+        }
+    }
+
+    /// Minimum delay for an adversary release to `to_group`: an eclipse
+    /// also throttles releases into the eclipsed group (otherwise the
+    /// adversary could trivially pierce its own eclipse); the other
+    /// regimes let the strategy time its own releases.
+    fn release_floor(self, delta: u64, to_group: usize) -> u64 {
+        match self {
+            Regime::Eclipse { group } if to_group == group => delta,
+            _ => 1,
+        }
+    }
+
+    /// Whether this regime only makes sense with two honest groups.
+    fn needs_two_groups(self) -> bool {
+        matches!(self, Regime::Eclipse { .. })
+    }
+}
+
+/// The adversary's mining/release strategy during a phase. Fork state
+/// (withheld private blocks) is per-kind and persists across phases:
+/// a switch freezes the fork, a switch back resumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Behave honestly: publish every block immediately to all groups.
+    Honest,
+    /// Withhold a private fork, release on catch-up threat
+    /// ([`PrivateChainAdversary`]).
+    PrivateChain,
+    /// Keep two honest branches level ([`BalanceAdversary`]; forces two
+    /// groups).
+    Balance,
+    /// Eyal–Sirer selfish mining ([`SelfishMiningAdversary`]).
+    Selfish,
+}
+
+impl StrategyKind {
+    /// Whether this strategy only makes sense with two honest groups.
+    fn needs_two_groups(self) -> bool {
+        matches!(self, StrategyKind::Balance)
+    }
+}
+
+/// One phase of a scenario: a duration plus the strategy, regime, and
+/// optional parameter overrides in force for those rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpec {
+    /// Rounds this phase lasts (≥ 1).
+    pub rounds: u64,
+    /// Active adversary strategy.
+    pub strategy: StrategyKind,
+    /// Active network regime.
+    pub regime: Regime,
+    /// Adversary fraction ν during this phase; `None` inherits the base
+    /// config's value.
+    pub adversary_fraction: Option<f64>,
+    /// PoW hardness p during this phase; `None` inherits the base
+    /// config's value.
+    pub hardness: Option<f64>,
+}
+
+impl PhaseSpec {
+    /// A phase of `rounds` rounds with no parameter overrides.
+    #[must_use]
+    pub fn new(rounds: u64, strategy: StrategyKind, regime: Regime) -> Self {
+        PhaseSpec {
+            rounds,
+            strategy,
+            regime,
+            adversary_fraction: None,
+            hardness: None,
+        }
+    }
+
+    /// Overrides the adversary fraction ν for this phase (builder
+    /// style) — a hash-power shift at the phase boundary.
+    #[must_use]
+    pub fn with_power(mut self, adversary_fraction: f64) -> Self {
+        self.adversary_fraction = Some(adversary_fraction);
+        self
+    }
+
+    /// Overrides the PoW hardness p for this phase (builder style) —
+    /// e.g. a difficulty-adjustment lag window.
+    #[must_use]
+    pub fn with_hardness(mut self, hardness: f64) -> Self {
+        self.hardness = Some(hardness);
+        self
+    }
+}
+
+/// A validated multi-phase scenario over a base configuration.
+///
+/// The base config provides `n`, `Δ` and the master seed; each phase
+/// may override ν and p. `Δ` is fixed for the whole scenario (the
+/// streaming detectors are derived from it); regimes vary realised
+/// delays within `[1, Δ]` instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    base: SimConfig,
+    phases: Vec<PhaseSpec>,
+}
+
+impl Scenario {
+    /// Validates and builds a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `phases` is empty, any phase lasts 0
+    /// rounds, any phase's effective parameters violate
+    /// [`SimConfig::validate`], or an eclipse names a group ≥ 2.
+    pub fn new(base: SimConfig, phases: Vec<PhaseSpec>) -> Result<Self, ConfigError> {
+        base.validate()?;
+        if phases.is_empty() {
+            return Err(ConfigError::new("a scenario needs at least one phase"));
+        }
+        let scenario = Scenario { base, phases };
+        for (i, phase) in scenario.phases.iter().enumerate() {
+            if phase.rounds == 0 {
+                return Err(ConfigError::new(format!(
+                    "phase {i} lasts 0 rounds; every phase needs at least one"
+                )));
+            }
+            scenario
+                .phase_config(i)
+                .validate()
+                .map_err(|e| ConfigError::new(format!("phase {i}: {e}")))?;
+            if let Regime::Eclipse { group } = phase.regime {
+                if group >= 2 {
+                    return Err(ConfigError::new(format!(
+                        "phase {i} eclipses group {group}; only groups 0 and 1 exist"
+                    )));
+                }
+            }
+        }
+        Ok(scenario)
+    }
+
+    /// The base configuration (also the source of the master seed).
+    #[must_use]
+    pub fn base(&self) -> &SimConfig {
+        &self.base
+    }
+
+    /// The phases, in execution order.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseSpec] {
+        &self.phases
+    }
+
+    /// Total rounds over all phases.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.phases.iter().map(|p| p.rounds).sum()
+    }
+
+    /// Honest delivery groups the scenario needs: 2 if any phase runs a
+    /// balance attack or an eclipse window, else 1.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        let split = self
+            .phases
+            .iter()
+            .any(|p| p.strategy.needs_two_groups() || p.regime.needs_two_groups());
+        if split {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The effective configuration of phase `i`: the base config with
+    /// this phase's overrides applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn phase_config(&self, i: usize) -> SimConfig {
+        let phase = &self.phases[i];
+        let mut cfg = self.base;
+        if let Some(nu) = phase.adversary_fraction {
+            cfg.adversary_fraction = nu;
+        }
+        if let Some(p) = phase.hardness {
+            cfg.hardness = p;
+        }
+        cfg
+    }
+}
+
+/// The engine-facing composition of a scenario's strategies: one
+/// [`Adversary`] whose delay policy follows the active [`Regime`] and
+/// whose mining/release behaviour delegates to the active
+/// [`StrategyKind`]'s persistent state machine.
+///
+/// Dormant fork strategies with nothing withheld are re-based onto the
+/// public tip every round, so they never hold a reference the tree
+/// pruner could invalidate; a dormant fork *with* withheld blocks is
+/// frozen and kept alive through [`Adversary::live_blocks`] until its
+/// strategy runs again — or until the public chain strictly overtakes
+/// it, at which point it is abandoned (the move its own strategy would
+/// make on resume), so a dead fork cannot pin the pruner and unbound
+/// memory across a long dormant phase.
+#[derive(Debug, Clone)]
+pub struct ScenarioAdversary {
+    delta: u64,
+    n_groups: usize,
+    strategy: StrategyKind,
+    regime: Regime,
+    honest: ImmediateReleaseAdversary,
+    private: PrivateChainAdversary,
+    balance: BalanceAdversary,
+    selfish: SelfishMiningAdversary,
+}
+
+impl ScenarioAdversary {
+    /// Builds the adversary for `scenario`, starting in phase 0.
+    #[must_use]
+    pub fn new(scenario: &Scenario) -> Self {
+        let delta = scenario.base().delta;
+        let first = &scenario.phases()[0];
+        ScenarioAdversary {
+            delta,
+            n_groups: scenario.group_count(),
+            strategy: first.strategy,
+            regime: first.regime,
+            honest: ImmediateReleaseAdversary::new(),
+            private: PrivateChainAdversary::new(delta),
+            balance: BalanceAdversary::new(delta),
+            selfish: SelfishMiningAdversary::new(delta),
+        }
+    }
+
+    /// Switches strategy and regime at a phase boundary. Must only be
+    /// called between [`Simulation::run`] segments (the fast-forward
+    /// contract assumes the strategy is round-invariant within one).
+    pub fn set_phase(&mut self, strategy: StrategyKind, regime: Regime) {
+        self.strategy = strategy;
+        self.regime = regime;
+    }
+
+    /// The currently active strategy.
+    #[must_use]
+    pub fn strategy(&self) -> StrategyKind {
+        self.strategy
+    }
+
+    /// The currently active regime.
+    #[must_use]
+    pub fn regime(&self) -> Regime {
+        self.regime
+    }
+}
+
+impl Adversary for ScenarioAdversary {
+    fn name(&self) -> &'static str {
+        "scenario"
+    }
+
+    fn group_count(&self) -> usize {
+        self.n_groups
+    }
+
+    fn honest_delay(&mut self, _round: Round, _from: usize, to_group: usize) -> u64 {
+        self.regime.honest_delay(self.delta, to_group)
+    }
+
+    fn act(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: u64,
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
+        // Dormant fork bookkeeping (idempotent under unchanged tips, so
+        // the fast-forward no-op contract holds): a frozen fork the
+        // public chain has strictly overtaken is abandoned — exactly
+        // the move its own strategy would make on resume — so it stops
+        // pinning the tree pruner; an empty dormant fork base simply
+        // tracks the public tip so it never dangles across pruning.
+        let best = crate::adversary::best_tip(tree, group_tips);
+        if self.strategy != StrategyKind::PrivateChain {
+            self.private.abandon_if_behind(best, tree);
+            if self.private.withheld_len() == 0 {
+                self.private.rebase(best);
+            }
+        }
+        if self.strategy != StrategyKind::Selfish {
+            self.selfish.abandon_if_behind(best, tree);
+            if self.selfish.withheld_len() == 0 {
+                self.selfish.rebase(best, tree);
+            }
+        }
+
+        let start = releases.len();
+        match self.strategy {
+            StrategyKind::Honest => self
+                .honest
+                .act(round, group_tips, tree, successes, releases),
+            StrategyKind::PrivateChain => {
+                self.private
+                    .act(round, group_tips, tree, successes, releases);
+            }
+            StrategyKind::Balance => {
+                self.balance
+                    .act(round, group_tips, tree, successes, releases);
+            }
+            StrategyKind::Selfish => {
+                self.selfish
+                    .act(round, group_tips, tree, successes, releases);
+            }
+        }
+        // The eclipse applies to adversary releases too: nothing enters
+        // the eclipsed group faster than Δ.
+        if let Regime::Eclipse { .. } = self.regime {
+            for release in &mut releases[start..] {
+                let floor = self.regime.release_floor(self.delta, release.group);
+                release.delay = release.delay.max(floor);
+            }
+        }
+    }
+
+    fn supports_fast_forward(&self) -> bool {
+        // Every delegate is round-invariant, and phase switches happen
+        // only between run segments.
+        true
+    }
+
+    fn live_blocks(&self) -> Vec<BlockId> {
+        // Dormant tips track the public tip (always alive); frozen
+        // forks must survive pruning until their strategy resumes.
+        let mut blocks = self.private.live_blocks();
+        blocks.extend(self.selfish.live_blocks());
+        blocks
+    }
+}
+
+/// Per-phase slice of a scenario run: additive counters are diffs
+/// between the phase's boundary snapshots; depth maxima are cumulative
+/// (a reorg's depth cannot be un-observed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseReport {
+    /// Rounds simulated in this phase.
+    pub rounds: u64,
+    /// Honest blocks mined during this phase.
+    pub honest_blocks: u64,
+    /// Adversary blocks mined during this phase.
+    pub adversary_blocks: u64,
+    /// Convergence opportunities completed during this phase.
+    pub convergence_opportunities: u64,
+    /// Reorgs observed during this phase.
+    pub reorg_count: u64,
+    /// Deepest reorg observed up to the end of this phase.
+    pub cumulative_max_reorg_depth: u64,
+    /// Deepest cross-group divergence observed up to the end of this
+    /// phase.
+    pub cumulative_max_divergence_depth: u64,
+}
+
+/// Result of one scenario run: the final cumulative report plus a
+/// per-phase breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Cumulative report over the whole run (what a [`ScenarioPlan`]
+    /// aggregates across trials).
+    pub final_report: SimReport,
+    /// One entry per phase, in order.
+    pub phase_reports: Vec<PhaseReport>,
+}
+
+/// Drives one simulation through a scenario's phases, snapshotting the
+/// cumulative report at every boundary.
+#[derive(Debug)]
+pub struct ScenarioRunner {
+    scenario: Scenario,
+    sim: Simulation<ScenarioAdversary>,
+    next_phase: usize,
+    snapshots: Vec<SimReport>,
+}
+
+impl ScenarioRunner {
+    /// Builds a runner seeding the mining generator from the base
+    /// config's seed.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Self {
+        let rng = Xoshiro256PlusPlus::seed_from_u64(scenario.base().seed);
+        ScenarioRunner::with_rng(scenario, rng)
+    }
+
+    /// Builds a runner driving mining from an explicit generator (how
+    /// the Monte-Carlo engine hands each trial its disjoint stream).
+    #[must_use]
+    pub fn with_rng(scenario: Scenario, rng: Xoshiro256PlusPlus) -> Self {
+        let adversary = ScenarioAdversary::new(&scenario);
+        let sim = Simulation::with_rng(scenario.phase_config(0), adversary, rng);
+        ScenarioRunner {
+            scenario,
+            sim,
+            next_phase: 0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Read access to the underlying simulation (round, tree, report —
+    /// and the mining-generator snapshot the phase-boundary tests use).
+    #[must_use]
+    pub fn sim(&self) -> &Simulation<ScenarioAdversary> {
+        &self.sim
+    }
+
+    /// Number of phases already completed.
+    #[must_use]
+    pub fn phases_completed(&self) -> usize {
+        self.next_phase
+    }
+
+    /// Runs the next phase to its end: applies the phase's strategy and
+    /// regime, re-derives the mining oracle if ν or p changed (a no-op
+    /// boundary otherwise — an unsplit run and a split-into-identical-
+    /// phases run are bit-identical), then advances the engine. Returns
+    /// the cumulative report at the phase's end, or `None` when every
+    /// phase has run.
+    pub fn run_next_phase(&mut self) -> Option<&SimReport> {
+        if self.next_phase >= self.scenario.phases().len() {
+            return None;
+        }
+        let i = self.next_phase;
+        let phase = self.scenario.phases()[i];
+        if i > 0 {
+            let cfg = self.scenario.phase_config(i);
+            self.sim
+                .adversary_mut()
+                .set_phase(phase.strategy, phase.regime);
+            self.sim
+                .reconfigure_mining(cfg.adversary_fraction, cfg.hardness);
+        }
+        self.sim.run(phase.rounds);
+        self.snapshots.push(self.sim.report());
+        self.next_phase = i + 1;
+        self.snapshots.last()
+    }
+
+    /// Runs every remaining phase and assembles the scenario report.
+    pub fn run_to_completion(&mut self) -> ScenarioReport {
+        while self.run_next_phase().is_some() {}
+        let final_report = self
+            .snapshots
+            .last()
+            .cloned()
+            .expect("a scenario has at least one phase");
+        let mut phase_reports = Vec::with_capacity(self.snapshots.len());
+        let mut prev: Option<&SimReport> = None;
+        for snap in &self.snapshots {
+            let (rounds, honest, adversary, convergence, reorgs) = match prev {
+                None => (
+                    snap.rounds,
+                    snap.honest_blocks,
+                    snap.adversary_blocks,
+                    snap.convergence_opportunities,
+                    snap.reorg_count,
+                ),
+                Some(p) => (
+                    snap.rounds - p.rounds,
+                    snap.honest_blocks - p.honest_blocks,
+                    snap.adversary_blocks - p.adversary_blocks,
+                    snap.convergence_opportunities - p.convergence_opportunities,
+                    snap.reorg_count - p.reorg_count,
+                ),
+            };
+            phase_reports.push(PhaseReport {
+                rounds,
+                honest_blocks: honest,
+                adversary_blocks: adversary,
+                convergence_opportunities: convergence,
+                reorg_count: reorgs,
+                cumulative_max_reorg_depth: snap.max_reorg_depth,
+                cumulative_max_divergence_depth: snap.max_divergence_depth,
+            });
+            prev = Some(snap);
+        }
+        ScenarioReport {
+            final_report,
+            phase_reports,
+        }
+    }
+}
+
+/// Runs a scenario to completion, seeding from the base config's seed.
+#[must_use]
+pub fn run_scenario(scenario: &Scenario) -> ScenarioReport {
+    ScenarioRunner::new(scenario.clone()).run_to_completion()
+}
+
+/// Runs a scenario to completion on an explicit generator.
+#[must_use]
+pub fn run_scenario_with_rng(scenario: &Scenario, rng: Xoshiro256PlusPlus) -> ScenarioReport {
+    ScenarioRunner::with_rng(scenario.clone(), rng).run_to_completion()
+}
+
+/// A Monte-Carlo experiment over a scenario: independent trials of the
+/// full phase sequence, fanned out on the shared deterministic trial
+/// engine — the aggregate is bit-identical for a fixed master seed
+/// (the base config's seed) at any thread count.
+#[derive(Debug, Clone)]
+pub struct ScenarioPlan {
+    /// The scenario every trial runs.
+    pub scenario: Scenario,
+    /// Number of independent trials.
+    pub trials: u64,
+    /// Worker threads; `0` = one per available CPU (≥ 1 always).
+    pub threads: usize,
+    /// Consistency thresholds `T` tallied per trial.
+    pub consistency_thresholds: Vec<u64>,
+}
+
+impl ScenarioPlan {
+    /// Creates a plan with no thresholds and automatic thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `trials == 0`.
+    pub fn new(scenario: Scenario, trials: u64) -> Result<Self, ConfigError> {
+        if trials == 0 {
+            return Err(ConfigError::new(
+                "a scenario plan needs at least one trial (trials = 0)",
+            ));
+        }
+        Ok(ScenarioPlan {
+            scenario,
+            trials,
+            threads: 0,
+            consistency_thresholds: Vec::new(),
+        })
+    }
+
+    /// Sets the consistency thresholds to tally (builder style).
+    #[must_use]
+    pub fn thresholds(mut self, thresholds: Vec<u64>) -> Self {
+        self.consistency_thresholds = thresholds;
+        self
+    }
+
+    /// Sets the worker thread count (builder style); `0` = one per CPU,
+    /// falling back to 1 if detection fails.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the trials and reduces the final reports in trial order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` was mutated to 0 after construction
+    /// ([`ScenarioPlan::new`] rejects that as a [`ConfigError`]).
+    #[must_use]
+    pub fn run(&self) -> MonteCarloRun {
+        assert!(
+            self.trials > 0,
+            "empty experiment: construct plans through ScenarioPlan::new"
+        );
+        let run_one = |_trial: u64, rng: Xoshiro256PlusPlus| {
+            run_scenario_with_rng(&self.scenario, rng).final_report
+        };
+        let (reports, elapsed_secs, threads) = fan_out_reports(
+            self.scenario.base().seed,
+            self.trials,
+            self.threads,
+            &run_one,
+        );
+        let aggregate = aggregate_reports(
+            &reports,
+            self.scenario.total_rounds(),
+            &self.consistency_thresholds,
+        );
+        let total_rounds = aggregate.total_rounds();
+        MonteCarloRun {
+            aggregate,
+            threads,
+            elapsed_secs,
+            rounds_per_sec: total_rounds as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::run_simulation_with;
+
+    fn base(nu: f64, seed: u64) -> SimConfig {
+        SimConfig::from_c(100, 4, 1.0, nu, seed).unwrap()
+    }
+
+    fn phase(rounds: u64, strategy: StrategyKind, regime: Regime) -> PhaseSpec {
+        PhaseSpec::new(rounds, strategy, regime)
+    }
+
+    /// The acceptance scenario: a power shift, a strategy switch, and
+    /// an eclipse window.
+    fn acceptance_scenario(seed: u64) -> Scenario {
+        Scenario::new(
+            base(0.1, seed),
+            vec![
+                phase(4_000, StrategyKind::Honest, Regime::Calm),
+                phase(
+                    4_000,
+                    StrategyKind::PrivateChain,
+                    Regime::Eclipse { group: 1 },
+                )
+                .with_power(0.4),
+                phase(4_000, StrategyKind::Balance, Regime::Adversarial).with_power(0.3),
+                phase(4_000, StrategyKind::Honest, Regime::Calm),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_scenarios() {
+        let b = base(0.2, 1);
+        assert!(Scenario::new(b, vec![]).is_err(), "no phases");
+        assert!(
+            Scenario::new(b, vec![phase(0, StrategyKind::Honest, Regime::Calm)]).is_err(),
+            "zero-round phase"
+        );
+        assert!(
+            Scenario::new(
+                b,
+                vec![phase(10, StrategyKind::Honest, Regime::Calm).with_power(0.6)],
+            )
+            .is_err(),
+            "majority adversary in a phase"
+        );
+        assert!(
+            Scenario::new(
+                b,
+                vec![phase(10, StrategyKind::Honest, Regime::Calm).with_hardness(1.5)],
+            )
+            .is_err(),
+            "invalid hardness override"
+        );
+        assert!(
+            Scenario::new(
+                b,
+                vec![phase(
+                    10,
+                    StrategyKind::Honest,
+                    Regime::Eclipse { group: 2 }
+                )],
+            )
+            .is_err(),
+            "eclipse of a nonexistent group"
+        );
+    }
+
+    #[test]
+    fn group_count_follows_phases() {
+        let b = base(0.2, 2);
+        let one =
+            Scenario::new(b, vec![phase(10, StrategyKind::PrivateChain, Regime::Calm)]).unwrap();
+        assert_eq!(one.group_count(), 1);
+        let balance =
+            Scenario::new(b, vec![phase(10, StrategyKind::Balance, Regime::Calm)]).unwrap();
+        assert_eq!(balance.group_count(), 2);
+        let eclipse = Scenario::new(
+            b,
+            vec![phase(
+                10,
+                StrategyKind::Honest,
+                Regime::Eclipse { group: 0 },
+            )],
+        )
+        .unwrap();
+        assert_eq!(eclipse.group_count(), 2);
+    }
+
+    #[test]
+    fn phase_config_applies_overrides() {
+        let s = Scenario::new(
+            base(0.1, 3),
+            vec![
+                phase(10, StrategyKind::Honest, Regime::Calm),
+                phase(10, StrategyKind::Honest, Regime::Calm)
+                    .with_power(0.3)
+                    .with_hardness(1e-4),
+            ],
+        )
+        .unwrap();
+        assert_eq!(s.phase_config(0).adversary_fraction, 0.1);
+        assert_eq!(s.phase_config(1).adversary_fraction, 0.3);
+        assert_eq!(s.phase_config(1).hardness, 1e-4);
+        assert_eq!(s.phase_config(1).delta, s.base().delta, "Δ is fixed");
+        assert_eq!(s.total_rounds(), 20);
+    }
+
+    /// A single-phase scenario must reproduce the corresponding
+    /// stationary engine bit-for-bit: the composition layer adds no
+    /// behaviour of its own.
+    #[test]
+    fn single_phase_equals_stationary_engine() {
+        let rounds = 20_000;
+        // Private chain under full-Δ scheduling == PrivateChainAdversary.
+        let cfg = base(0.35, 11);
+        let scenario = Scenario::new(
+            cfg,
+            vec![phase(
+                rounds,
+                StrategyKind::PrivateChain,
+                Regime::Adversarial,
+            )],
+        )
+        .unwrap();
+        let scen = run_scenario(&scenario).final_report;
+        let raw = run_simulation_with(cfg, PrivateChainAdversary::new(cfg.delta), rounds);
+        assert_eq!(scen, raw, "private-chain composition");
+
+        // Honest under calm scheduling == ImmediateReleaseAdversary.
+        let cfg = base(0.25, 12);
+        let scenario =
+            Scenario::new(cfg, vec![phase(rounds, StrategyKind::Honest, Regime::Calm)]).unwrap();
+        let scen = run_scenario(&scenario).final_report;
+        let raw = run_simulation_with(cfg, ImmediateReleaseAdversary::new(), rounds);
+        assert_eq!(scen, raw, "honest composition");
+
+        // Balance under full-Δ scheduling == BalanceAdversary.
+        let cfg = base(0.4, 13);
+        let scenario = Scenario::new(
+            cfg,
+            vec![phase(rounds, StrategyKind::Balance, Regime::Adversarial)],
+        )
+        .unwrap();
+        let scen = run_scenario(&scenario).final_report;
+        let raw = run_simulation_with(cfg, BalanceAdversary::new(cfg.delta), rounds);
+        assert_eq!(scen, raw, "balance composition");
+
+        // Selfish mining under calm scheduling == SelfishMiningAdversary.
+        let cfg = base(0.3, 14);
+        let scenario = Scenario::new(
+            cfg,
+            vec![phase(rounds, StrategyKind::Selfish, Regime::Calm)],
+        )
+        .unwrap();
+        let scen = run_scenario(&scenario).final_report;
+        let raw = run_simulation_with(cfg, SelfishMiningAdversary::new(cfg.delta), rounds);
+        assert_eq!(scen, raw, "selfish composition");
+    }
+
+    /// Splitting one phase into identical back-to-back phases is a
+    /// no-op boundary: the oracle is not re-derived, the buffered gap
+    /// survives, and the run is bit-identical to the unsplit one.
+    #[test]
+    fn identical_phase_split_is_seamless() {
+        let cfg = base(0.3, 21);
+        let whole = Scenario::new(
+            cfg,
+            vec![phase(
+                24_000,
+                StrategyKind::PrivateChain,
+                Regime::Adversarial,
+            )],
+        )
+        .unwrap();
+        let split = Scenario::new(
+            cfg,
+            vec![
+                phase(7_000, StrategyKind::PrivateChain, Regime::Adversarial),
+                phase(9_500, StrategyKind::PrivateChain, Regime::Adversarial),
+                phase(7_500, StrategyKind::PrivateChain, Regime::Adversarial),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            run_scenario(&whole).final_report,
+            run_scenario(&split).final_report
+        );
+    }
+
+    /// Engine-level phase-boundary contract: after a power shift, the
+    /// rest of the run must be driven by an oracle indistinguishable
+    /// from a from-scratch oracle built at the boundary with the new
+    /// parameters and the generator state captured there.
+    #[test]
+    fn power_shift_matches_from_scratch_oracle_at_boundary() {
+        use crate::oracle::MiningOracle;
+        let scenario = Scenario::new(
+            base(0.1, 31),
+            vec![
+                phase(5_000, StrategyKind::Honest, Regime::Calm),
+                phase(5_000, StrategyKind::Honest, Regime::Calm).with_power(0.4),
+            ],
+        )
+        .unwrap();
+        let mut runner = ScenarioRunner::new(scenario.clone());
+        runner.run_next_phase().unwrap();
+        let boundary_rng = runner.sim().mining_rng();
+        runner.run_next_phase().unwrap();
+        assert!(runner.run_next_phase().is_none());
+
+        // Replay phase 2's mining stream from scratch. The engine's
+        // reconfigure discarded the (old-law) buffered gap, so the
+        // first thing drawn after the boundary was a fresh gap from the
+        // reconfigured oracle — exactly what this oracle produces.
+        let cfg2 = scenario.phase_config(1);
+        let n_honest = cfg2.n_honest();
+        let mut fresh = MiningOracle::new(
+            [n_honest, 0],
+            cfg2.n_adversary(),
+            cfg2.hardness,
+            boundary_rng,
+        );
+        let mut mined = 0u64;
+        let mut rounds = 0u64;
+        while rounds < 5_000 {
+            let (gap, out) = fresh.sample_gap_to_success().unwrap();
+            rounds += gap;
+            if rounds <= 5_000 {
+                mined += out.honest_total() + out.adversary;
+            }
+        }
+        let report = runner.run_to_completion();
+        let phase2 = &report.phase_reports[1];
+        assert_eq!(
+            phase2.honest_blocks + phase2.adversary_blocks,
+            mined,
+            "post-boundary mining must replay the from-scratch oracle stream"
+        );
+    }
+
+    /// Power shifts show up in the per-phase rates: an adversary-free
+    /// phase mines no adversary blocks, a 0.4-power phase mines plenty.
+    #[test]
+    fn per_phase_reports_track_power_shifts() {
+        let scenario = Scenario::new(
+            base(0.0, 41),
+            vec![
+                phase(10_000, StrategyKind::Honest, Regime::Calm),
+                phase(10_000, StrategyKind::PrivateChain, Regime::Adversarial).with_power(0.4),
+                phase(10_000, StrategyKind::Honest, Regime::Calm).with_power(0.0),
+            ],
+        )
+        .unwrap();
+        let report = run_scenario(&scenario);
+        assert_eq!(report.phase_reports.len(), 3);
+        assert_eq!(report.phase_reports[0].adversary_blocks, 0, "ν = 0 phase");
+        assert!(
+            report.phase_reports[1].adversary_blocks > 0,
+            "ν = 0.4 phase mines adversary blocks"
+        );
+        assert_eq!(report.phase_reports[2].adversary_blocks, 0, "ν back to 0");
+        let total: u64 = report.phase_reports.iter().map(|p| p.rounds).sum();
+        assert_eq!(total, scenario.total_rounds());
+        assert_eq!(report.final_report.rounds, scenario.total_rounds());
+        // Per-phase additive counters recompose into the final report.
+        assert_eq!(
+            report
+                .phase_reports
+                .iter()
+                .map(|p| p.honest_blocks)
+                .sum::<u64>(),
+            report.final_report.honest_blocks
+        );
+    }
+
+    /// An eclipse window isolates one group: while it lasts, the two
+    /// groups' views diverge far deeper than under calm scheduling.
+    #[test]
+    fn eclipse_window_creates_divergence() {
+        let calm = Scenario::new(
+            base(0.2, 51),
+            vec![
+                // A Balance phase forces two groups without an eclipse.
+                phase(200, StrategyKind::Balance, Regime::Calm),
+                phase(30_000, StrategyKind::Honest, Regime::Calm),
+            ],
+        )
+        .unwrap();
+        let eclipsed = Scenario::new(
+            base(0.2, 51),
+            vec![
+                phase(200, StrategyKind::Balance, Regime::Calm),
+                phase(30_000, StrategyKind::Honest, Regime::Eclipse { group: 1 }),
+            ],
+        )
+        .unwrap();
+        let calm_div = run_scenario(&calm).final_report.max_divergence_depth;
+        let ecl_div = run_scenario(&eclipsed).final_report.max_divergence_depth;
+        assert!(
+            ecl_div > calm_div,
+            "eclipse divergence {ecl_div} should exceed calm {calm_div}"
+        );
+    }
+
+    /// Acceptance: the multi-phase scenario (power shift + strategy
+    /// switch + eclipse window) aggregates bit-identically at 1, 2, 3
+    /// and 8 worker threads for a fixed master seed.
+    #[test]
+    fn multi_phase_aggregate_independent_of_thread_count() {
+        let make_plan = || {
+            ScenarioPlan::new(acceptance_scenario(99), 8)
+                .unwrap()
+                .thresholds(vec![0, 6, 12])
+        };
+        let reference = make_plan().with_threads(1).run();
+        assert_eq!(reference.aggregate.trials, 8);
+        for threads in [2usize, 3, 8] {
+            let other = make_plan().with_threads(threads).run();
+            assert_eq!(
+                reference.aggregate, other.aggregate,
+                "aggregate differs at {threads} threads"
+            );
+        }
+        // And the fan-out really is the montecarlo trial derivation:
+        // trial t == the scenario run on the master stream jumped t times.
+        let mut stream = Xoshiro256PlusPlus::seed_from_u64(99);
+        for t in 0..3usize {
+            let report = run_scenario_with_rng(&acceptance_scenario(99), stream.clone());
+            assert_eq!(
+                reference.aggregate.convergence_counts[t],
+                report.final_report.convergence_opportunities,
+                "trial {t}"
+            );
+            stream = stream.jump();
+        }
+    }
+
+    /// A fork frozen at a strategy switch must stop pinning the tree
+    /// pruner once the public chain strictly overtakes it: a long
+    /// dormant phase after an attack keeps bounded memory.
+    #[test]
+    fn overtaken_frozen_fork_does_not_block_pruning() {
+        let scenario = Scenario::new(
+            base(0.45, 81),
+            vec![
+                phase(2_000, StrategyKind::PrivateChain, Regime::Adversarial),
+                phase(200_000, StrategyKind::Honest, Regime::Calm).with_power(0.0),
+            ],
+        )
+        .unwrap();
+        let mut runner = ScenarioRunner::new(scenario);
+        runner.run_next_phase().unwrap();
+        assert!(
+            runner.sim().adversary().private.withheld_len() > 0,
+            "phase 1 must end with a frozen withheld fork for this test to bite"
+        );
+        runner.run_next_phase().unwrap();
+        let resident = runner.sim().tree().len();
+        assert!(
+            resident < 16_384,
+            "dormant phase pinned the pruner: {resident} resident blocks"
+        );
+    }
+
+    #[test]
+    fn scenario_plan_rejects_zero_trials() {
+        assert!(ScenarioPlan::new(acceptance_scenario(1), 0).is_err());
+    }
+
+    /// A frozen private fork survives a strategy switch and resumes.
+    #[test]
+    fn withheld_fork_frozen_across_phases() {
+        use crate::block::Provenance;
+        let mut tree = BlockTree::new();
+        let mut honest_tip = BlockId::GENESIS;
+        for r in 1..=2 {
+            honest_tip = tree.add_block(honest_tip, r, Provenance::Honest(0));
+        }
+        let scenario = Scenario::new(
+            base(0.3, 61),
+            vec![
+                phase(10, StrategyKind::PrivateChain, Regime::Adversarial),
+                phase(10, StrategyKind::Honest, Regime::Calm),
+                phase(10, StrategyKind::PrivateChain, Regime::Adversarial),
+            ],
+        )
+        .unwrap();
+        let mut adv = ScenarioAdversary::new(&scenario);
+        // Phase 1: mine a big private lead (5 blocks over height 2).
+        let mut buf = Vec::new();
+        adv.act(3, &[honest_tip, honest_tip], &mut tree, 5, &mut buf);
+        assert!(buf.is_empty(), "a 5-lead fork stays withheld");
+        let frozen = adv.live_blocks();
+        // Phase 2: honest behaviour; the fork must stay frozen and alive.
+        adv.set_phase(StrategyKind::Honest, Regime::Calm);
+        buf.clear();
+        adv.act(4, &[honest_tip, honest_tip], &mut tree, 1, &mut buf);
+        assert_eq!(buf.len(), 2, "honest phase publishes to both groups");
+        assert!(
+            adv.live_blocks().contains(&frozen[0]),
+            "frozen fork tip stays pinned for the pruner"
+        );
+        // Phase 3: switch back; the fork resumes from its frozen tip.
+        adv.set_phase(StrategyKind::PrivateChain, Regime::Adversarial);
+        buf.clear();
+        adv.act(5, &[honest_tip, honest_tip], &mut tree, 1, &mut buf);
+        assert!(
+            tree.is_ancestor(frozen[0], adv.live_blocks()[0]),
+            "resumed fork extends the frozen tip"
+        );
+    }
+
+    /// Eclipse regime: releases into the eclipsed group are floored to
+    /// Δ, releases elsewhere keep the strategy's timing.
+    #[test]
+    fn eclipse_floors_release_delays() {
+        let scenario = Scenario::new(
+            base(0.3, 71),
+            vec![phase(
+                10,
+                StrategyKind::Honest,
+                Regime::Eclipse { group: 1 },
+            )],
+        )
+        .unwrap();
+        let mut adv = ScenarioAdversary::new(&scenario);
+        assert_eq!(adv.honest_delay(1, 0, 1), 4, "into the eclipse: Δ");
+        assert_eq!(adv.honest_delay(1, 1, 0), 1, "out of the eclipse: calm");
+        let mut tree = BlockTree::new();
+        let mut buf = Vec::new();
+        adv.act(
+            1,
+            &[BlockId::GENESIS, BlockId::GENESIS],
+            &mut tree,
+            1,
+            &mut buf,
+        );
+        let to_eclipsed: Vec<_> = buf.iter().filter(|r| r.group == 1).collect();
+        let to_open: Vec<_> = buf.iter().filter(|r| r.group == 0).collect();
+        assert!(to_eclipsed.iter().all(|r| r.delay == 4));
+        assert!(to_open.iter().all(|r| r.delay == 1));
+    }
+}

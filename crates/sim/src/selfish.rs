@@ -59,6 +59,29 @@ impl SelfishMiningAdversary {
         self.withheld.len()
     }
 
+    /// Restarts the private fork from `tip` (scenario phase-transition
+    /// hook, mirroring `PrivateChainAdversary::rebase`): while dormant
+    /// the fork base tracks the public tip so it never references a
+    /// pruned block. Only meaningful when nothing is withheld.
+    pub(crate) fn rebase(&mut self, tip: BlockId, tree: &BlockTree) {
+        debug_assert!(self.withheld.is_empty(), "rebase would drop a live fork");
+        self.private_tip = tip;
+        self.withheld.clear();
+        self.revealed_height = self.revealed_height.max(tree.height(tip));
+    }
+
+    /// Adopts `public_tip` and drops the withheld fork iff the fork has
+    /// strictly fallen behind — the strategy's own adopt rule, applied
+    /// by the scenario layer to dormant forks so an overtaken frozen
+    /// fork stops pinning the tree pruner (see
+    /// `PrivateChainAdversary::abandon_if_behind`).
+    pub(crate) fn abandon_if_behind(&mut self, public_tip: BlockId, tree: &BlockTree) {
+        if tree.height(self.private_tip) < tree.height(public_tip) {
+            self.private_tip = public_tip;
+            self.withheld.clear();
+        }
+    }
+
     fn release_up_to(&mut self, height: u64, tree: &BlockTree, out: &mut Vec<ReleaseDirective>) {
         let mut remaining = Vec::new();
         for &block in &self.withheld {
@@ -110,18 +133,11 @@ impl Adversary for SelfishMiningAdversary {
         successes: u64,
         releases: &mut Vec<ReleaseDirective>,
     ) {
-        let public_tip = if tree.height(group_tips[0]) >= tree.height(group_tips[1]) {
-            group_tips[0]
-        } else {
-            group_tips[1]
-        };
+        let public_tip = crate::adversary::best_tip(tree, group_tips);
         let public_height = tree.height(public_tip);
 
         // Behind the public chain → adopt it.
-        if tree.height(self.private_tip) < public_height {
-            self.private_tip = public_tip;
-            self.withheld.clear();
-        }
+        self.abandon_if_behind(public_tip, tree);
 
         for _ in 0..successes {
             self.private_tip = tree.add_block(self.private_tip, round, Provenance::Adversary);

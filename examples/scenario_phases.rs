@@ -1,0 +1,66 @@
+//! Demonstrates the time-varying scenario layer: one continuous run
+//! through a calm warm-up, an eclipse-plus-private-chain attack window
+//! with a hash-power surge, and a calm recovery — with a per-phase
+//! breakdown showing where the consistency damage happens.
+//!
+//! Run with: `cargo run --release --example scenario_phases`
+
+use blockchain_consistency::nakamoto_sim::config::SimConfig;
+use blockchain_consistency::nakamoto_sim::scenario::{
+    run_scenario, PhaseSpec, Regime, Scenario, ScenarioPlan, StrategyKind,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base = SimConfig::from_c(100, 4, 1.0, 0.1, 2026)?;
+    let rounds = 50_000u64;
+    let scenario = Scenario::new(
+        base,
+        vec![
+            PhaseSpec::new(rounds, StrategyKind::Honest, Regime::Calm),
+            PhaseSpec::new(
+                rounds,
+                StrategyKind::PrivateChain,
+                Regime::Eclipse { group: 1 },
+            )
+            .with_power(0.4),
+            PhaseSpec::new(rounds, StrategyKind::Honest, Regime::Calm),
+        ],
+    )?;
+
+    println!("Scenario: calm (ν = 0.1) → eclipse(group 1) + private chain (ν = 0.4) → calm");
+    println!("n = 100, Δ = 4, c = 1, {rounds} rounds per phase\n");
+    println!(
+        "{:>7} {:>9} {:>10} {:>8} {:>8} {:>11} {:>12}",
+        "phase", "honest", "adversary", "conv", "reorgs", "cum_reorg≤", "cum_diverg≤"
+    );
+    let report = run_scenario(&scenario);
+    for (i, p) in report.phase_reports.iter().enumerate() {
+        println!(
+            "{:>7} {:>9} {:>10} {:>8} {:>8} {:>11} {:>12}",
+            i,
+            p.honest_blocks,
+            p.adversary_blocks,
+            p.convergence_opportunities,
+            p.reorg_count,
+            p.cumulative_max_reorg_depth,
+            p.cumulative_max_divergence_depth,
+        );
+    }
+
+    // The same scenario as a Monte-Carlo fan-out: failure rate of
+    // 12-consistency with a 95% Wilson interval, bit-identical at any
+    // thread count.
+    let run = ScenarioPlan::new(scenario, 8)?.thresholds(vec![12]).run();
+    let wilson = run
+        .aggregate
+        .failure_interval(12, 1.96)
+        .expect("threshold requested");
+    println!(
+        "\n8 trials: P[¬12-consistent] = {:.2} [{:.2}, {:.2}] at {:.0} rounds/s on {} threads",
+        wilson.estimate, wilson.lo, wilson.hi, run.rounds_per_sec, run.threads,
+    );
+    println!("\nThe attack window concentrates adversary blocks and depth growth in");
+    println!("phase 1; the recovery phase mines clean. The per-trial streams are");
+    println!("jump()-derived from the base seed, so any thread count reproduces this.");
+    Ok(())
+}
