@@ -1,0 +1,157 @@
+//! The **composition experiment**: what does a fixed adversary budget
+//! buy when it is *split across simultaneous strategies* instead of
+//! spent on one?
+//!
+//! The paper's bounds are adversary-agnostic, so its worst case ranges
+//! over exactly these mixtures. For three strategy pairs the sweep
+//! fixes the total corrupted power ν and walks the weight split from
+//! pure-first to pure-second (oracle-level hypergeometric allocation;
+//! see `nakamoto_sim::compose`), reporting the deepest
+//! reorg/divergence and the empirical T-consistency failure rate (95%
+//! Wilson interval) over parallel Monte-Carlo trials — bit-identical
+//! at any thread count.
+//!
+//! A second section shows the arbitration anatomy on one
+//! balance+private composition: the same weights with the priority
+//! order flipped, with the arbiter's throttled-release count.
+//!
+//! `cargo run --release -p consistency_bench --bin compose_sweep \
+//!     [rounds] [trials]`
+//!
+//! Budgets and expected runtime: see EXPERIMENTS.md.
+
+use nakamoto_sim::compose::{ComposedAdversary, Composition, SubSpec};
+use nakamoto_sim::config::SimConfig;
+use nakamoto_sim::execution::Simulation;
+use nakamoto_sim::montecarlo::TrialPlan;
+use nakamoto_sim::scenario::StrategyKind;
+use probability::rng::{RandomSource, SplitMix64};
+
+/// Master seed; every cell derives its own master seed from it.
+const SWEEP_SEED: u64 = 0x000C_0390_5EED;
+
+const PAIRS: [(&str, StrategyKind, StrategyKind); 3] = [
+    (
+        "balance+selfish",
+        StrategyKind::Balance,
+        StrategyKind::Selfish,
+    ),
+    (
+        "balance+private",
+        StrategyKind::Balance,
+        StrategyKind::PrivateChain,
+    ),
+    (
+        "private+selfish",
+        StrategyKind::PrivateChain,
+        StrategyKind::Selfish,
+    ),
+];
+
+/// Weight splits `(first, second)` swept as rows.
+const SPLITS: [(u64, u64); 5] = [(4, 0), (3, 1), (2, 2), (1, 3), (0, 4)];
+
+fn composition(a: StrategyKind, wa: u64, b: StrategyKind, wb: u64) -> Composition {
+    Composition::new(vec![SubSpec::new(a, wa), SubSpec::new(b, wb)]).expect("valid composition")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let rounds: u64 = args
+        .next()
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(20_000);
+    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5);
+    let (n, delta, c, nu) = (100u64, 4u64, 1.0, 0.40);
+    let t_consistency = 12u64;
+    let mut cell_seeds = SplitMix64::new(SWEEP_SEED);
+
+    consistency_bench::section(&format!(
+        "Composition sweep: fixed ν = {nu} split across two simultaneous strategies; \
+         n = {n}, Δ = {delta}, c = {c}, {trials} trials × {rounds} rounds per cell"
+    ));
+    println!(
+        "{:>7} {:>37} {:>37} {:>37}",
+        "split", PAIRS[0].0, PAIRS[1].0, PAIRS[2].0
+    );
+    println!(
+        "{:>7} {} {} {}",
+        "",
+        format_args!("{:>6} {:>30}", "depth", "P[¬12-cons] (95% CI)"),
+        format_args!("{:>6} {:>30}", "depth", "P[¬12-cons] (95% CI)"),
+        format_args!("{:>6} {:>30}", "depth", "P[¬12-cons] (95% CI)"),
+    );
+    for &(wa, wb) in &SPLITS {
+        print!("{:>7}", format!("{wa}:{wb}"));
+        for &(_, a, b) in &PAIRS {
+            let seed = cell_seeds.next_u64();
+            let cfg = SimConfig::from_c(n, delta, c, nu, seed)?;
+            let run = TrialPlan::new(cfg, rounds, trials)?
+                .thresholds(vec![t_consistency])
+                .run(|_| ComposedAdversary::new(cfg.delta, composition(a, wa, b, wb)));
+            let depth = run
+                .aggregate
+                .max_reorg_depth
+                .max(run.aggregate.max_divergence_depth);
+            let w = run
+                .aggregate
+                .failure_interval(t_consistency, 1.96)
+                .expect("threshold was requested");
+            print!(
+                " {:>6} {:>30}",
+                depth,
+                format!("{:.2} [{:.2}, {:.2}]", w.estimate, w.lo, w.hi)
+            );
+        }
+        println!();
+    }
+
+    // Arbitration anatomy: same weights, flipped priority. Balance
+    // first protects the view split (the arbiter throttles the fork
+    // sub's view-merging reveals to Δ); fork-strategy first protects
+    // its reveal timing instead.
+    consistency_bench::section(&format!(
+        "Arbitration anatomy: balance+private at 2:2, both priority orders ({rounds} rounds)"
+    ));
+    println!(
+        "{:>18} {:>10} {:>10} {:>9} {:>11} {:>10}",
+        "priority", "divergence", "reorg≤", "reorgs", "throttled", "quality"
+    );
+    for (label, first, second) in [
+        (
+            "balance,private",
+            StrategyKind::Balance,
+            StrategyKind::PrivateChain,
+        ),
+        (
+            "private,balance",
+            StrategyKind::PrivateChain,
+            StrategyKind::Balance,
+        ),
+    ] {
+        let cfg = SimConfig::from_c(n, delta, c, nu, 0xA3B1)?;
+        let mut sim = Simulation::new(
+            cfg,
+            ComposedAdversary::new(cfg.delta, composition(first, 2, second, 2)),
+        );
+        sim.run(rounds);
+        let report = sim.report();
+        println!(
+            "{:>18} {:>10} {:>10} {:>9} {:>11} {:>10.3}",
+            label,
+            report.max_divergence_depth,
+            report.max_reorg_depth,
+            report.reorg_count,
+            sim.adversary().throttled_releases(),
+            report.chain_quality(),
+        );
+    }
+
+    println!("\nShape to verify: the 4:0 and 0:4 rows reproduce the pure strategies (a");
+    println!("single-sub composition is bit-identical to the bare adversary); mixed rows");
+    println!("interpolate, with the balance-heavy mixes carrying the divergence depth and");
+    println!("the fork-heavy mixes the reorg depth. In the anatomy, only the balance-first");
+    println!("order throttles releases. Results are bit-identical at any thread count.");
+    Ok(())
+}

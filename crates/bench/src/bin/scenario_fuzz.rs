@@ -1,0 +1,91 @@
+//! The **scenario fuzz gate**: runs the seeded scenario × composition
+//! fuzzer ([`nakamoto_sim::fuzz::ScenarioFuzzer`]) for a case budget
+//! and fails loudly — with a TOML repro written next to the binary —
+//! when any engine invariant (thread-count bit-identity,
+//! pruning-liveness, prefix monotonicity) breaks on a generated case.
+//!
+//! ```text
+//! cargo run --release -p consistency_bench --bin scenario_fuzz -- \
+//!     [--budget N] [--seed S | --seed-from-env] [--out PATH]
+//! ```
+//!
+//! * `--budget N` — number of generated cases (default 2000).
+//! * `--seed S` — master seed (default a fixed constant, so plain runs
+//!   are reproducible).
+//! * `--seed-from-env` — take the seed from `SCENARIO_FUZZ_SEED`, or
+//!   `GITHUB_RUN_ID` as a fallback (how CI gets fresh coverage every
+//!   run while keeping the failing seed in the job log and repro).
+//! * `--out PATH` — where to write the failing case's TOML repro
+//!   (default `scenario_fuzz_failure.toml`).
+//!
+//! Budgets and expected runtime: see EXPERIMENTS.md.
+
+use nakamoto_sim::fuzz::ScenarioFuzzer;
+
+/// Fixed default seed for reproducible local runs.
+const DEFAULT_SEED: u64 = 0x5CE7_F022_5EED;
+
+fn seed_from_env() -> u64 {
+    for var in ["SCENARIO_FUZZ_SEED", "GITHUB_RUN_ID"] {
+        if let Ok(value) = std::env::var(var) {
+            if let Ok(seed) = value.trim().parse::<u64>() {
+                return seed;
+            }
+        }
+    }
+    eprintln!("--seed-from-env: neither SCENARIO_FUZZ_SEED nor GITHUB_RUN_ID parse as u64; using the default seed");
+    DEFAULT_SEED
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut budget: u64 = 2_000;
+    let mut seed: u64 = DEFAULT_SEED;
+    let mut out_path = String::from("scenario_fuzz_failure.toml");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--budget" => {
+                budget = args.next().ok_or("--budget needs a value")?.parse()?;
+            }
+            "--seed" => {
+                seed = args.next().ok_or("--seed needs a value")?.parse()?;
+            }
+            "--seed-from-env" => seed = seed_from_env(),
+            "--out" => {
+                out_path = args.next().ok_or("--out needs a value")?;
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
+    consistency_bench::section(&format!(
+        "Scenario fuzz: {budget} random scenario × composition cases, master seed {seed:#x}"
+    ));
+    let started = std::time::Instant::now();
+    match ScenarioFuzzer::new(seed).run(budget) {
+        Ok(stats) => {
+            println!(
+                "PASS: {} cases ({} with composed phases), {} phases, {} scenario rounds \
+                 per execution in {:.2} s",
+                stats.cases,
+                stats.composed_cases,
+                stats.phases,
+                stats.rounds,
+                started.elapsed().as_secs_f64(),
+            );
+            println!("Invariants held: thread-count bit-identity, pruning-liveness, prefix monotonicity.");
+            Ok(())
+        }
+        Err(failure) => {
+            let repro = failure.repro_toml();
+            std::fs::write(&out_path, &repro)?;
+            eprintln!("FAIL: {failure}");
+            eprintln!("repro written to {out_path}:\n{repro}");
+            eprintln!(
+                "replay: nakamoto_sim::fuzz::run_case({}, {})",
+                failure.master_seed, failure.case
+            );
+            std::process::exit(1);
+        }
+    }
+}

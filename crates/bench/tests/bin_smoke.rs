@@ -110,6 +110,47 @@ fn scenario_sweep_entry() {
     );
 }
 
+/// `compose_sweep`: a composed-adversary cell on the multi-trial
+/// engine — pure-strategy edge rows must reproduce the bare adversary
+/// bit-for-bit, mixed rows must run and tally.
+#[test]
+fn compose_sweep_entry() {
+    use nakamoto_sim::compose::{ComposedAdversary, Composition, SubSpec};
+    use nakamoto_sim::scenario::StrategyKind;
+    let cfg = SimConfig::from_c(100, 4, 1.0, 0.4, 99).unwrap();
+    let composition = |wa: u64, wb: u64| {
+        Composition::new(vec![
+            SubSpec::new(StrategyKind::Balance, wa),
+            SubSpec::new(StrategyKind::Selfish, wb),
+        ])
+        .unwrap()
+    };
+    let plan = TrialPlan::new(cfg, ROUNDS, 3)
+        .expect("non-empty plan")
+        .thresholds(vec![12]);
+    let mixed = plan.run(|_| ComposedAdversary::new(cfg.delta, composition(1, 1)));
+    assert_eq!(mixed.aggregate.trials, 3);
+    assert!(mixed.aggregate.total_adversary_blocks > 0);
+    let pure_edge = plan.run(|_| ComposedAdversary::new(cfg.delta, composition(1, 0)));
+    let bare = plan.run(|_| BalanceAdversary::new(cfg.delta));
+    assert_eq!(
+        pure_edge.aggregate, bare.aggregate,
+        "the 1:0 row must reproduce the bare strategy"
+    );
+}
+
+/// `scenario_fuzz`: a deterministic slice of the fuzz gate's budget,
+/// plus the replay entry point.
+#[test]
+fn scenario_fuzz_entry() {
+    use nakamoto_sim::fuzz::{run_case, ScenarioFuzzer};
+    let stats = ScenarioFuzzer::new(0xC1_5EED)
+        .run(6)
+        .unwrap_or_else(|failure| panic!("{failure}\n{}", failure.repro_toml()));
+    assert_eq!(stats.cases, 6);
+    assert!(run_case(0xC1_5EED, 0).is_ok());
+}
+
 /// `bench_sim`: the throughput harness's workloads at tiny budgets —
 /// a statically dispatched single run plus a parallel trial fan-out.
 #[test]

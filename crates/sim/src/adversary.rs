@@ -76,6 +76,42 @@ pub trait Adversary {
         releases: &mut Vec<ReleaseDirective>,
     );
 
+    /// Miner counts of the strategy's sub-adversaries, for strategies
+    /// that split the corrupted population across several concurrently
+    /// running sub-strategies (see [`crate::compose`]). `None` — the
+    /// default — means the strategy is monolithic and the engine drives
+    /// it through [`Adversary::act`] with the round's total.
+    ///
+    /// When `Some(counts)` is returned, the engine configures the
+    /// mining oracle to split each round's adversary successes across
+    /// the sub-populations hypergeometrically (at the oracle level, on
+    /// the per-trial mining stream — so composition inherits the
+    /// Monte-Carlo engine's thread-count bit-identity for free) and
+    /// drives the strategy through [`Adversary::act_split`] instead.
+    /// `counts` must sum to `n_adversary` and stay fixed between engine
+    /// (re)configurations.
+    fn sub_miner_counts(&self, n_adversary: u64) -> Option<Vec<u64>> {
+        let _ = n_adversary;
+        None
+    }
+
+    /// Split-budget variant of [`Adversary::act`]: `successes[i]` is the
+    /// number of PoW wins sub-adversary `i` scored this round (parallel
+    /// to [`Adversary::sub_miner_counts`]). The engine calls this —
+    /// never `act` — for strategies that declare a sub split. The
+    /// default forwards the summed total to [`Adversary::act`], so
+    /// monolithic strategies never notice it exists.
+    fn act_split(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: &[u64],
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
+        self.act(round, group_tips, tree, successes.iter().sum(), releases);
+    }
+
     /// `true` iff the strategy is *round-invariant*, which lets the
     /// engine fast-forward quiet gaps (rounds with no PoW success and
     /// no delivery) in O(1) instead of calling [`Adversary::act`] once
@@ -129,6 +165,21 @@ impl<A: Adversary + ?Sized> Adversary for Box<A> {
         releases: &mut Vec<ReleaseDirective>,
     ) {
         (**self).act(round, group_tips, tree, successes, releases);
+    }
+
+    fn sub_miner_counts(&self, n_adversary: u64) -> Option<Vec<u64>> {
+        (**self).sub_miner_counts(n_adversary)
+    }
+
+    fn act_split(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: &[u64],
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
+        (**self).act_split(round, group_tips, tree, successes, releases);
     }
 
     fn supports_fast_forward(&self) -> bool {

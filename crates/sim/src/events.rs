@@ -154,6 +154,24 @@ impl SuffixTracker {
         self.delta
     }
 
+    /// Re-derives the tracker for a new delay bound, mirroring
+    /// [`crate::oracle::MiningOracle::reconfigure`] at a scenario phase
+    /// boundary. The suffix state space (`2Δ+1` states) and the meaning
+    /// of every occupancy slot depend on `Δ`, so tallies under different
+    /// bounds cannot be merged: after `reconfigure` the tracker is
+    /// **bit-identical to a freshly constructed `SuffixTracker::new
+    /// (delta)`** — warm-up restarts and the occupancy tally is empty
+    /// (see the `reconfigure_equals_fresh_tracker` test). Callers that
+    /// want the pre-boundary occupancy must snapshot it first, exactly
+    /// as the scenario layer snapshots reports at phase boundaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn reconfigure(&mut self, delta: u64) {
+        *self = SuffixTracker::new(delta);
+    }
+
     /// The current suffix state, if defined yet.
     #[must_use]
     pub fn state(&self) -> Option<SuffixState> {
@@ -348,6 +366,29 @@ impl ConvergenceDetector {
     #[must_use]
     pub fn delta(&self) -> u64 {
         self.delta
+    }
+
+    /// Re-derives the detector for a new delay bound, mirroring
+    /// [`crate::oracle::MiningOracle::reconfigure`] at a scenario phase
+    /// boundary. The pattern machinery (`N`-run length, pending tail,
+    /// leading-`H` memory) is Δ-dependent and resets exactly as in a
+    /// fresh detector, while the cumulative opportunity [`count`] — a
+    /// plain additive counter, like the engine's block tallies — is
+    /// carried across the boundary. Equivalently: after `reconfigure`,
+    /// the detector behaves **bit-identically to a freshly constructed
+    /// `ConvergenceDetector::new(delta)` whose count starts at the
+    /// boundary value** (see the `reconfigure_equals_fresh_detector`
+    /// test), so per-phase opportunity counts are still snapshot diffs.
+    ///
+    /// [`count`]: ConvergenceDetector::count
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn reconfigure(&mut self, delta: u64) {
+        let carried = self.count;
+        *self = ConvergenceDetector::new(delta);
+        self.count = carried;
     }
 
     /// Number of completed convergence opportunities so far.
@@ -703,6 +744,68 @@ mod randomized_tests {
             }
             assert_eq!(bulk_suffix.occupancy(), step_suffix.occupancy());
             assert_eq!(bulk_conv.count(), step_conv.count());
+        }
+    }
+
+    /// Phase-boundary contract for the scenario layer's per-phase
+    /// Δ_effective detectors: after `reconfigure(d)`, a tracker must be
+    /// bit-identical to a fresh `SuffixTracker::new(d)` on any shared
+    /// suffix stream, from any reachable pre-boundary state.
+    #[test]
+    fn reconfigure_equals_fresh_tracker() {
+        let mut rng = SplitMix64::new(0xE7_04);
+        for _ in 0..128 {
+            let old_delta = rng.next_range(1, 6);
+            let new_delta = rng.next_range(1, 6);
+            let mut live = SuffixTracker::new(old_delta);
+            for _ in 0..rng.next_below(60) {
+                live.update(RoundState::from_count(rng.next_below(3)));
+            }
+            live.reconfigure(new_delta);
+            let mut fresh = SuffixTracker::new(new_delta);
+            assert_eq!(live.delta(), new_delta);
+            for _ in 0..rng.next_below(80) {
+                let h = rng.next_below(3);
+                live.update(RoundState::from_count(h));
+                fresh.update(RoundState::from_count(h));
+            }
+            assert_eq!(live.state(), fresh.state(), "Δ {old_delta} → {new_delta}");
+            assert_eq!(live.occupancy(), fresh.occupancy());
+            assert_eq!(live.rounds_counted(), fresh.rounds_counted());
+        }
+    }
+
+    /// Same contract for the convergence detector, with the cumulative
+    /// count carried: the reconfigured detector must count exactly what
+    /// a fresh detector counts, offset by the boundary count.
+    #[test]
+    fn reconfigure_equals_fresh_detector() {
+        let mut rng = SplitMix64::new(0xE7_05);
+        for _ in 0..128 {
+            let old_delta = rng.next_range(1, 6);
+            let new_delta = rng.next_range(1, 6);
+            let mut live = ConvergenceDetector::new(old_delta);
+            for _ in 0..rng.next_below(60) {
+                live.update(rng.next_below(3));
+            }
+            live.reconfigure(new_delta);
+            let boundary = live.count();
+            let mut fresh = ConvergenceDetector::new(new_delta);
+            assert_eq!(live.delta(), new_delta);
+            // Exercise both the per-round and the bulk-quiet interfaces.
+            for _ in 0..rng.next_below(20) {
+                let h = rng.next_below(3);
+                live.update(h);
+                fresh.update(h);
+                let k = rng.next_below(3 * new_delta + 2);
+                live.advance_n_run(k);
+                fresh.advance_n_run(k);
+            }
+            assert_eq!(
+                live.count(),
+                boundary + fresh.count(),
+                "Δ {old_delta} → {new_delta}: carried count must offset a fresh detector"
+            );
         }
     }
 

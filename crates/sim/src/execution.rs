@@ -30,7 +30,7 @@
 //! difference between O(T) and O(#blocks · Δ) work per run.
 //!
 //! Long runs also stay in bounded memory: every
-//! [`Simulation::prune_interval`] rounds the engine prunes the block
+//! [`DEFAULT_PRUNE_INTERVAL`] rounds the engine prunes the block
 //! tree (and the trackers' chain storage) below the common ancestor of
 //! every *live* block — group tips, in-flight deliveries, and blocks
 //! the adversary still references — which no future reorg can cross.
@@ -101,6 +101,17 @@ pub struct Simulation<A: Adversary = Box<dyn Adversary>> {
     /// rounds are quiet and the `k`-th applies `out` (which has ≥ 1
     /// success). Refilled from the oracle's gap sampler when empty.
     pending_outcome: Option<(u64, RoundOutcome)>,
+    /// Sub-adversary miner counts for strategies that split the
+    /// corrupted population ([`Adversary::sub_miner_counts`]); `None`
+    /// drives the monolithic [`Adversary::act`] path.
+    sub_counts: Option<Vec<u64>>,
+    /// Sub-adversary split of the buffered `pending_outcome`, captured
+    /// at sampling time (the oracle's split buffer is overwritten by the
+    /// next sample, but the buffered outcome applies rounds later).
+    pending_split: Vec<u64>,
+    /// All-zero split handed to [`Adversary::act_split`] on quiet
+    /// rounds; kept at the current sub count.
+    zero_split: Vec<u64>,
     /// Rounds between automatic prunes; `None` disables pruning.
     prune_interval: Option<u64>,
     last_prune: Round,
@@ -135,11 +146,15 @@ impl<A: Adversary> Simulation<A> {
         let n_groups = adversary.group_count();
         assert!(n_groups == 1 || n_groups == 2, "1 or 2 honest groups");
         let group_sizes = split_honest(n_groups, config.n_honest());
+        let sub_counts = adversary.sub_miner_counts(config.n_adversary());
+        let mut oracle = MiningOracle::new(group_sizes, config.n_adversary(), config.hardness, rng);
+        oracle.set_adversary_split(sub_counts.as_deref());
+        let n_subs = sub_counts.as_ref().map_or(0, Vec::len);
         Simulation {
             tree: BlockTree::new(),
             network: Network::new(),
             tracker: ChainTracker::new(n_groups),
-            oracle: MiningOracle::new(group_sizes, config.n_adversary(), config.hardness, rng),
+            oracle,
             adversary,
             suffix: SuffixTracker::new(config.delta),
             convergence: ConvergenceDetector::new(config.delta),
@@ -152,6 +167,9 @@ impl<A: Adversary> Simulation<A> {
             delivery_buf: Vec::new(),
             release_buf: Vec::new(),
             pending_outcome: None,
+            sub_counts,
+            pending_split: Vec::new(),
+            zero_split: vec![0; n_subs],
             prune_interval: Some(DEFAULT_PRUNE_INTERVAL),
             last_prune: 0,
             config,
@@ -229,30 +247,82 @@ impl<A: Adversary> Simulation<A> {
     /// Scenario network regimes vary the realised delays *within*
     /// `[1, Δ]` instead.
     ///
-    /// No-op when both parameters are unchanged (so a phase boundary
-    /// between identical phases leaves the run bit-identical to an
-    /// unsplit run).
+    /// The adversary's sub-adversary split is re-derived at the same
+    /// time (a scenario strategy switch into or out of a composed phase
+    /// changes it even when ν and p do not), so the oracle-level
+    /// success allocation always matches the active strategy.
+    ///
+    /// No-op when the parameters *and* the sub split are unchanged (so
+    /// a phase boundary between identical phases leaves the run
+    /// bit-identical to an unsplit run).
     ///
     /// # Panics
     ///
     /// Panics if the new parameters violate the model constraints of
     /// [`SimConfig::validate`].
     pub fn reconfigure_mining(&mut self, adversary_fraction: f64, hardness: f64) {
-        if adversary_fraction == self.config.adversary_fraction && hardness == self.config.hardness
-        {
+        let params_changed = adversary_fraction != self.config.adversary_fraction
+            || hardness != self.config.hardness;
+        let mut new_config = self.config;
+        new_config.adversary_fraction = adversary_fraction;
+        new_config.hardness = hardness;
+        let new_subs = self.adversary.sub_miner_counts(new_config.n_adversary());
+        if !params_changed && new_subs == self.sub_counts {
             return;
         }
-        self.config.adversary_fraction = adversary_fraction;
-        self.config.hardness = hardness;
-        self.config
+        new_config
             .validate()
             .expect("reconfigured parameters must satisfy the model constraints");
-        debug_assert_eq!(self.suffix.delta(), self.config.delta);
-        debug_assert_eq!(self.convergence.delta(), self.config.delta);
+        self.config = new_config;
         let group_sizes = split_honest(self.tracker.n_groups(), self.config.n_honest());
         self.oracle
             .reconfigure(group_sizes, self.config.n_adversary(), hardness);
+        self.oracle.set_adversary_split(new_subs.as_deref());
+        self.zero_split.clear();
+        self.zero_split
+            .resize(new_subs.as_ref().map_or(0, Vec::len), 0);
+        self.sub_counts = new_subs;
+        // The buffered gap (and its captured split) were sampled under
+        // the old law; discard both — gaps are memoryless, so this does
+        // not skew the post-boundary distribution.
         self.pending_outcome = None;
+        self.pending_split.clear();
+    }
+
+    /// Re-derives both streaming detectors for a new *effective* delay
+    /// bound — the scenario layer's per-phase `Δ_effective` hook,
+    /// mirroring [`Simulation::reconfigure_mining`] for the measurement
+    /// side. The suffix tracker restarts as a fresh tracker for
+    /// `delta` (its state space is Δ-dependent); the convergence
+    /// detector resets its pattern machinery but carries the cumulative
+    /// opportunity count, so per-phase counts remain snapshot diffs.
+    /// Both resets are proven equivalent to constructing fresh
+    /// detectors at the boundary (see the detector `reconfigure_*`
+    /// tests in [`crate::events`]).
+    ///
+    /// The *network* bound Δ is untouched: realised delays are still
+    /// clamped to the config's `[1, Δ]`. `Δ_effective` only changes
+    /// what the detectors treat as a long-enough quiet gap — e.g. a
+    /// calm phase measured at `Δ_eff = 1` counts every isolated honest
+    /// block as a convergence opportunity.
+    ///
+    /// Must only be called between [`Simulation::run`] segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn reconfigure_detectors(&mut self, delta: u64) {
+        self.suffix.reconfigure(delta);
+        self.convergence.reconfigure(delta);
+    }
+
+    /// The delay bound the streaming detectors are currently derived
+    /// from: the config's Δ unless re-derived through
+    /// [`Simulation::reconfigure_detectors`].
+    #[must_use]
+    pub fn detector_delta(&self) -> u64 {
+        debug_assert_eq!(self.suffix.delta(), self.convergence.delta());
+        self.suffix.delta()
     }
 
     /// Sets the automatic prune cadence (`None` disables pruning, e.g.
@@ -262,6 +332,20 @@ impl<A: Adversary> Simulation<A> {
     pub fn set_prune_interval(&mut self, interval: Option<u64>) {
         assert!(interval != Some(0), "prune interval must be ≥ 1 round");
         self.prune_interval = interval;
+    }
+
+    /// Samples the next gap outcome, capturing its sub-adversary split
+    /// into the engine buffer: the oracle's split is overwritten by the
+    /// next sample, but the buffered outcome only applies after the
+    /// quiet stretch it heads.
+    fn sample_gap_outcome(&mut self) -> Option<(u64, RoundOutcome)> {
+        let sampled = self.oracle.sample_gap_to_success();
+        if self.sub_counts.is_some() {
+            self.pending_split.clear();
+            self.pending_split
+                .extend_from_slice(self.oracle.adversary_split());
+        }
+        sampled
     }
 
     /// Both group tips (duplicated in the single-group setting).
@@ -294,14 +378,24 @@ impl<A: Adversary> Simulation<A> {
         // 2. Mine (honest). The outcome comes from the gap buffer: when
         // it is empty the oracle samples how many all-quiet rounds
         // precede the next success together with that round's counts.
+        // `applied_success` marks the round that consumes the buffered
+        // success outcome — the only round whose sub-adversary split
+        // (captured at sampling time) is nonzero.
+        let mut applied_success = false;
         let outcome = match self.pending_outcome.take() {
-            Some((1, out)) => out,
+            Some((1, out)) => {
+                applied_success = true;
+                out
+            }
             Some((left, out)) => {
                 self.pending_outcome = Some((left - 1, out));
                 RoundOutcome::quiet()
             }
-            None => match self.oracle.sample_gap_to_success() {
-                Some((1, out)) => out,
+            None => match self.sample_gap_outcome() {
+                Some((1, out)) => {
+                    applied_success = true;
+                    out
+                }
                 Some((gap, out)) => {
                     self.pending_outcome = Some((gap - 1, out));
                     RoundOutcome::quiet()
@@ -356,13 +450,26 @@ impl<A: Adversary> Simulation<A> {
         let tips = self.group_tips();
         let mut releases = std::mem::take(&mut self.release_buf);
         releases.clear();
-        self.adversary.act(
-            round,
-            &tips,
-            &mut self.tree,
-            outcome.adversary,
-            &mut releases,
-        );
+        if self.sub_counts.is_none() {
+            self.adversary.act(
+                round,
+                &tips,
+                &mut self.tree,
+                outcome.adversary,
+                &mut releases,
+            );
+        } else {
+            // Split-budget strategy: hand over the per-sub-adversary
+            // success counts the oracle allocated for this round.
+            let split = if applied_success {
+                &self.pending_split
+            } else {
+                &self.zero_split
+            };
+            debug_assert_eq!(split.iter().sum::<u64>(), outcome.adversary);
+            self.adversary
+                .act_split(round, &tips, &mut self.tree, split, &mut releases);
+        }
         for release in &releases {
             if release.group >= n_groups {
                 continue;
@@ -420,7 +527,7 @@ impl<A: Adversary> Simulation<A> {
             // otherwise execute just to draw the next gap becomes
             // skippable like the rest of the quiet stretch.
             if self.pending_outcome.is_none() {
-                self.pending_outcome = self.oracle.sample_gap_to_success();
+                self.pending_outcome = self.sample_gap_outcome();
             }
             let Some((left, _)) = self.pending_outcome else {
                 continue;

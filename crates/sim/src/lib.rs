@@ -24,7 +24,12 @@
 //! adversary power, switching strategies, and changing network regimes
 //! (calm / full-Δ adversarial / one-group eclipse) — with the same
 //! bit-for-bit determinism guarantees as the stationary Monte-Carlo
-//! engine.
+//! engine. The [`compose`] module runs several strategies
+//! *simultaneously* over a shared mining-power budget (oracle-level
+//! hypergeometric success allocation plus a release arbiter), and the
+//! [`fuzz`] module searches the combined scenario × composition space
+//! with a seeded generator that asserts the engine's invariants over
+//! thousands of random cases.
 //!
 //! # Quickstart
 //!
@@ -46,10 +51,12 @@
 
 pub mod adversary;
 pub mod block;
+pub mod compose;
 pub mod config;
 pub mod consistency;
 pub mod events;
 pub mod execution;
+pub mod fuzz;
 pub mod metrics;
 pub mod montecarlo;
 pub mod network;

@@ -190,6 +190,15 @@ pub struct MiningOracle {
     adversary_dist: Option<Binomial>,
     /// Subpopulation sizes `[group 0, group 1, adversary]`.
     sizes: [u64; 3],
+    /// Optional further subdivision of the adversary class into
+    /// sub-adversary miner counts (empty = monolithic adversary). Set by
+    /// [`MiningOracle::set_adversary_split`]; sums to `sizes[2]`.
+    sub_sizes: Vec<u64>,
+    /// Per-sub-adversary success counts of the most recently sampled
+    /// outcome (parallel to `sub_sizes`; all zero when monolithic).
+    last_split: Vec<u64>,
+    /// Scratch for the without-replacement sub-class draw.
+    sub_scratch: Vec<u64>,
     gap: Option<GapSampler>,
     rng: Xoshiro256PlusPlus,
 }
@@ -210,6 +219,9 @@ impl MiningOracle {
             group_dists: [None, None],
             adversary_dist: None,
             sizes: [0; 3],
+            sub_sizes: Vec::new(),
+            last_split: Vec::new(),
+            sub_scratch: Vec::new(),
             gap: None,
             rng,
         };
@@ -243,6 +255,103 @@ impl MiningOracle {
         self.adversary_dist = make(n_adversary);
         self.sizes = sizes;
         self.gap = GapSampler::new(n_total, p);
+        // A reconfigure invalidates any previously configured adversary
+        // subdivision (the sub counts were derived from the old
+        // population); callers re-establish it via
+        // [`MiningOracle::set_adversary_split`].
+        self.sub_sizes.clear();
+        self.last_split.clear();
+    }
+
+    /// Subdivides the adversary class into sub-adversary miner counts
+    /// for composed strategies: every sampled outcome additionally
+    /// splits its adversary success total across `subs` by a
+    /// multivariate hypergeometric draw — the same without-replacement
+    /// class split [`MiningOracle::sample_gap_to_success`] uses one
+    /// level up, so the joint law over
+    /// `[group 0, group 1, sub 1, …, sub m]` is exactly the flat
+    /// multivariate hypergeometric split of the round total. The split
+    /// of the latest outcome is read back through
+    /// [`MiningOracle::adversary_split`].
+    ///
+    /// Passing `None` (or at most one sub with a nonzero count) keeps
+    /// the random stream **bit-identical to the monolithic oracle**: the
+    /// conditional split is deterministic in that case, so no extra
+    /// draws are consumed. This is what makes a single-sub composition
+    /// indistinguishable from the bare strategy and a zero-power
+    /// sub-adversary a no-op.
+    ///
+    /// Must be called again after [`MiningOracle::reconfigure`] (which
+    /// clears the subdivision).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs` does not sum to the configured adversary
+    /// population.
+    pub fn set_adversary_split(&mut self, subs: Option<&[u64]>) {
+        match subs {
+            None => {
+                self.sub_sizes.clear();
+                self.last_split.clear();
+            }
+            Some(subs) => {
+                assert_eq!(
+                    subs.iter().sum::<u64>(),
+                    self.sizes[2],
+                    "sub-adversary counts must sum to the adversary population"
+                );
+                self.sub_sizes.clear();
+                self.sub_sizes.extend_from_slice(subs);
+                self.last_split.clear();
+                self.last_split.resize(subs.len(), 0);
+            }
+        }
+    }
+
+    /// Per-sub-adversary success counts of the most recently sampled
+    /// outcome (empty when no subdivision is configured). Sums to that
+    /// outcome's `adversary` count.
+    #[must_use]
+    pub fn adversary_split(&self) -> &[u64] {
+        &self.last_split
+    }
+
+    /// Splits `k_adv` adversary successes across the configured
+    /// sub-adversaries into `last_split`. Successes occupy `k_adv`
+    /// distinct adversary miners chosen uniformly, so classes are drawn
+    /// without replacement; when at most one sub-class has miners the
+    /// split is deterministic and consumes no randomness.
+    fn split_adversary(&mut self, k_adv: u64) {
+        if self.sub_sizes.is_empty() {
+            return;
+        }
+        self.last_split.iter_mut().for_each(|c| *c = 0);
+        if k_adv == 0 {
+            return;
+        }
+        let nonzero = self.sub_sizes.iter().filter(|&&s| s > 0).count();
+        if nonzero <= 1 {
+            if let Some(i) = self.sub_sizes.iter().position(|&s| s > 0) {
+                self.last_split[i] = k_adv;
+            }
+            return;
+        }
+        self.sub_scratch.clear();
+        self.sub_scratch.extend_from_slice(&self.sub_sizes);
+        let mut pool: u64 = self.sub_scratch.iter().sum();
+        debug_assert!(k_adv <= pool, "more successes than adversary miners");
+        for _ in 0..k_adv {
+            let mut x = self.rng.next_below(pool);
+            for (count, rem) in self.last_split.iter_mut().zip(self.sub_scratch.iter_mut()) {
+                if x < *rem {
+                    *count += 1;
+                    *rem -= 1;
+                    break;
+                }
+                x -= *rem;
+            }
+            pool -= 1;
+        }
     }
 
     /// Snapshot of the oracle's generator state. Used by the scenario
@@ -266,6 +375,10 @@ impl MiningOracle {
             .adversary_dist
             .as_ref()
             .map_or(0, |d| d.sample(&mut self.rng));
+        // Conditional on the class total, the sub-class split is the
+        // same hypergeometric law the gap interface uses (binomial
+        // splitting), so both interfaces agree on the joint law.
+        self.split_adversary(adversary);
         RoundOutcome {
             honest_per_group,
             adversary,
@@ -303,6 +416,8 @@ impl MiningOracle {
             }
             pool -= 1;
         }
+        // Second hypergeometric stage: subdivide the adversary class.
+        self.split_adversary(counts[2]);
         Some((
             g,
             RoundOutcome {
@@ -495,6 +610,94 @@ mod tests {
         o.reconfigure([0, 0], 0, 1e-2);
         assert!(o.sample_gap_to_success().is_none(), "gap is infinite");
         assert_eq!(o.sample_round().honest_total(), 0);
+    }
+
+    /// The sub-adversary split must sum to the outcome's adversary
+    /// count on both sampling interfaces, and stay within sub sizes.
+    #[test]
+    fn adversary_split_sums_to_adversary_count() {
+        let mut o = MiningOracle::new([40, 20], 40, 5e-3, rng(21));
+        o.set_adversary_split(Some(&[25, 10, 5]));
+        for _ in 0..5_000 {
+            let (_, out) = o.sample_gap_to_success().expect("miners exist");
+            let split = o.adversary_split();
+            assert_eq!(split.len(), 3);
+            assert_eq!(split.iter().sum::<u64>(), out.adversary);
+            assert!(split[0] <= 25 && split[1] <= 10 && split[2] <= 5);
+        }
+        for _ in 0..2_000 {
+            let out = o.sample_round();
+            assert_eq!(o.adversary_split().iter().sum::<u64>(), out.adversary);
+        }
+    }
+
+    /// A degenerate subdivision (one sub, or extra zero-size subs) must
+    /// not consume any randomness: the sampled stream stays
+    /// bit-identical to the monolithic oracle's.
+    #[test]
+    fn degenerate_split_is_stream_invisible() {
+        let mut mono = MiningOracle::new([80, 0], 20, 2e-3, rng(22));
+        let mut single = MiningOracle::new([80, 0], 20, 2e-3, rng(22));
+        single.set_adversary_split(Some(&[20]));
+        let mut padded = MiningOracle::new([80, 0], 20, 2e-3, rng(22));
+        padded.set_adversary_split(Some(&[0, 20, 0]));
+        for i in 0..3_000 {
+            let m = mono.sample_gap_to_success();
+            assert_eq!(m, single.sample_gap_to_success(), "gap sample {i}");
+            assert_eq!(m, padded.sample_gap_to_success(), "gap sample {i}");
+            let adversary = m.expect("miners exist").1.adversary;
+            assert_eq!(single.adversary_split(), &[adversary]);
+            assert_eq!(padded.adversary_split(), &[0, adversary, 0]);
+        }
+    }
+
+    /// With a single adversary success, the owning sub-adversary is
+    /// proportional to its miner count (the hypergeometric one-draw
+    /// marginal).
+    #[test]
+    fn single_adversary_success_sub_split_proportional() {
+        let mut o = MiningOracle::new([100, 0], 40, 1e-4, rng(23));
+        o.set_adversary_split(Some(&[30, 10]));
+        let mut hits = [0u64; 2];
+        let mut singles = 0u64;
+        for _ in 0..60_000 {
+            let (_, out) = o.sample_gap_to_success().expect("miners exist");
+            if out.adversary == 1 {
+                singles += 1;
+                let split = o.adversary_split();
+                if split[0] == 1 {
+                    hits[0] += 1;
+                } else {
+                    assert_eq!(split[1], 1);
+                    hits[1] += 1;
+                }
+            }
+        }
+        assert!(singles > 10_000, "adversary singles at tiny p: {singles}");
+        let share = hits[0] as f64 / singles as f64;
+        assert!((share - 0.75).abs() < 0.02, "sub 0 share {share}");
+    }
+
+    #[test]
+    fn reconfigure_clears_adversary_split() {
+        let mut o = MiningOracle::new([50, 0], 10, 1e-2, rng(24));
+        o.set_adversary_split(Some(&[6, 4]));
+        let _ = o.sample_gap_to_success();
+        assert_eq!(o.adversary_split().len(), 2);
+        o.reconfigure([50, 0], 20, 1e-2);
+        assert!(
+            o.adversary_split().is_empty(),
+            "stale split must not persist"
+        );
+        let _ = o.sample_gap_to_success();
+        assert!(o.adversary_split().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to the adversary population")]
+    fn mismatched_split_is_rejected() {
+        let mut o = MiningOracle::new([50, 0], 10, 1e-2, rng(25));
+        o.set_adversary_split(Some(&[6, 5]));
     }
 
     /// Conditional split: with a single success, the owning population

@@ -52,6 +52,7 @@ use crate::adversary::{
     Adversary, BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary, ReleaseDirective,
 };
 use crate::block::{BlockId, Round};
+use crate::compose::{ComposedAdversary, Composition};
 use crate::config::{ConfigError, SimConfig};
 use crate::execution::Simulation;
 use crate::metrics::SimReport;
@@ -127,13 +128,13 @@ pub enum StrategyKind {
     Balance,
     /// Eyal–Sirer selfish mining ([`SelfishMiningAdversary`]).
     Selfish,
-}
-
-impl StrategyKind {
-    /// Whether this strategy only makes sense with two honest groups.
-    fn needs_two_groups(self) -> bool {
-        matches!(self, StrategyKind::Balance)
-    }
+    /// Several sub-strategies acting *simultaneously* over a shared
+    /// mining-power budget ([`ComposedAdversary`]): the payload indexes
+    /// the scenario's composition table
+    /// ([`Scenario::with_compositions`]). Each table entry keeps its
+    /// own persistent sub-strategy state, frozen and resumed across
+    /// phases like the monolithic strategies.
+    Composed(usize),
 }
 
 /// One phase of a scenario: a duration plus the strategy, regime, and
@@ -152,6 +153,14 @@ pub struct PhaseSpec {
     /// PoW hardness p during this phase; `None` inherits the base
     /// config's value.
     pub hardness: Option<f64>,
+    /// Effective delay bound `Δ_effective` the streaming detectors are
+    /// re-derived with at this phase's boundary; `None` inherits the
+    /// previous phase's value (ultimately the base config's `Δ`). Must
+    /// lie in `[1, Δ]`. The *network* bound stays the base `Δ` — this
+    /// only changes what the suffix and convergence detectors treat as
+    /// a long-enough quiet gap, e.g. measuring a calm phase at
+    /// `Δ_eff = 1`.
+    pub detector_delta: Option<u64>,
 }
 
 impl PhaseSpec {
@@ -164,6 +173,7 @@ impl PhaseSpec {
             regime,
             adversary_fraction: None,
             hardness: None,
+            detector_delta: None,
         }
     }
 
@@ -182,6 +192,17 @@ impl PhaseSpec {
         self.hardness = Some(hardness);
         self
     }
+
+    /// Sets the detectors' effective delay bound for this phase
+    /// (builder style): at the boundary both streaming detectors are
+    /// re-derived for `delta` — equivalent to fresh detectors, with the
+    /// cumulative convergence count carried (see
+    /// [`crate::execution::Simulation::reconfigure_detectors`]).
+    #[must_use]
+    pub fn with_detector_delta(mut self, delta: u64) -> Self {
+        self.detector_delta = Some(delta);
+        self
+    }
 }
 
 /// A validated multi-phase scenario over a base configuration.
@@ -194,22 +215,47 @@ impl PhaseSpec {
 pub struct Scenario {
     base: SimConfig,
     phases: Vec<PhaseSpec>,
+    compositions: Vec<Composition>,
 }
 
 impl Scenario {
-    /// Validates and builds a scenario.
+    /// Validates and builds a scenario with no composition table
+    /// (equivalent to [`Scenario::with_compositions`] with an empty
+    /// table).
     ///
     /// # Errors
     ///
     /// Returns [`ConfigError`] if `phases` is empty, any phase lasts 0
     /// rounds, any phase's effective parameters violate
-    /// [`SimConfig::validate`], or an eclipse names a group ≥ 2.
+    /// [`SimConfig::validate`], an eclipse names a group ≥ 2, a
+    /// detector-Δ override leaves `[1, Δ]`, or a phase references a
+    /// composition the table does not hold.
     pub fn new(base: SimConfig, phases: Vec<PhaseSpec>) -> Result<Self, ConfigError> {
+        Scenario::with_compositions(base, phases, Vec::new())
+    }
+
+    /// Validates and builds a scenario whose phases may run composed
+    /// adversaries: [`StrategyKind::Composed`]`(i)` runs the `i`-th
+    /// entry of `compositions` (each entry keeps persistent sub-strategy
+    /// state across its phases, like the monolithic strategies).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Scenario::new`].
+    pub fn with_compositions(
+        base: SimConfig,
+        phases: Vec<PhaseSpec>,
+        compositions: Vec<Composition>,
+    ) -> Result<Self, ConfigError> {
         base.validate()?;
         if phases.is_empty() {
             return Err(ConfigError::new("a scenario needs at least one phase"));
         }
-        let scenario = Scenario { base, phases };
+        let scenario = Scenario {
+            base,
+            phases,
+            compositions,
+        };
         for (i, phase) in scenario.phases.iter().enumerate() {
             if phase.rounds == 0 {
                 return Err(ConfigError::new(format!(
@@ -224,6 +270,22 @@ impl Scenario {
                 if group >= 2 {
                     return Err(ConfigError::new(format!(
                         "phase {i} eclipses group {group}; only groups 0 and 1 exist"
+                    )));
+                }
+            }
+            if let Some(d) = phase.detector_delta {
+                if d == 0 || d > scenario.base.delta {
+                    return Err(ConfigError::new(format!(
+                        "phase {i} sets detector Δ_effective = {d}; it must lie in [1, Δ = {}]",
+                        scenario.base.delta
+                    )));
+                }
+            }
+            if let StrategyKind::Composed(c) = phase.strategy {
+                if c >= scenario.compositions.len() {
+                    return Err(ConfigError::new(format!(
+                        "phase {i} runs composition {c}, but the table holds {}",
+                        scenario.compositions.len()
                     )));
                 }
             }
@@ -243,6 +305,29 @@ impl Scenario {
         &self.phases
     }
 
+    /// The composition table [`StrategyKind::Composed`] indexes into.
+    #[must_use]
+    pub fn compositions(&self) -> &[Composition] {
+        &self.compositions
+    }
+
+    /// The effective detector delay bound of phase `i`: the phase's
+    /// override, or — matching the boundary semantics of "no override
+    /// keeps the running detectors" — the nearest earlier override,
+    /// falling back to the base `Δ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn detector_delta(&self, i: usize) -> u64 {
+        self.phases[..=i]
+            .iter()
+            .rev()
+            .find_map(|p| p.detector_delta)
+            .unwrap_or(self.base.delta)
+    }
+
     /// Total rounds over all phases.
     #[must_use]
     pub fn total_rounds(&self) -> u64 {
@@ -250,13 +335,19 @@ impl Scenario {
     }
 
     /// Honest delivery groups the scenario needs: 2 if any phase runs a
-    /// balance attack or an eclipse window, else 1.
+    /// balance attack (monolithic or as an active composition sub),
+    /// or an eclipse window, else 1.
     #[must_use]
     pub fn group_count(&self) -> usize {
+        let strategy_splits = |kind: StrategyKind| match kind {
+            StrategyKind::Balance => true,
+            StrategyKind::Composed(i) => self.compositions[i].needs_two_groups(),
+            _ => false,
+        };
         let split = self
             .phases
             .iter()
-            .any(|p| p.strategy.needs_two_groups() || p.regime.needs_two_groups());
+            .any(|p| strategy_splits(p.strategy) || p.regime.needs_two_groups());
         if split {
             2
         } else {
@@ -307,6 +398,8 @@ pub struct ScenarioAdversary {
     private: PrivateChainAdversary,
     balance: BalanceAdversary,
     selfish: SelfishMiningAdversary,
+    /// One persistent composed adversary per composition-table entry.
+    composed: Vec<ComposedAdversary>,
 }
 
 impl ScenarioAdversary {
@@ -324,6 +417,11 @@ impl ScenarioAdversary {
             private: PrivateChainAdversary::new(delta),
             balance: BalanceAdversary::new(delta),
             selfish: SelfishMiningAdversary::new(delta),
+            composed: scenario
+                .compositions()
+                .iter()
+                .map(|c| ComposedAdversary::new(delta, c.clone()))
+                .collect(),
         }
     }
 
@@ -345,6 +443,45 @@ impl ScenarioAdversary {
     #[must_use]
     pub fn regime(&self) -> Regime {
         self.regime
+    }
+
+    /// Dormant fork bookkeeping (idempotent under unchanged tips, so
+    /// the fast-forward no-op contract holds): a frozen fork the
+    /// public chain has strictly overtaken is abandoned — exactly the
+    /// move its own strategy would make on resume — so it stops
+    /// pinning the tree pruner; an empty dormant fork base simply
+    /// tracks the public tip so it never dangles across pruning.
+    /// Composed instances apply the same policy to their sub-forks.
+    fn track_dormant_forks(&mut self, group_tips: &[BlockId; 2], tree: &BlockTree) {
+        let best = crate::adversary::best_tip(tree, group_tips);
+        if self.strategy != StrategyKind::PrivateChain {
+            self.private.abandon_if_behind(best, tree);
+            if self.private.withheld_len() == 0 {
+                self.private.rebase(best);
+            }
+        }
+        if self.strategy != StrategyKind::Selfish {
+            self.selfish.abandon_if_behind(best, tree);
+            if self.selfish.withheld_len() == 0 {
+                self.selfish.rebase(best, tree);
+            }
+        }
+        for (i, composed) in self.composed.iter_mut().enumerate() {
+            if self.strategy != StrategyKind::Composed(i) {
+                composed.track_dormant(best, tree);
+            }
+        }
+    }
+
+    /// The eclipse applies to adversary releases too: nothing enters
+    /// the eclipsed group faster than Δ.
+    fn apply_release_floor(&self, releases: &mut [ReleaseDirective], start: usize) {
+        if let Regime::Eclipse { .. } = self.regime {
+            for release in &mut releases[start..] {
+                let floor = self.regime.release_floor(self.delta, release.group);
+                release.delay = release.delay.max(floor);
+            }
+        }
     }
 }
 
@@ -369,26 +506,7 @@ impl Adversary for ScenarioAdversary {
         successes: u64,
         releases: &mut Vec<ReleaseDirective>,
     ) {
-        // Dormant fork bookkeeping (idempotent under unchanged tips, so
-        // the fast-forward no-op contract holds): a frozen fork the
-        // public chain has strictly overtaken is abandoned — exactly
-        // the move its own strategy would make on resume — so it stops
-        // pinning the tree pruner; an empty dormant fork base simply
-        // tracks the public tip so it never dangles across pruning.
-        let best = crate::adversary::best_tip(tree, group_tips);
-        if self.strategy != StrategyKind::PrivateChain {
-            self.private.abandon_if_behind(best, tree);
-            if self.private.withheld_len() == 0 {
-                self.private.rebase(best);
-            }
-        }
-        if self.strategy != StrategyKind::Selfish {
-            self.selfish.abandon_if_behind(best, tree);
-            if self.selfish.withheld_len() == 0 {
-                self.selfish.rebase(best, tree);
-            }
-        }
-
+        self.track_dormant_forks(group_tips, tree);
         let start = releases.len();
         match self.strategy {
             StrategyKind::Honest => self
@@ -406,14 +524,39 @@ impl Adversary for ScenarioAdversary {
                 self.selfish
                     .act(round, group_tips, tree, successes, releases);
             }
+            StrategyKind::Composed(_) => unreachable!(
+                "composed phases are driven through act_split: the engine re-derives \
+                 the sub split at every phase boundary"
+            ),
         }
-        // The eclipse applies to adversary releases too: nothing enters
-        // the eclipsed group faster than Δ.
-        if let Regime::Eclipse { .. } = self.regime {
-            for release in &mut releases[start..] {
-                let floor = self.regime.release_floor(self.delta, release.group);
-                release.delay = release.delay.max(floor);
+        self.apply_release_floor(releases, start);
+    }
+
+    fn sub_miner_counts(&self, n_adversary: u64) -> Option<Vec<u64>> {
+        match self.strategy {
+            StrategyKind::Composed(i) => self.composed[i].sub_miner_counts(n_adversary),
+            _ => None,
+        }
+    }
+
+    fn act_split(
+        &mut self,
+        round: Round,
+        group_tips: &[BlockId; 2],
+        tree: &mut BlockTree,
+        successes: &[u64],
+        releases: &mut Vec<ReleaseDirective>,
+    ) {
+        match self.strategy {
+            StrategyKind::Composed(i) => {
+                self.track_dormant_forks(group_tips, tree);
+                let start = releases.len();
+                self.composed[i].act_split(round, group_tips, tree, successes, releases);
+                self.apply_release_floor(releases, start);
             }
+            // Defensive: a monolithic phase driven through the split
+            // interface behaves exactly like the default trait impl.
+            _ => self.act(round, group_tips, tree, successes.iter().sum(), releases),
         }
     }
 
@@ -425,9 +568,13 @@ impl Adversary for ScenarioAdversary {
 
     fn live_blocks(&self) -> Vec<BlockId> {
         // Dormant tips track the public tip (always alive); frozen
-        // forks must survive pruning until their strategy resumes.
+        // forks — monolithic or inside a composition — must survive
+        // pruning until their strategy resumes.
         let mut blocks = self.private.live_blocks();
         blocks.extend(self.selfish.live_blocks());
+        for composed in &self.composed {
+            blocks.extend(composed.live_blocks());
+        }
         blocks
     }
 }
@@ -447,6 +594,10 @@ pub struct PhaseReport {
     pub convergence_opportunities: u64,
     /// Reorgs observed during this phase.
     pub reorg_count: u64,
+    /// The effective delay bound `Δ_effective` the streaming detectors
+    /// ran with during this phase (the base `Δ` unless overridden; see
+    /// [`PhaseSpec::with_detector_delta`]).
+    pub detector_delta: u64,
     /// Deepest reorg observed up to the end of this phase.
     pub cumulative_max_reorg_depth: u64,
     /// Deepest cross-group divergence observed up to the end of this
@@ -489,13 +640,28 @@ impl ScenarioRunner {
     #[must_use]
     pub fn with_rng(scenario: Scenario, rng: Xoshiro256PlusPlus) -> Self {
         let adversary = ScenarioAdversary::new(&scenario);
-        let sim = Simulation::with_rng(scenario.phase_config(0), adversary, rng);
+        let mut sim = Simulation::with_rng(scenario.phase_config(0), adversary, rng);
+        // A phase-0 detector override re-derives fresh detectors — and
+        // at round 0 the detectors *are* fresh, so this is exactly the
+        // engine a base config with that Δ_eff would have built.
+        let d0 = scenario.detector_delta(0);
+        if d0 != scenario.base().delta {
+            sim.reconfigure_detectors(d0);
+        }
         ScenarioRunner {
             scenario,
             sim,
             next_phase: 0,
             snapshots: Vec::new(),
         }
+    }
+
+    /// Sets the engine's automatic prune cadence (`None` disables
+    /// pruning); the scenario fuzzer uses this to prove pruning is
+    /// behaviour-invisible on randomly generated scenarios. See
+    /// [`Simulation::set_prune_interval`].
+    pub fn set_prune_interval(&mut self, interval: Option<u64>) {
+        self.sim.set_prune_interval(interval);
     }
 
     /// Read access to the underlying simulation (round, tree, report —
@@ -512,11 +678,12 @@ impl ScenarioRunner {
     }
 
     /// Runs the next phase to its end: applies the phase's strategy and
-    /// regime, re-derives the mining oracle if ν or p changed (a no-op
-    /// boundary otherwise — an unsplit run and a split-into-identical-
-    /// phases run are bit-identical), then advances the engine. Returns
-    /// the cumulative report at the phase's end, or `None` when every
-    /// phase has run.
+    /// regime, re-derives the mining oracle if ν, p or the composed
+    /// sub split changed (a no-op boundary otherwise — an unsplit run
+    /// and a split-into-identical-phases run are bit-identical),
+    /// re-derives the detectors if the phase carries a different
+    /// `Δ_effective`, then advances the engine. Returns the cumulative
+    /// report at the phase's end, or `None` when every phase has run.
     pub fn run_next_phase(&mut self) -> Option<&SimReport> {
         if self.next_phase >= self.scenario.phases().len() {
             return None;
@@ -530,6 +697,10 @@ impl ScenarioRunner {
                 .set_phase(phase.strategy, phase.regime);
             self.sim
                 .reconfigure_mining(cfg.adversary_fraction, cfg.hardness);
+            let d = self.scenario.detector_delta(i);
+            if d != self.scenario.detector_delta(i - 1) {
+                self.sim.reconfigure_detectors(d);
+            }
         }
         self.sim.run(phase.rounds);
         self.snapshots.push(self.sim.report());
@@ -547,7 +718,7 @@ impl ScenarioRunner {
             .expect("a scenario has at least one phase");
         let mut phase_reports = Vec::with_capacity(self.snapshots.len());
         let mut prev: Option<&SimReport> = None;
-        for snap in &self.snapshots {
+        for (i, snap) in self.snapshots.iter().enumerate() {
             let (rounds, honest, adversary, convergence, reorgs) = match prev {
                 None => (
                     snap.rounds,
@@ -570,6 +741,7 @@ impl ScenarioRunner {
                 adversary_blocks: adversary,
                 convergence_opportunities: convergence,
                 reorg_count: reorgs,
+                detector_delta: self.scenario.detector_delta(i),
                 cumulative_max_reorg_depth: snap.max_reorg_depth,
                 cumulative_max_divergence_depth: snap.max_divergence_depth,
             });
@@ -1052,6 +1224,216 @@ mod tests {
     #[test]
     fn scenario_plan_rejects_zero_trials() {
         assert!(ScenarioPlan::new(acceptance_scenario(1), 0).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_compositions_and_detector_deltas() {
+        use crate::compose::{Composition, SubSpec};
+        let b = base(0.2, 1);
+        assert!(
+            Scenario::new(b, vec![phase(10, StrategyKind::Composed(0), Regime::Calm)],).is_err(),
+            "composition index without a table"
+        );
+        let table = vec![Composition::new(vec![SubSpec::new(StrategyKind::Balance, 1)]).unwrap()];
+        assert!(
+            Scenario::with_compositions(
+                b,
+                vec![phase(10, StrategyKind::Composed(1), Regime::Calm)],
+                table.clone(),
+            )
+            .is_err(),
+            "composition index out of range"
+        );
+        assert!(
+            Scenario::with_compositions(
+                b,
+                vec![phase(10, StrategyKind::Composed(0), Regime::Calm)],
+                table,
+            )
+            .is_ok(),
+            "in-range composition index"
+        );
+        assert!(
+            Scenario::new(
+                b,
+                vec![phase(10, StrategyKind::Honest, Regime::Calm).with_detector_delta(0)],
+            )
+            .is_err(),
+            "Δ_effective = 0"
+        );
+        assert!(
+            Scenario::new(
+                b,
+                vec![phase(10, StrategyKind::Honest, Regime::Calm)
+                    .with_detector_delta(b.delta + 1)],
+            )
+            .is_err(),
+            "Δ_effective above the model bound"
+        );
+    }
+
+    /// A single composed phase under full-Δ scheduling must reproduce
+    /// the stationary composed engine bit-for-bit, exactly like the
+    /// monolithic strategies (the Balance sub's max-delay vote makes
+    /// the standalone delay policy coincide with the Adversarial
+    /// regime).
+    #[test]
+    fn single_composed_phase_equals_stationary_composed_run() {
+        use crate::compose::{ComposedAdversary, Composition, SubSpec};
+        let rounds = 20_000;
+        let cfg = base(0.4, 15);
+        let composition = Composition::new(vec![
+            SubSpec::new(StrategyKind::Balance, 2),
+            SubSpec::new(StrategyKind::Selfish, 1),
+        ])
+        .unwrap();
+        let scenario = Scenario::with_compositions(
+            cfg,
+            vec![phase(
+                rounds,
+                StrategyKind::Composed(0),
+                Regime::Adversarial,
+            )],
+            vec![composition.clone()],
+        )
+        .unwrap();
+        let scen = run_scenario(&scenario).final_report;
+        let raw = run_simulation_with(cfg, ComposedAdversary::new(cfg.delta, composition), rounds);
+        assert_eq!(scen, raw, "composed composition");
+    }
+
+    /// A composed phase's frozen sub-forks must not pin the tree pruner
+    /// across a long dormant phase (the composed analogue of the
+    /// monolithic overtaken-frozen-fork test).
+    #[test]
+    fn dormant_composed_forks_do_not_block_pruning() {
+        use crate::compose::{Composition, SubSpec};
+        let composition = Composition::new(vec![
+            SubSpec::new(StrategyKind::PrivateChain, 1),
+            SubSpec::new(StrategyKind::Selfish, 1),
+        ])
+        .unwrap();
+        let scenario = Scenario::with_compositions(
+            base(0.45, 82),
+            vec![
+                phase(2_000, StrategyKind::Composed(0), Regime::Adversarial),
+                phase(200_000, StrategyKind::Honest, Regime::Calm).with_power(0.0),
+            ],
+            vec![composition],
+        )
+        .unwrap();
+        let mut runner = ScenarioRunner::new(scenario);
+        runner.run_next_phase().unwrap();
+        runner.run_next_phase().unwrap();
+        let resident = runner.sim().tree().len();
+        assert!(
+            resident < 16_384,
+            "dormant composed phase pinned the pruner: {resident} resident blocks"
+        );
+    }
+
+    /// Per-phase Δ_effective: re-deriving the detectors never touches
+    /// the mining dynamics, only the measurement — a calm phase
+    /// measured at Δ_eff = 1 counts strictly more convergence
+    /// opportunities than the same phase measured at the network bound.
+    #[test]
+    fn per_phase_detector_delta_recounts_convergence() {
+        let rounds = 20_000;
+        let phases = |detector: Option<u64>| {
+            let mut second = phase(rounds, StrategyKind::Honest, Regime::Calm);
+            if let Some(d) = detector {
+                second = second.with_detector_delta(d);
+            }
+            vec![
+                phase(rounds, StrategyKind::Honest, Regime::Calm),
+                second,
+                phase(rounds, StrategyKind::Honest, Regime::Calm),
+            ]
+        };
+        let plain = Scenario::new(base(0.1, 91), phases(None)).unwrap();
+        let refined = Scenario::new(base(0.1, 91), phases(Some(1))).unwrap();
+        // Sticky semantics: a later phase without an override inherits
+        // the nearest earlier Δ_eff.
+        assert_eq!(refined.detector_delta(0), 4);
+        assert_eq!(refined.detector_delta(1), 1);
+        assert_eq!(refined.detector_delta(2), 1);
+        let plain = run_scenario(&plain);
+        let refined = run_scenario(&refined);
+        for (a, b) in plain.phase_reports.iter().zip(&refined.phase_reports) {
+            assert_eq!(a.honest_blocks, b.honest_blocks, "dynamics untouched");
+            assert_eq!(a.adversary_blocks, b.adversary_blocks);
+        }
+        assert_eq!(
+            plain.phase_reports[0].convergence_opportunities,
+            refined.phase_reports[0].convergence_opportunities,
+            "identical before the boundary"
+        );
+        assert!(
+            refined.phase_reports[1].convergence_opportunities
+                > plain.phase_reports[1].convergence_opportunities,
+            "Δ_eff = 1 must count strictly more opportunities: {} vs {}",
+            refined.phase_reports[1].convergence_opportunities,
+            plain.phase_reports[1].convergence_opportunities,
+        );
+        assert_eq!(plain.phase_reports[1].detector_delta, 4);
+        assert_eq!(refined.phase_reports[1].detector_delta, 1);
+        assert_eq!(refined.phase_reports[2].detector_delta, 1, "sticky");
+    }
+
+    /// Per-phase Δ_effective re-derivation is equivalent to running a
+    /// fresh engine over the boundary: the refined phase's opportunity
+    /// count must equal a from-scratch Δ_eff detector fed the same
+    /// post-boundary rounds (proven here through the whole engine, not
+    /// just the detector unit tests). The phase also shifts power so
+    /// the boundary discards the buffered quiet gap — that is what
+    /// makes a from-scratch oracle replay exact (see
+    /// `power_shift_matches_from_scratch_oracle_at_boundary`).
+    #[test]
+    fn detector_rederivation_matches_fresh_detector_at_boundary() {
+        use crate::events::ConvergenceDetector;
+        use crate::oracle::MiningOracle;
+        let rounds = 10_000;
+        let scenario = Scenario::new(
+            base(0.1, 93),
+            vec![
+                phase(rounds, StrategyKind::Honest, Regime::Calm),
+                phase(rounds, StrategyKind::Honest, Regime::Calm)
+                    .with_power(0.3)
+                    .with_detector_delta(2),
+            ],
+        )
+        .unwrap();
+        let mut runner = ScenarioRunner::new(scenario.clone());
+        runner.run_next_phase().unwrap();
+        let boundary_rng = runner.sim().mining_rng();
+        let report = runner.run_to_completion();
+
+        // Replay phase 2's mining stream on a fresh oracle and feed the
+        // honest totals to a fresh Δ_eff = 2 detector.
+        let cfg = scenario.phase_config(1);
+        let mut oracle = MiningOracle::new(
+            [cfg.n_honest(), 0],
+            cfg.n_adversary(),
+            cfg.hardness,
+            boundary_rng,
+        );
+        let mut fresh = ConvergenceDetector::new(2);
+        let mut r = 0u64;
+        while r < rounds {
+            let (gap, out) = oracle.sample_gap_to_success().unwrap();
+            if r + gap > rounds {
+                fresh.advance_n_run(rounds - r);
+                break;
+            }
+            fresh.advance_n_run(gap - 1);
+            fresh.update(out.honest_total());
+            r += gap;
+        }
+        assert_eq!(
+            report.phase_reports[1].convergence_opportunities,
+            fresh.count(),
+            "phase 2 must count exactly what a fresh Δ_eff detector counts"
+        );
     }
 
     /// A frozen private fork survives a strategy switch and resumes.
