@@ -4,35 +4,49 @@
 //! (with a 95% Wilson interval) over parallel Monte-Carlo trials,
 //! alongside the analytic thresholds.
 //!
+//! The grid is **spec-driven**: the binary embeds the committed
+//! `examples/specs/attack_sweep.toml` (axes c × ν × attack, per-cell
+//! seeds from the sweep's SplitMix64 stream — disjoint by
+//! construction) and runs it through the shared
+//! `consistency_bench::experiment` plumbing — run the `experiment`
+//! binary on the same file for the flat table + JSON form.
+//!
 //! `cargo run --release -p consistency_bench --bin attack_sweep [rounds-per-trial] [trials]`
 //!
 //! Budgets and expected runtime: see EXPERIMENTS.md.
 
+use consistency_bench::{cli, experiment, table};
 use consistency_core::{numax, pss};
-use nakamoto_sim::adversary::{BalanceAdversary, PrivateChainAdversary};
-use nakamoto_sim::config::SimConfig;
-use nakamoto_sim::montecarlo::TrialPlan;
-use probability::rng::{RandomSource, SplitMix64};
+use nakamoto_sim::spec::ExperimentSpec;
 
-/// Master seed for the whole sweep; every cell derives its own seed
-/// from it through a SplitMix64 stream, so no two cells (and hence no
-/// two trials anywhere in the sweep) share an RNG stream.
-const SWEEP_SEED: u64 = 0x00A7_7AC4_5EED;
+/// The committed golden spec this binary is the pivot-table view of.
+const SPEC: &str = include_str!("../../../../examples/specs/attack_sweep.toml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let rounds: u64 = args
-        .next()
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(30_000);
-    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5);
-    let n = 100u64;
-    let delta = 4u64;
-    let t_consistency = 12u64;
-    let mut cell_seeds = SplitMix64::new(SWEEP_SEED);
+    let args = cli::Args::parse(
+        "attack_sweep [rounds-per-trial] [trials]",
+        2,
+        &["--threads"],
+    )?;
+    let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
+    let rounds = args.pos_u64(0)?.unwrap_or(30_000);
+    let trials = args.pos_u64(1)?;
+    experiment::apply_budget(&mut spec, Some(rounds), trials, args.threads, None);
 
-    for &c in &[0.5f64, 1.0, 2.0] {
+    let trials = spec.run.trials;
+    let t_consistency = *spec.run.thresholds.first().expect("spec carries T");
+    let sweep = spec.sweep.clone().expect("committed spec sweeps");
+    let [n_c, n_nu, n_attacks] = spec.sweep_shape()[..] else {
+        panic!("committed spec has three axes")
+    };
+    assert_eq!(n_attacks, 2, "private-chain and balance columns");
+
+    let results = experiment::run_spec(&spec)?;
+    assert_eq!(results.len(), n_c * n_nu * n_attacks);
+    for ci in 0..n_c {
+        // Every cell of this section shares c; read it back from the
+        // patched config rather than re-parsing the axis label.
+        let c = results[ci * n_nu * n_attacks].spec.base.c();
         consistency_bench::section(&format!(
             "Attack sweep at c = {c} (ours ν_max = {:.3}, PSS attack threshold = {:.3}); \
              {trials} trials × {rounds} rounds per cell",
@@ -44,39 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "{:>6} {:>9} {:>24} {:>9} {:>24}",
             "", "max_reorg", "P[¬T-cons] (95% CI)", "max_div", "P[¬T-cons] (95% CI)"
         );
-        for &nu in &[0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45] {
-            // Disjoint per-cell master seeds (satellite fix: the old
-            // `(c*1000) as u64 + (nu*100) as u64` arithmetic collided
-            // across cells and correlated neighbours).
-            let private_seed = cell_seeds.next_u64();
-            let balance_seed = cell_seeds.next_u64();
-            // `rounds`/`trials` come from argv: bad values surface as
-            // tidy ConfigErrors from plan construction, not panics.
-            let run_cell = |seed: u64, balance: bool| {
-                let cfg = SimConfig::from_c(n, delta, c, nu, seed).expect("valid");
-                let plan = TrialPlan::new(cfg, rounds, trials)?.thresholds(vec![t_consistency]);
-                Ok::<_, nakamoto_sim::config::ConfigError>(if balance {
-                    plan.run(|_| BalanceAdversary::new(delta))
-                } else {
-                    plan.run(|_| PrivateChainAdversary::new(delta))
-                })
-            };
-            let private = run_cell(private_seed, false)?;
-            let balance = run_cell(balance_seed, true)?;
-            let fmt_ci = |run: &nakamoto_sim::montecarlo::MonteCarloRun| {
-                let w = run
-                    .aggregate
-                    .failure_interval(t_consistency, 1.96)
-                    .expect("threshold was requested");
-                format!("{:.2} [{:.2}, {:.2}]", w.estimate, w.lo, w.hi)
-            };
+        for (ni, nu_cell) in sweep.axes[1].cells.iter().enumerate() {
+            let at = (ci * n_nu + ni) * n_attacks;
+            let private = &results[at];
+            let balance = &results[at + 1];
             println!(
-                "{:>6.2} {:>9} {:>24} {:>9} {:>24}",
-                nu,
-                private.aggregate.max_reorg_depth,
-                fmt_ci(&private),
-                balance.aggregate.max_divergence_depth,
-                fmt_ci(&balance),
+                "{:>6} {:>9} {:>24} {:>9} {:>24}",
+                nu_cell.label,
+                private.run.aggregate.max_reorg_depth,
+                table::failure_cell(&private.run.aggregate, t_consistency, 1.96),
+                balance.run.aggregate.max_divergence_depth,
+                table::failure_cell(&balance.run.aggregate, t_consistency, 1.96),
             );
         }
     }

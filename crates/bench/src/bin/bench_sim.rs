@@ -211,10 +211,14 @@ fn json_number(source: &str, key: &str) -> Option<f64> {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("--check") => {
-            let path = args.get(1).map_or("BENCH_sim.json", String::as_str);
+    let args = consistency_bench::cli::Args::parse(
+        "bench_sim [--write [PATH] | --check [PATH]]",
+        0,
+        &["--write", "--check"],
+    )?;
+    match (&args.check, &args.write) {
+        (Some(path), None) => {
+            let path = path.as_deref().unwrap_or("BENCH_sim.json");
             let committed = std::fs::read_to_string(path)?;
             let baseline = json_number(&committed, "check_rounds_per_sec")
                 .ok_or("BENCH_sim.json has no check_rounds_per_sec")?;
@@ -235,15 +239,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             println!("OK: within the regression budget");
         }
-        Some("--write") => {
-            let path = args.get(1).map_or("BENCH_sim.json", String::as_str);
+        (None, Some(path)) => {
+            let path = path.as_deref().unwrap_or("BENCH_sim.json");
             let baseline = measure();
             print_table(&baseline);
             std::fs::write(path, to_json(&baseline))?;
             println!("\nwrote {path}");
         }
-        Some(other) => return Err(format!("unknown flag {other}").into()),
-        None => print_table(&measure()),
+        (Some(_), Some(_)) => {
+            return Err("pass either --check or --write, not both".into());
+        }
+        (None, None) => print_table(&measure()),
     }
     Ok(())
 }

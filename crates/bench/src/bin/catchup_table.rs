@@ -11,11 +11,8 @@ use nakamoto_sim::config::SimConfig;
 use nakamoto_sim::execution::run_simulation;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rounds: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(300_000);
+    let args = consistency_bench::cli::Args::parse("catchup_table [rounds]", 1, &[])?;
+    let rounds = args.pos_u64(0)?.unwrap_or(300_000);
 
     consistency_bench::section("Catch-up probability: closed form vs absorbing-chain solver");
     println!("{:>6} {:>4} {:>16} {:>16}", "q", "z", "closed", "markov");

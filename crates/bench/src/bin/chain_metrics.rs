@@ -11,11 +11,8 @@ use nakamoto_sim::execution::run_simulation;
 use nakamoto_sim::selfish::SelfishMiningAdversary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rounds: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(200_000);
+    let args = consistency_bench::cli::Args::parse("chain_metrics [rounds]", 1, &[])?;
+    let rounds = args.pos_u64(0)?.unwrap_or(200_000);
     let n = 200u64;
     let delta = 4u64;
 

@@ -11,6 +11,11 @@
 //! Wilson interval) over parallel Monte-Carlo trials — bit-identical
 //! at any thread count.
 //!
+//! The grid is **spec-driven**: the binary embeds the committed
+//! `examples/specs/compose_sweep.toml` and runs it through the shared
+//! `consistency_bench::experiment` plumbing — run the `experiment`
+//! binary on the same file for the flat table + JSON form.
+//!
 //! A second section shows the arbitration anatomy on one
 //! balance+private composition: the same weights with the priority
 //! order flipped, with the arbiter's throttled-release count.
@@ -20,88 +25,73 @@
 //!
 //! Budgets and expected runtime: see EXPERIMENTS.md.
 
+use consistency_bench::{cli, experiment, table};
 use nakamoto_sim::compose::{ComposedAdversary, Composition, SubSpec};
-use nakamoto_sim::config::SimConfig;
 use nakamoto_sim::execution::Simulation;
-use nakamoto_sim::montecarlo::TrialPlan;
 use nakamoto_sim::scenario::StrategyKind;
-use probability::rng::{RandomSource, SplitMix64};
+use nakamoto_sim::spec::ExperimentSpec;
 
-/// Master seed; every cell derives its own master seed from it.
-const SWEEP_SEED: u64 = 0x000C_0390_5EED;
-
-const PAIRS: [(&str, StrategyKind, StrategyKind); 3] = [
-    (
-        "balance+selfish",
-        StrategyKind::Balance,
-        StrategyKind::Selfish,
-    ),
-    (
-        "balance+private",
-        StrategyKind::Balance,
-        StrategyKind::PrivateChain,
-    ),
-    (
-        "private+selfish",
-        StrategyKind::PrivateChain,
-        StrategyKind::Selfish,
-    ),
-];
-
-/// Weight splits `(first, second)` swept as rows.
-const SPLITS: [(u64, u64); 5] = [(4, 0), (3, 1), (2, 2), (1, 3), (0, 4)];
-
-fn composition(a: StrategyKind, wa: u64, b: StrategyKind, wb: u64) -> Composition {
-    Composition::new(vec![SubSpec::new(a, wa), SubSpec::new(b, wb)]).expect("valid composition")
-}
+/// The committed golden spec this binary is the pivot-table view of.
+const SPEC: &str = include_str!("../../../../examples/specs/compose_sweep.toml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let rounds: u64 = args
-        .next()
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(20_000);
-    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5);
-    let (n, delta, c, nu) = (100u64, 4u64, 1.0, 0.40);
-    let t_consistency = 12u64;
-    let mut cell_seeds = SplitMix64::new(SWEEP_SEED);
+    let args = cli::Args::parse("compose_sweep [rounds] [trials]", 2, &["--threads"])?;
+    let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
+    let rounds = args.pos_u64(0)?.unwrap_or(20_000);
+    let trials = args.pos_u64(1)?;
+    experiment::apply_budget(&mut spec, Some(rounds), trials, args.threads, None);
+
+    let base = spec.base;
+    let trials = spec.run.trials;
+    let t_consistency = *spec.run.thresholds.first().expect("spec carries T");
+    let sweep = spec.sweep.clone().expect("committed spec sweeps");
+    let [n_splits, n_pairs] = spec.sweep_shape()[..] else {
+        panic!("committed spec has two axes")
+    };
+    let split_axis = &sweep.axes[0];
+    let pair_axis = &sweep.axes[1];
 
     consistency_bench::section(&format!(
-        "Composition sweep: fixed ν = {nu} split across two simultaneous strategies; \
-         n = {n}, Δ = {delta}, c = {c}, {trials} trials × {rounds} rounds per cell"
+        "Composition sweep: fixed ν = {} split across two simultaneous strategies; \
+         n = {}, Δ = {}, c = {}, {trials} trials × {rounds} rounds per cell",
+        base.adversary_fraction,
+        base.n_miners,
+        base.delta,
+        base.c(),
     ));
-    println!(
-        "{:>7} {:>37} {:>37} {:>37}",
-        "split", PAIRS[0].0, PAIRS[1].0, PAIRS[2].0
-    );
-    println!(
-        "{:>7} {} {} {}",
-        "",
-        format_args!("{:>6} {:>30}", "depth", "P[¬12-cons] (95% CI)"),
-        format_args!("{:>6} {:>30}", "depth", "P[¬12-cons] (95% CI)"),
-        format_args!("{:>6} {:>30}", "depth", "P[¬12-cons] (95% CI)"),
-    );
-    for &(wa, wb) in &SPLITS {
-        print!("{:>7}", format!("{wa}:{wb}"));
-        for &(_, a, b) in &PAIRS {
-            let seed = cell_seeds.next_u64();
-            let cfg = SimConfig::from_c(n, delta, c, nu, seed)?;
-            let run = TrialPlan::new(cfg, rounds, trials)?
-                .thresholds(vec![t_consistency])
-                .run(|_| ComposedAdversary::new(cfg.delta, composition(a, wa, b, wb)));
-            let depth = run
-                .aggregate
-                .max_reorg_depth
-                .max(run.aggregate.max_divergence_depth);
-            let w = run
+    print!("{:>7}", "split");
+    for pair in &pair_axis.cells {
+        print!(" {:>37}", pair.label);
+    }
+    println!();
+    print!("{:>7}", "");
+    for _ in 0..n_pairs {
+        print!(
+            " {}",
+            format_args!(
+                "{:>6} {:>30}",
+                "depth",
+                format!("P[¬{t_consistency}-cons] (95% CI)")
+            )
+        );
+    }
+    println!();
+
+    let results = experiment::run_spec(&spec)?;
+    assert_eq!(results.len(), n_splits * n_pairs);
+    for (row, split) in split_axis.cells.iter().enumerate() {
+        print!("{:>7}", split.label);
+        for col in 0..n_pairs {
+            let cell = &results[row * n_pairs + col];
+            let w = cell
+                .run
                 .aggregate
                 .failure_interval(t_consistency, 1.96)
                 .expect("threshold was requested");
             print!(
                 " {:>6} {:>30}",
-                depth,
-                format!("{:.2} [{:.2}, {:.2}]", w.estimate, w.lo, w.hi)
+                table::depth_cell(&cell.run.aggregate),
+                table::ci_cell(&w)
             );
         }
         println!();
@@ -130,11 +120,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             StrategyKind::Balance,
         ),
     ] {
-        let cfg = SimConfig::from_c(n, delta, c, nu, 0xA3B1)?;
-        let mut sim = Simulation::new(
-            cfg,
-            ComposedAdversary::new(cfg.delta, composition(first, 2, second, 2)),
-        );
+        // Copy the spec's base verbatim (re-deriving it through
+        // from_c(base.c()) would round-trip the hardness lossily) and
+        // pin the anatomy's fixed seed.
+        let mut cfg = base;
+        cfg.seed = 0xA3B1;
+        let composition = Composition::new(vec![SubSpec::new(first, 2), SubSpec::new(second, 2)])
+            .expect("valid composition");
+        let mut sim = Simulation::new(cfg, ComposedAdversary::new(cfg.delta, composition));
         sim.run(rounds);
         let report = sim.report();
         println!(

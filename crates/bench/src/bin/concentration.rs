@@ -26,11 +26,8 @@ fn tail_freq(counts: &[u64], hit: impl Fn(u64) -> bool) -> (u64, WilsonInterval)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let trials: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(400);
+    let args = consistency_bench::cli::Args::parse("concentration [trials]", 1, &[])?;
+    let trials = args.pos_u64(0)?.unwrap_or(400);
     let params = ProtocolParams::new(100, 2, 1e-3, 0.2)?;
     let delta2 = 0.05; // lower-tail slack for C
     let delta3 = 0.05; // upper-tail slack for A
@@ -67,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t,
             expected,
             format!("{hits}/{trials}"),
-            format!("[{:.3}, {:.3}]", wilson.lo, wilson.hi),
+            consistency_bench::table::ci_bracket(&wilson, 3),
             if wilson.estimate > 0.0 {
                 format!("{:.2}", wilson.estimate.ln())
             } else {
@@ -95,7 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t,
             expected,
             format!("{hits}/{trials}"),
-            format!("[{:.3}, {:.3}]", wilson.lo, wilson.hi),
+            consistency_bench::table::ci_bracket(&wilson, 3),
             if wilson.estimate > 0.0 {
                 format!("{:.2}", wilson.estimate.ln())
             } else {

@@ -12,13 +12,13 @@ use consistency_core::convergence::validate_trials;
 use consistency_core::params::ProtocolParams;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let rounds: u64 = args
-        .next()
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(100_000);
-    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let args = consistency_bench::cli::Args::parse(
+        "convergence_validation [rounds-per-trial] [trials]",
+        2,
+        &[],
+    )?;
+    let rounds = args.pos_u64(0)?.unwrap_or(100_000);
+    let trials = args.pos_u64(1)?.unwrap_or(4);
 
     consistency_bench::section(&format!(
         "Eq. 26/27 validation: mean over {trials} trials × {rounds} rounds vs analytic"

@@ -1,0 +1,70 @@
+//! The **unified spec-driven experiment harness**: loads any `.toml`
+//! experiment spec (single run or sweep grid — see
+//! `nakamoto_sim::spec` for the schema and `examples/specs/` for
+//! committed examples), fans every cell out on the parallel
+//! Monte-Carlo engine, and prints the cell table with empirical 95%
+//! Wilson intervals **and** the paper's analytic bounds overlaid.
+//! With `--out`, also writes the machine-readable JSON document.
+//!
+//! ```text
+//! cargo run --release -p consistency_bench --bin experiment -- \
+//!     <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] [--out PATH]
+//! ```
+//!
+//! `--rounds`/`--trials` override the spec's budgets (CI smokes every
+//! committed spec this way), `--seed` overrides the base master seed
+//! (sweep cells still derive theirs from the sweep stream), `--out`
+//! writes JSON. Budgets and expected runtimes: see EXPERIMENTS.md.
+
+use consistency_bench::{cli, experiment};
+use nakamoto_sim::spec::ExperimentSpec;
+
+const USAGE: &str =
+    "experiment <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] [--out PATH]";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = cli::Args::parse(
+        USAGE,
+        1,
+        &["--rounds", "--trials", "--threads", "--seed", "--out"],
+    )?;
+    let path = args
+        .positionals
+        .first()
+        .ok_or_else(|| format!("missing spec path; usage: {USAGE}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut spec = ExperimentSpec::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    experiment::apply_budget(&mut spec, args.rounds, args.trials, args.threads, args.seed);
+
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .map_or_else(|| path.clone(), |s| s.to_string_lossy().into_owned());
+    let shape = spec.sweep_shape();
+    let cells: usize = shape.iter().product::<usize>().max(1);
+    consistency_bench::section(&format!(
+        "Experiment `{name}`: {cells} cell(s), {} trial(s) per cell",
+        spec.run.trials
+    ));
+    if let Some(fuzz) = &spec.fuzz {
+        println!(
+            "fuzz repro: master_seed = {}, case = {}, invariant = `{}`",
+            fuzz.master_seed, fuzz.case, fuzz.invariant
+        );
+    }
+
+    let results = experiment::run_spec(&spec)?;
+    experiment::print_table(&results);
+    let rounds: u64 = results
+        .iter()
+        .map(|r| r.rounds_per_trial * r.run.aggregate.trials)
+        .sum();
+    let elapsed: f64 = results.iter().map(|r| r.run.elapsed_secs).sum();
+    println!("\n{rounds} simulated rounds in {elapsed:.2} s");
+
+    if let Some(out) = &args.out {
+        std::fs::write(out, experiment::to_json(&name, &results))
+            .map_err(|e| format!("{out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}

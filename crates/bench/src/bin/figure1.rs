@@ -6,11 +6,8 @@
 use consistency_core::{figure1, pss};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n_points: usize = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(41);
+    let args = consistency_bench::cli::Args::parse("figure1 [n_points]", 1, &[])?;
+    let n_points = args.pos_usize(0)?.unwrap_or(41);
     consistency_bench::section("Figure 1: nu_max vs c (log-spaced grid)");
     let pts = figure1::generate(n_points)?;
     print!("{}", figure1::to_table(&pts));

@@ -1,12 +1,13 @@
 //! The **scenario fuzz gate**: runs the seeded scenario × composition
 //! fuzzer ([`nakamoto_sim::fuzz::ScenarioFuzzer`]) for a case budget
-//! and fails loudly — with a TOML repro written next to the binary —
-//! when any engine invariant (thread-count bit-identity,
-//! pruning-liveness, prefix monotonicity) breaks on a generated case.
+//! and fails loudly — with a runnable spec-format repro written next
+//! to the binary — when any engine invariant (thread-count
+//! bit-identity, pruning-liveness, prefix monotonicity) breaks on a
+//! generated case.
 //!
 //! ```text
 //! cargo run --release -p consistency_bench --bin scenario_fuzz -- \
-//!     [--budget N] [--seed S | --seed-from-env] [--out PATH]
+//!     [--budget N] [--seed S | --seed-from-env] [--out PATH] [--replay repro.toml]
 //! ```
 //!
 //! * `--budget N` — number of generated cases (default 2000).
@@ -15,48 +16,81 @@
 //! * `--seed-from-env` — take the seed from `SCENARIO_FUZZ_SEED`, or
 //!   `GITHUB_RUN_ID` as a fallback (how CI gets fresh coverage every
 //!   run while keeping the failing seed in the job log and repro).
-//! * `--out PATH` — where to write the failing case's TOML repro
+//! * `--out PATH` — where to write the failing case's repro spec
 //!   (default `scenario_fuzz_failure.toml`).
+//! * `--replay PATH` — load a saved repro through the experiment-spec
+//!   parser and re-run the failing case's invariants: the scenario is
+//!   rebuilt from the document body, cross-checked against the
+//!   `[fuzz]` replay coordinates when present, and re-checked.
 //!
 //! Budgets and expected runtime: see EXPERIMENTS.md.
 
-use nakamoto_sim::fuzz::ScenarioFuzzer;
+use consistency_bench::cli;
+use nakamoto_sim::fuzz::{check_scenario, sample_scenario_for, ScenarioFuzzer};
+use nakamoto_sim::spec::ExperimentSpec;
 
 /// Fixed default seed for reproducible local runs.
 const DEFAULT_SEED: u64 = 0x5CE7_F022_5EED;
 
-fn seed_from_env() -> u64 {
-    for var in ["SCENARIO_FUZZ_SEED", "GITHUB_RUN_ID"] {
-        if let Ok(value) = std::env::var(var) {
-            if let Ok(seed) = value.trim().parse::<u64>() {
-                return seed;
-            }
+const USAGE: &str =
+    "scenario_fuzz [--budget N] [--seed S | --seed-from-env] [--out PATH] [--replay repro.toml]";
+
+/// Re-runs a saved repro: parse the spec, rebuild the scenario, check
+/// every invariant again. Exits non-zero if the case still fails.
+fn replay(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let spec = ExperimentSpec::parse(&source).map_err(|e| format!("{path}: {e}"))?;
+    let scenario = spec.scenario().map_err(|e| format!("{path}: {e}"))?;
+    consistency_bench::section(&format!(
+        "Scenario fuzz replay: {path} ({} phases, {} rounds)",
+        scenario.phases().len(),
+        scenario.total_rounds()
+    ));
+    if let Some(fuzz) = &spec.fuzz {
+        println!(
+            "replay coordinates: master_seed = {:#x}, case = {}, recorded invariant = `{}`",
+            fuzz.master_seed, fuzz.case, fuzz.invariant
+        );
+        // The repro must actually be the case it claims to be: the
+        // generator stream for (master_seed, case) regenerates the
+        // document's scenario.
+        let regenerated = sample_scenario_for(fuzz.master_seed, fuzz.case);
+        if regenerated == scenario {
+            println!("coordinates verified: the spec matches the generated case");
+        } else {
+            println!("note: the spec differs from the generated case (edited repro?); checking the spec's scenario");
         }
     }
-    eprintln!("--seed-from-env: neither SCENARIO_FUZZ_SEED nor GITHUB_RUN_ID parse as u64; using the default seed");
-    DEFAULT_SEED
+    match check_scenario(&scenario) {
+        Ok(()) => {
+            println!("PASS: every invariant holds on the replayed case");
+            Ok(())
+        }
+        Err((invariant, detail)) => {
+            eprintln!("FAIL: replayed case still violates `{invariant}`: {detail}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut budget: u64 = 2_000;
-    let mut seed: u64 = DEFAULT_SEED;
-    let mut out_path = String::from("scenario_fuzz_failure.toml");
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--budget" => {
-                budget = args.next().ok_or("--budget needs a value")?.parse()?;
-            }
-            "--seed" => {
-                seed = args.next().ok_or("--seed needs a value")?.parse()?;
-            }
-            "--seed-from-env" => seed = seed_from_env(),
-            "--out" => {
-                out_path = args.next().ok_or("--out needs a value")?;
-            }
-            other => return Err(format!("unknown argument: {other}").into()),
-        }
+    let args = cli::Args::parse(
+        USAGE,
+        0,
+        &["--budget", "--seed", "--seed-from-env", "--out", "--replay"],
+    )?;
+    if let Some(path) = &args.replay {
+        return replay(path);
     }
+    let budget = args.budget.unwrap_or(2_000);
+    let seed = if args.seed_from_env {
+        cli::seed_from_env(DEFAULT_SEED)
+    } else {
+        args.seed.unwrap_or(DEFAULT_SEED)
+    };
+    let out_path = args
+        .out
+        .unwrap_or_else(|| String::from("scenario_fuzz_failure.toml"));
 
     consistency_bench::section(&format!(
         "Scenario fuzz: {budget} random scenario × composition cases, master seed {seed:#x}"
@@ -82,7 +116,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("FAIL: {failure}");
             eprintln!("repro written to {out_path}:\n{repro}");
             eprintln!(
-                "replay: nakamoto_sim::fuzz::run_case({}, {})",
+                "replay: scenario_fuzz --replay {out_path}, or nakamoto_sim::fuzz::run_case({}, {})",
                 failure.master_seed, failure.case
             );
             std::process::exit(1);

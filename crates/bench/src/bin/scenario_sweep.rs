@@ -3,7 +3,7 @@
 //! honest warm-up at the base adversary power, an *attack window*
 //! (elevated power, attack strategy, adversarial or eclipse
 //! scheduling), and a calm recovery — swept over the attack-window
-//! power ν and three window shapes, with the empirical T-consistency
+//! power ν and four window shapes, with the empirical T-consistency
 //! failure rate (95% Wilson interval) over parallel Monte-Carlo trials.
 //!
 //! Stationary sweeps (`attack_sweep`) answer "how much steady power
@@ -11,148 +11,109 @@
 //! question "how much power *during a bounded window* breaks it?" —
 //! the regime where the Δ-bounded worst-case bounds are loosest.
 //!
+//! The whole grid is **spec-driven**: the binary embeds the committed
+//! `examples/specs/scenario_sweep.toml` and runs it through the shared
+//! `consistency_bench::experiment` plumbing — run the `experiment`
+//! binary on the same file for the flat table + JSON form.
+//!
 //! `cargo run --release -p consistency_bench --bin scenario_sweep \
 //!     [rounds-per-phase] [trials]`
 //!
 //! Budgets and expected runtime: see EXPERIMENTS.md.
 
-use nakamoto_sim::compose::{Composition, SubSpec};
-use nakamoto_sim::config::{ConfigError, SimConfig};
-use nakamoto_sim::montecarlo::MonteCarloRun;
-use nakamoto_sim::scenario::{
-    run_scenario, PhaseSpec, Regime, Scenario, ScenarioPlan, StrategyKind,
-};
+use consistency_bench::{cli, experiment, table};
+use nakamoto_sim::scenario::{run_scenario, PhaseSpec, Regime, Scenario, StrategyKind};
+use nakamoto_sim::spec::ExperimentSpec;
 use probability::rng::{RandomSource, SplitMix64};
 
-/// Master seed for the whole sweep; every cell derives its own master
-/// seed from it through a SplitMix64 stream (disjoint trial streams
-/// follow from the montecarlo jump() derivation).
-const SWEEP_SEED: u64 = 0x5CE7_A210_5EED;
-
-/// The four attack-window shapes swept as columns. `Composed(0)`
-/// resolves against [`window_compositions`]: a balance+selfish mix
-/// acting *simultaneously* over the window's power budget.
-const WINDOWS: [(&str, StrategyKind, Regime); 4] = [
-    (
-        "private+fullΔ",
-        StrategyKind::PrivateChain,
-        Regime::Adversarial,
-    ),
-    ("balance+fullΔ", StrategyKind::Balance, Regime::Adversarial),
-    (
-        "private+eclipse(1)",
-        StrategyKind::PrivateChain,
-        Regime::Eclipse { group: 1 },
-    ),
-    (
-        "bal:self 1:1+fullΔ",
-        StrategyKind::Composed(0),
-        Regime::Adversarial,
-    ),
-];
-
-/// The composition table every cell scenario carries (only the
-/// composed window references it).
-fn window_compositions() -> Vec<Composition> {
-    vec![Composition::new(vec![
-        SubSpec::new(StrategyKind::Balance, 1),
-        SubSpec::new(StrategyKind::Selfish, 1),
-    ])
-    .expect("valid composition")]
-}
-
-fn cell(
-    base: SimConfig,
-    rounds_per_phase: u64,
-    trials: u64,
-    strategy: StrategyKind,
-    regime: Regime,
-    attack_nu: f64,
-    t_consistency: u64,
-) -> Result<MonteCarloRun, ConfigError> {
-    // `rounds_per_phase` and `trials` come from argv: bad values
-    // surface as tidy ConfigErrors, not panics.
-    let scenario = Scenario::with_compositions(
-        base,
-        vec![
-            PhaseSpec::new(rounds_per_phase, StrategyKind::Honest, Regime::Calm),
-            PhaseSpec::new(rounds_per_phase, strategy, regime).with_power(attack_nu),
-            PhaseSpec::new(rounds_per_phase, StrategyKind::Honest, Regime::Calm),
-        ],
-        window_compositions(),
-    )?;
-    Ok(ScenarioPlan::new(scenario, trials)?
-        .thresholds(vec![t_consistency])
-        .run())
-}
+/// The committed golden spec this binary is the pivot-table view of.
+const SPEC: &str = include_str!("../../../../examples/specs/scenario_sweep.toml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut args = std::env::args().skip(1);
-    let rounds_per_phase: u64 = args
-        .next()
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(20_000);
-    let trials: u64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5);
-    let n = 100u64;
-    let delta = 4u64;
-    let c = 1.0;
-    let base_nu = 0.10;
-    let t_consistency = 12u64;
-    let mut cell_seeds = SplitMix64::new(SWEEP_SEED);
+    let args = cli::Args::parse(
+        "scenario_sweep [rounds-per-phase] [trials]",
+        2,
+        &["--threads"],
+    )?;
+    let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
+    let rounds_per_phase = args.pos_u64(0)?.unwrap_or(20_000);
+    let trials = args.pos_u64(1)?;
+    experiment::apply_budget(
+        &mut spec,
+        Some(rounds_per_phase),
+        trials,
+        args.threads,
+        None,
+    );
+
+    let base = spec.base;
+    let trials = spec.run.trials;
+    let t_consistency = *spec.run.thresholds.first().expect("spec carries T");
+    let sweep = spec.sweep.clone().expect("committed spec sweeps");
+    let [n_power, n_windows] = spec.sweep_shape()[..] else {
+        panic!("committed spec has two axes")
+    };
+    let power_axis = &sweep.axes[0];
+    let window_axis = &sweep.axes[1];
 
     consistency_bench::section(&format!(
-        "Scenario sweep: calm warm-up (ν = {base_nu}) → attack window → calm recovery; \
-         n = {n}, Δ = {delta}, c = {c}, {trials} trials × 3×{rounds_per_phase} rounds per cell"
+        "Scenario sweep: calm warm-up (ν = {}) → attack window → calm recovery; \
+         n = {}, Δ = {}, c = {}, {trials} trials × 3×{rounds_per_phase} rounds per cell",
+        base.adversary_fraction,
+        base.n_miners,
+        base.delta,
+        base.c(),
     ));
-    println!(
-        "{:>8} {:>30} {:>30} {:>30} {:>30}",
-        "ν_attack", WINDOWS[0].0, WINDOWS[1].0, WINDOWS[2].0, WINDOWS[3].0
-    );
-    println!(
-        "{:>8} {} {} {} {}",
-        "",
-        format_args!("{:>6} {:>23}", "depth", "P[¬12-cons] (95% CI)"),
-        format_args!("{:>6} {:>23}", "depth", "P[¬12-cons] (95% CI)"),
-        format_args!("{:>6} {:>23}", "depth", "P[¬12-cons] (95% CI)"),
-        format_args!("{:>6} {:>23}", "depth", "P[¬12-cons] (95% CI)"),
-    );
-    for &nu in &[0.15, 0.25, 0.35, 0.45] {
-        print!("{nu:>8.2}");
-        for &(_, strategy, regime) in &WINDOWS {
-            let seed = cell_seeds.next_u64();
-            let base = SimConfig::from_c(n, delta, c, base_nu, seed).expect("valid base");
-            let run = cell(
-                base,
-                rounds_per_phase,
-                trials,
-                strategy,
-                regime,
-                nu,
-                t_consistency,
-            )?;
-            let depth = run
-                .aggregate
-                .max_reorg_depth
-                .max(run.aggregate.max_divergence_depth);
-            let w = run
+    print!("{:>8}", "ν_attack");
+    for window in &window_axis.cells {
+        print!(" {:>30}", window.label);
+    }
+    println!();
+    print!("{:>8}", "");
+    for _ in 0..n_windows {
+        print!(
+            " {}",
+            format_args!(
+                "{:>6} {:>23}",
+                "depth",
+                format!("P[¬{t_consistency}-cons] (95% CI)")
+            )
+        );
+    }
+    println!();
+
+    let results = experiment::run_spec(&spec)?;
+    assert_eq!(results.len(), n_power * n_windows);
+    for (row, power) in power_axis.cells.iter().enumerate() {
+        print!("{:>8}", power.label);
+        for col in 0..n_windows {
+            let cell = &results[row * n_windows + col];
+            let w = cell
+                .run
                 .aggregate
                 .failure_interval(t_consistency, 1.96)
                 .expect("threshold was requested");
             print!(
                 " {:>6} {:>23}",
-                depth,
-                format!("{:.2} [{:.2}, {:.2}]", w.estimate, w.lo, w.hi)
+                table::depth_cell(&cell.run.aggregate),
+                table::ci_cell(&w)
             );
         }
         println!();
     }
 
     // Per-phase anatomy of one showcase cell: where in the scenario the
-    // damage happens (and that it stops when the window closes).
-    let base = SimConfig::from_c(n, delta, c, base_nu, cell_seeds.next_u64()).expect("valid base");
+    // damage happens (and that it stops when the window closes). The
+    // showcase master seed continues the sweep's SplitMix64 stream past
+    // the grid cells, as the pre-spec binary did.
+    let mut cell_seeds = SplitMix64::new(sweep.seed);
+    for _ in 0..n_power * n_windows {
+        cell_seeds.next_u64();
+    }
+    let mut showcase_base = base;
+    showcase_base.seed = cell_seeds.next_u64();
     let scenario = Scenario::new(
-        base,
+        showcase_base,
         vec![
             PhaseSpec::new(rounds_per_phase, StrategyKind::Honest, Regime::Calm),
             PhaseSpec::new(

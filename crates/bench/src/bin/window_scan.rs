@@ -9,11 +9,8 @@ use consistency_core::window::simulate_and_scan;
 use nakamoto_sim::adversary::PrivateChainAdversary;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let rounds: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse())
-        .transpose()?
-        .unwrap_or(300_000);
+    let args = consistency_bench::cli::Args::parse("window_scan [rounds]", 1, &[])?;
+    let rounds = args.pos_u64(0)?.unwrap_or(300_000);
     let windows = [5_000u64, 20_000, 80_000];
 
     consistency_bench::section("Worst window of C − A under the private-chain attack (Δ = 2)");

@@ -1,0 +1,642 @@
+//! The spec-driven experiment runner: loads an [`ExperimentSpec`]
+//! (single run or sweep grid), fans every cell out on the shared
+//! Monte-Carlo engine, and reports each cell's empirical Wilson
+//! intervals **with the paper's analytic bounds overlaid**
+//! ([`consistency_core::analytic`]) — as a human table and as
+//! machine-readable JSON.
+//!
+//! This module is the common plumbing behind the unified `experiment`
+//! binary and the ported `attack_sweep` / `scenario_sweep` /
+//! `compose_sweep` harnesses; the binaries only differ in how they
+//! pivot the flat cell list for display.
+
+use consistency_core::analytic::{self, AnalyticBounds};
+use nakamoto_sim::montecarlo::MonteCarloRun;
+use nakamoto_sim::spec::{ExperimentCell, ExperimentMode, ExperimentSpec, SpecError};
+
+/// One executed cell: its sweep labels, the concrete spec it ran, the
+/// Monte-Carlo result, and the analytic overlay (absent for the
+/// adversary-free `ν = 0` baseline, which the bounds don't cover).
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// One label per sweep axis (empty for a single-run spec).
+    pub labels: Vec<String>,
+    /// The concrete (sweep-free) spec this cell ran.
+    pub spec: ExperimentSpec,
+    /// Rounds each trial simulated.
+    pub rounds_per_trial: u64,
+    /// The Monte-Carlo aggregate and wall-clock metrics.
+    pub run: MonteCarloRun,
+    /// The paper's predictions for the cell's *binding* parameters:
+    /// the `[base]` config for stationary cells, the highest-ν phase
+    /// configuration for scenario cells (a bound computed from a calm
+    /// base would say nothing about the attack window actually driving
+    /// the cell's failure rate).
+    pub analytic: Option<AnalyticBounds>,
+}
+
+/// Expands and runs every cell of a spec, in sweep order.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if expansion or per-cell validation fails.
+pub fn run_spec(spec: &ExperimentSpec) -> Result<Vec<CellResult>, SpecError> {
+    spec.expand()?.into_iter().map(run_cell).collect()
+}
+
+/// Runs one concrete cell.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the cell's plan fails validation.
+pub fn run_cell(cell: ExperimentCell) -> Result<CellResult, SpecError> {
+    let plan = cell.spec.plan()?;
+    let rounds_per_trial = plan.rounds_per_trial();
+    let run = plan.run();
+    let analytic = analytic::for_sim_config(&binding_config(&cell.spec)?);
+    Ok(CellResult {
+        labels: cell.labels,
+        spec: cell.spec,
+        rounds_per_trial,
+        run,
+        analytic,
+    })
+}
+
+/// The configuration the analytic overlay is computed from: the
+/// `[base]` config for stationary cells; for scenario cells, the
+/// effective configuration of the **highest-ν phase** (ties broken
+/// towards the earliest such phase) — the binding attack regime, since
+/// a calm-base bound says nothing about the window that drives the
+/// failure rate.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if a scenario spec fails validation.
+pub fn binding_config(spec: &ExperimentSpec) -> Result<nakamoto_sim::config::SimConfig, SpecError> {
+    match &spec.mode {
+        ExperimentMode::Stationary { .. } => Ok(spec.base),
+        ExperimentMode::Scenario(_) => {
+            let scenario = spec.scenario()?;
+            Ok((0..scenario.phases().len())
+                .map(|i| scenario.phase_config(i))
+                .reduce(|best, cfg| {
+                    if cfg.adversary_fraction > best.adversary_fraction {
+                        cfg
+                    } else {
+                        best
+                    }
+                })
+                .expect("a scenario has at least one phase"))
+        }
+    }
+}
+
+/// Applies the harness budget overrides (`--rounds`, `--trials`,
+/// `--threads`, `--seed`) onto a parsed spec: `rounds` rescales the
+/// stationary run or *every* scenario phase, the rest override the
+/// run settings / base seed. This is how CI smokes every committed
+/// spec at tiny budgets without editing the files.
+///
+/// An override is a hard cap for the whole run, so sweep-cell patches
+/// targeting the same budget path (`experiment.trials`,
+/// `stationary.rounds`, `phase.N.rounds`) are dropped — otherwise
+/// expansion would silently re-apply the spec's full budget *after*
+/// the override, defeating a tiny-budget smoke.
+pub fn apply_budget(
+    spec: &mut ExperimentSpec,
+    rounds: Option<u64>,
+    trials: Option<u64>,
+    threads: Option<usize>,
+    seed: Option<u64>,
+) {
+    if let Some(rounds) = rounds {
+        match &mut spec.mode {
+            ExperimentMode::Stationary { rounds: r, .. } => *r = rounds,
+            ExperimentMode::Scenario(phases) => {
+                for phase in phases {
+                    phase.rounds = rounds;
+                }
+            }
+        }
+    }
+    if let Some(trials) = trials {
+        spec.run.trials = trials;
+    }
+    if let Some(threads) = threads {
+        spec.run.threads = threads;
+    }
+    if let Some(seed) = seed {
+        spec.base.seed = seed;
+    }
+    if let Some(sweep) = &mut spec.sweep {
+        let overridden = |path: &str| {
+            (trials.is_some() && path == "experiment.trials")
+                || (rounds.is_some()
+                    && (path == "stationary.rounds"
+                        || (path.starts_with("phase.") && path.ends_with(".rounds"))))
+        };
+        for axis in &mut sweep.axes {
+            for cell in &mut axis.cells {
+                cell.patches.retain(|(path, _)| !overridden(path));
+            }
+        }
+    }
+}
+
+/// Prints the flat cell table: one row per cell with the depth, every
+/// threshold's Wilson CI, and the theorem-1 margin / consistency
+/// verdict columns of the analytic overlay.
+pub fn print_table(results: &[CellResult]) {
+    let thresholds: Vec<u64> = results
+        .first()
+        .map(|r| r.spec.run.thresholds.clone())
+        .unwrap_or_default();
+    let label_width = results
+        .iter()
+        .map(|r| cell_name(r).len())
+        .chain(std::iter::once(4))
+        .max()
+        .unwrap_or(4);
+    print!("{:<label_width$} {:>6}", "cell", "depth");
+    for t in &thresholds {
+        print!(" {:>23}", format!("P[¬{t}-cons] (95% CI)"));
+    }
+    println!(" {:>13} {:>10}", "thm1 margin", "consistent");
+    for result in results {
+        print!(
+            "{:<label_width$} {:>6}",
+            cell_name(result),
+            crate::table::depth_cell(&result.run.aggregate)
+        );
+        for t in &thresholds {
+            print!(
+                " {:>23}",
+                crate::table::failure_cell(&result.run.aggregate, *t, 1.96)
+            );
+        }
+        match &result.analytic {
+            Some(bounds) => println!(
+                " {:>13.3} {:>10}",
+                bounds.theorem1_ln_margin,
+                if bounds.consistent() { "yes" } else { "no" }
+            ),
+            None => println!(" {:>13} {:>10}", "—", "ν=0"),
+        }
+    }
+}
+
+/// The display name of a cell: its labels joined, or `single` for an
+/// unswept spec.
+#[must_use]
+pub fn cell_name(result: &CellResult) -> String {
+    if result.labels.is_empty() {
+        "single".into()
+    } else {
+        result.labels.join(" / ")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON number, or `null` for non-finite values (JSON has no
+/// infinities).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Rust float Display is already a valid JSON number.
+        s
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders the executed cells as a machine-readable JSON document:
+/// per-cell aggregates, Wilson intervals for every threshold, and the
+/// analytic-bound overlay (`analytic: null` for the ν = 0 baseline).
+#[must_use]
+pub fn to_json(name: &str, results: &[CellResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"spec\": \"{}\",\n", json_escape(name)));
+    out.push_str("  \"schema\": \"experiment-v1\",\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, result) in results.iter().enumerate() {
+        let aggregate = &result.run.aggregate;
+        out.push_str("    {\n");
+        let labels: Vec<String> = result
+            .labels
+            .iter()
+            .map(|l| format!("\"{}\"", json_escape(l)))
+            .collect();
+        out.push_str(&format!("      \"labels\": [{}],\n", labels.join(", ")));
+        out.push_str(&format!("      \"seed\": {},\n", result.spec.base.seed));
+        out.push_str(&format!("      \"trials\": {},\n", aggregate.trials));
+        out.push_str(&format!(
+            "      \"rounds_per_trial\": {},\n",
+            result.rounds_per_trial
+        ));
+        out.push_str(&format!(
+            "      \"total_honest_blocks\": {},\n",
+            aggregate.total_honest_blocks
+        ));
+        out.push_str(&format!(
+            "      \"total_adversary_blocks\": {},\n",
+            aggregate.total_adversary_blocks
+        ));
+        out.push_str(&format!(
+            "      \"total_convergence_opportunities\": {},\n",
+            aggregate.total_convergence_opportunities
+        ));
+        out.push_str(&format!(
+            "      \"max_reorg_depth\": {},\n",
+            aggregate.max_reorg_depth
+        ));
+        out.push_str(&format!(
+            "      \"max_divergence_depth\": {},\n",
+            aggregate.max_divergence_depth
+        ));
+        out.push_str("      \"failures\": [");
+        for (j, &(t, failures)) in aggregate.failure_counts.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let w = aggregate
+                .failure_interval(t, 1.96)
+                .expect("non-empty aggregate carries every plan threshold");
+            out.push_str(&format!(
+                "{{\"threshold\": {t}, \"failures\": {failures}, \"estimate\": {}, \"lo\": {}, \"hi\": {}}}",
+                json_f64(w.estimate),
+                json_f64(w.lo),
+                json_f64(w.hi)
+            ));
+        }
+        out.push_str("],\n");
+        match &result.analytic {
+            None => out.push_str("      \"analytic\": null\n"),
+            Some(b) => {
+                let (e_c, e_a) = b.expected_counts(result.rounds_per_trial);
+                out.push_str("      \"analytic\": {\n");
+                out.push_str(&format!("        \"c\": {},\n", json_f64(b.c)));
+                out.push_str(&format!(
+                    "        \"theorem1_ln_margin\": {},\n",
+                    json_f64(b.theorem1_ln_margin)
+                ));
+                out.push_str(&format!(
+                    "        \"theorem1_holds\": {},\n",
+                    b.theorem1_holds
+                ));
+                out.push_str(&format!(
+                    "        \"theorem1_max_delta1\": {},\n",
+                    b.theorem1_max_delta1.map_or("null".into(), json_f64)
+                ));
+                out.push_str(&format!(
+                    "        \"expected_convergence_opportunities\": {},\n",
+                    json_f64(e_c)
+                ));
+                out.push_str(&format!(
+                    "        \"expected_adversary_blocks\": {},\n",
+                    json_f64(e_a)
+                ));
+                out.push_str(&format!(
+                    "        \"theorem2_neat_bound_c\": {},\n",
+                    json_f64(b.theorem2_neat_bound_c)
+                ));
+                out.push_str(&format!(
+                    "        \"theorem2_holds\": {},\n",
+                    b.theorem2_holds
+                ));
+                out.push_str(&format!(
+                    "        \"theorem3_holds\": {},\n",
+                    b.theorem3_holds
+                ));
+                out.push_str(&format!(
+                    "        \"nu_max_c\": {},\n",
+                    b.nu_max_c.map_or("null".into(), json_f64)
+                ));
+                out.push_str(&format!(
+                    "        \"pss_attack_nu\": {}\n",
+                    json_f64(b.pss_attack_nu)
+                ));
+                out.push_str("      }\n");
+            }
+        }
+        out.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// A minimal JSON well-formedness check (objects, arrays, strings,
+/// numbers, booleans, null) used by the smoke tests; the CI job
+/// additionally validates with `python3 -m json.tool`.
+#[must_use]
+pub fn json_is_well_formed(input: &str) -> bool {
+    let chars: Vec<char> = input.chars().collect();
+    let mut pos = 0usize;
+    if !json_value(&chars, &mut pos) {
+        return false;
+    }
+    skip_json_ws(&chars, &mut pos);
+    pos == chars.len()
+}
+
+fn skip_json_ws(chars: &[char], pos: &mut usize) {
+    while matches!(chars.get(*pos), Some(' ' | '\t' | '\n' | '\r')) {
+        *pos += 1;
+    }
+}
+
+fn json_value(chars: &[char], pos: &mut usize) -> bool {
+    skip_json_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            skip_json_ws(chars, pos);
+            if chars.get(*pos) == Some(&'}') {
+                *pos += 1;
+                return true;
+            }
+            loop {
+                skip_json_ws(chars, pos);
+                if !json_string(chars, pos) {
+                    return false;
+                }
+                skip_json_ws(chars, pos);
+                if chars.get(*pos) != Some(&':') {
+                    return false;
+                }
+                *pos += 1;
+                if !json_value(chars, pos) {
+                    return false;
+                }
+                skip_json_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some('}') => {
+                        *pos += 1;
+                        return true;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        Some('[') => {
+            *pos += 1;
+            skip_json_ws(chars, pos);
+            if chars.get(*pos) == Some(&']') {
+                *pos += 1;
+                return true;
+            }
+            loop {
+                if !json_value(chars, pos) {
+                    return false;
+                }
+                skip_json_ws(chars, pos);
+                match chars.get(*pos) {
+                    Some(',') => *pos += 1,
+                    Some(']') => {
+                        *pos += 1;
+                        return true;
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        Some('"') => json_string(chars, pos),
+        Some('t') => json_literal(chars, pos, "true"),
+        Some('f') => json_literal(chars, pos, "false"),
+        Some('n') => json_literal(chars, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == '-' => {
+            let start = *pos;
+            while matches!(
+                chars.get(*pos),
+                Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+            ) {
+                *pos += 1;
+            }
+            let token: String = chars[start..*pos].iter().collect();
+            token.parse::<f64>().is_ok()
+        }
+        _ => false,
+    }
+}
+
+fn json_string(chars: &[char], pos: &mut usize) -> bool {
+    if chars.get(*pos) != Some(&'"') {
+        return false;
+    }
+    *pos += 1;
+    loop {
+        match chars.get(*pos) {
+            None => return false,
+            Some('\\') => *pos += 2,
+            Some('"') => {
+                *pos += 1;
+                return true;
+            }
+            Some(_) => *pos += 1,
+        }
+    }
+}
+
+fn json_literal(chars: &[char], pos: &mut usize, literal: &str) -> bool {
+    for expected in literal.chars() {
+        if chars.get(*pos) != Some(&expected) {
+            return false;
+        }
+        *pos += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY_SPEC: &str = r#"
+        [experiment]
+        trials = 2
+        thresholds = [12]
+
+        [base]
+        n_miners = 100
+        delta = 4
+        c = 2.0
+        adversary_fraction = 0.25
+        seed = 11
+
+        [stationary]
+        strategy = "private-chain"
+        rounds = 500
+    "#;
+
+    #[test]
+    fn single_spec_runs_one_cell_with_analytic_overlay() {
+        let spec = ExperimentSpec::parse(TINY_SPEC).unwrap();
+        let results = run_spec(&spec).unwrap();
+        assert_eq!(results.len(), 1);
+        let cell = &results[0];
+        assert_eq!(cell.run.aggregate.trials, 2);
+        assert_eq!(cell.rounds_per_trial, 500);
+        let bounds = cell.analytic.as_ref().expect("ν > 0 carries bounds");
+        assert!(bounds.theorem1_ln_margin.is_finite());
+        print_table(&results); // must not panic
+    }
+
+    #[test]
+    fn json_output_is_well_formed_and_carries_the_overlay() {
+        let spec = ExperimentSpec::parse(TINY_SPEC).unwrap();
+        let results = run_spec(&spec).unwrap();
+        let json = to_json("tiny \"quoted\"", &results);
+        assert!(json_is_well_formed(&json), "malformed:\n{json}");
+        assert!(json.contains("\"theorem1_ln_margin\""));
+        assert!(json.contains("\"estimate\""));
+        assert!(json.contains("\\\"quoted\\\""));
+    }
+
+    #[test]
+    fn budget_overrides_rescale_every_phase() {
+        let mut spec = ExperimentSpec::parse(TINY_SPEC).unwrap();
+        apply_budget(&mut spec, Some(100), Some(3), Some(1), Some(42));
+        assert_eq!(spec.run.trials, 3);
+        assert_eq!(spec.run.threads, 1);
+        assert_eq!(spec.base.seed, 42);
+        let ExperimentMode::Stationary { rounds, .. } = spec.mode else {
+            panic!("stationary")
+        };
+        assert_eq!(rounds, 100);
+    }
+
+    /// Scenario cells must overlay the bound of the *attack* regime,
+    /// not the calm base: the binding config is the highest-ν phase.
+    #[test]
+    fn scenario_overlay_uses_the_highest_power_phase() {
+        let spec = ExperimentSpec::parse(
+            r#"
+            [experiment]
+            trials = 1
+            thresholds = [12]
+
+            [base]
+            n_miners = 100
+            delta = 4
+            c = 1.0
+            adversary_fraction = 0.1
+            seed = 3
+
+            [[phase]]
+            rounds = 200
+            strategy = "honest"
+            regime = "calm"
+
+            [[phase]]
+            rounds = 200
+            strategy = "private-chain"
+            regime = "adversarial"
+            adversary_fraction = 0.4
+
+            [[phase]]
+            rounds = 200
+            strategy = "honest"
+            regime = "calm"
+            "#,
+        )
+        .unwrap();
+        let cfg = binding_config(&spec).unwrap();
+        assert_eq!(cfg.adversary_fraction, 0.4, "attack phase binds");
+        let results = run_spec(&spec).unwrap();
+        let bounds = results[0].analytic.as_ref().unwrap();
+        assert_eq!(bounds.params.nu(), 0.4, "overlay describes the window");
+        assert!(
+            !bounds.theorem1_holds,
+            "c = 1 at ν = 0.4 lies outside the consistency region"
+        );
+    }
+
+    /// A CLI budget override is a hard cap: sweep-cell patches on the
+    /// same budget paths are dropped rather than silently re-applied
+    /// after the override.
+    #[test]
+    fn budget_overrides_beat_sweep_budget_patches() {
+        let source = r#"
+            [experiment]
+            trials = 9
+
+            [base]
+            n_miners = 100
+            delta = 4
+            c = 1.0
+            adversary_fraction = 0.1
+            seed = 0
+
+            [stationary]
+            strategy = "honest"
+            rounds = 9000
+
+            [sweep]
+            seed = 5
+
+            [[sweep.axis]]
+            label = "budget"
+
+            [[sweep.axis.cell]]
+            label = "big"
+            patch = { "experiment.trials" = 9, "stationary.rounds" = 9000, "base.adversary_fraction" = 0.2 }
+        "#;
+        let mut spec = ExperimentSpec::parse(source).unwrap();
+        apply_budget(&mut spec, Some(50), Some(2), None, None);
+        let cells = spec.expand().unwrap();
+        let cell = &cells[0];
+        assert_eq!(cell.spec.run.trials, 2, "--trials caps the sweep cell");
+        let ExperimentMode::Stationary { rounds, .. } = cell.spec.mode else {
+            panic!("stationary")
+        };
+        assert_eq!(rounds, 50, "--rounds caps the sweep cell");
+        assert_eq!(
+            cell.spec.base.adversary_fraction, 0.2,
+            "non-budget patches still apply"
+        );
+    }
+
+    #[test]
+    fn nu_zero_cells_carry_no_analytic_overlay() {
+        let source = TINY_SPEC.replace("adversary_fraction = 0.25", "adversary_fraction = 0.0");
+        let spec = ExperimentSpec::parse(&source).unwrap();
+        let results = run_spec(&spec).unwrap();
+        assert!(results[0].analytic.is_none());
+        let json = to_json("baseline", &results);
+        assert!(json.contains("\"analytic\": null"));
+        assert!(json_is_well_formed(&json), "{json}");
+        print_table(&results);
+    }
+
+    #[test]
+    fn json_validator_accepts_and_rejects() {
+        assert!(json_is_well_formed(
+            r#"{"a": [1, -2.5e3, "x\n", true, null], "b": {}}"#
+        ));
+        assert!(!json_is_well_formed("{"));
+        assert!(!json_is_well_formed(r#"{"a": }"#));
+        assert!(!json_is_well_formed(r#"{"a": 1} trailing"#));
+        assert!(!json_is_well_formed(r#"{"a": 1,}"#));
+    }
+}

@@ -1,6 +1,15 @@
 //! Shared helpers for the benchmark harness binaries that regenerate
 //! every table and figure of the paper (see DESIGN.md §4 for the
 //! experiment index and EXPERIMENTS.md for recorded outputs).
+//!
+//! * [`cli`] — the shared flag/positional parser every binary uses;
+//! * [`table`] — Wilson-CI cell formatting shared by the sweeps;
+//! * [`experiment`] — the spec-driven experiment runner behind the
+//!   unified `experiment` binary and the ported sweep harnesses.
+
+pub mod cli;
+pub mod experiment;
+pub mod table;
 
 /// Formats a floating-point value in compact scientific-or-fixed form
 /// for the harness tables.

@@ -151,6 +151,82 @@ fn scenario_fuzz_entry() {
     assert!(run_case(0xC1_5EED, 0).is_ok());
 }
 
+/// `scenario_fuzz --replay`: a written repro file loads back through
+/// the experiment-spec parser, reconstructs exactly the case its
+/// `[fuzz]` coordinates name, and re-runs the invariant checks — the
+/// full write → parse → verify → re-check loop of the replay flag.
+#[test]
+fn scenario_fuzz_replay_entry() {
+    use nakamoto_sim::fuzz::{check_scenario, sample_scenario_for, FuzzFailure};
+    use nakamoto_sim::spec::ExperimentSpec;
+    let (master_seed, case) = (0xC1_5EED, 4u64);
+    let failure = FuzzFailure {
+        master_seed,
+        case,
+        invariant: "pruning-liveness",
+        detail: "smoke repro (healthy case)".into(),
+        scenario: sample_scenario_for(master_seed, case),
+    };
+    let path = std::env::temp_dir().join("bin_smoke_scenario_fuzz_repro.toml");
+    std::fs::write(&path, failure.repro_toml()).expect("repro written");
+    let source = std::fs::read_to_string(&path).expect("repro read back");
+    let _ = std::fs::remove_file(&path);
+    let spec = ExperimentSpec::parse(&source).expect("repro parses as an experiment spec");
+    let fuzz = spec.fuzz.clone().expect("replay coordinates present");
+    assert_eq!((fuzz.master_seed, fuzz.case), (master_seed, case));
+    let scenario = spec.scenario().expect("repro scenario rebuilds");
+    assert_eq!(
+        scenario,
+        sample_scenario_for(fuzz.master_seed, fuzz.case),
+        "the repro body must match its replay coordinates"
+    );
+    check_scenario(&scenario).expect("a healthy case replays clean");
+}
+
+/// `experiment`: golden-file smoke — every committed spec under
+/// `examples/specs/` parses, expands, runs at a tiny budget, and
+/// renders well-formed JSON; the theorem1_check spec's JSON must carry
+/// the theorem-1 analytic bound alongside the simulated Wilson CI.
+#[test]
+fn experiment_entry_runs_every_committed_spec() {
+    use consistency_bench::experiment;
+    use nakamoto_sim::spec::ExperimentSpec;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/specs");
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/specs exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "toml"))
+        .collect();
+    paths.sort();
+    assert!(
+        paths.len() >= 5,
+        "expected the committed golden specs, found {paths:?}"
+    );
+    for path in &paths {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let source = std::fs::read_to_string(path).expect("spec readable");
+        let mut spec = ExperimentSpec::parse(&source)
+            .unwrap_or_else(|e| panic!("{name}: committed spec must parse: {e}"));
+        experiment::apply_budget(&mut spec, Some(200), Some(2), None, None);
+        let results = experiment::run_spec(&spec)
+            .unwrap_or_else(|e| panic!("{name}: committed spec must run: {e}"));
+        assert!(!results.is_empty(), "{name}: at least one cell");
+        let json = experiment::to_json(&name, &results);
+        assert!(
+            experiment::json_is_well_formed(&json),
+            "{name}: malformed JSON:\n{json}"
+        );
+        if name == "theorem1_check" {
+            assert!(
+                json.contains("\"theorem1_ln_margin\"") && json.contains("\"estimate\""),
+                "{name}: the analytic overlay must ride beside the Wilson interval:\n{json}"
+            );
+            let bounds = results[0].analytic.as_ref().expect("ν > 0 carries bounds");
+            assert!(bounds.theorem1_holds, "c = 3 at ν = 0.3 is consistent");
+        }
+    }
+}
+
 /// `bench_sim`: the throughput harness's workloads at tiny budgets —
 /// a statically dispatched single run plus a parallel trial fan-out.
 #[test]

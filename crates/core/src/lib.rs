@@ -31,6 +31,10 @@
 //! * [`figure1`] — the three curves of Figure 1.
 //! * [`convergence`] — Monte-Carlo validation glue against
 //!   `nakamoto_sim`.
+//! * [`analytic`] — the spec-driven experiment layer's entry point:
+//!   one record bundling every theorem's prediction for a simulator
+//!   configuration, overlaid on simulated cells by the `experiment`
+//!   harness.
 //!
 //! # Example: the headline claim
 //!
@@ -46,6 +50,7 @@
 //! # Ok::<(), consistency_core::Error>(())
 //! ```
 
+pub mod analytic;
 pub mod catchup;
 pub mod chain_metrics;
 pub mod convergence;

@@ -42,6 +42,7 @@ use crate::compose::{Composition, SubSpec};
 use crate::config::SimConfig;
 use crate::metrics::SimReport;
 use crate::scenario::{PhaseSpec, Regime, Scenario, ScenarioPlan, ScenarioRunner, StrategyKind};
+use crate::spec::{ExperimentMode, ExperimentSpec, FuzzHeader, RunSettings};
 use probability::rng::{RandomSource, SplitMix64};
 use std::fmt;
 
@@ -87,85 +88,47 @@ impl fmt::Display for FuzzFailure {
 
 impl std::error::Error for FuzzFailure {}
 
-fn strategy_name(kind: StrategyKind) -> String {
-    match kind {
-        StrategyKind::Honest => "honest".into(),
-        StrategyKind::PrivateChain => "private-chain".into(),
-        StrategyKind::Balance => "balance".into(),
-        StrategyKind::Selfish => "selfish".into(),
-        StrategyKind::Composed(i) => format!("composed({i})"),
-    }
-}
-
-fn regime_name(regime: Regime) -> String {
-    match regime {
-        Regime::Calm => "calm".into(),
-        Regime::Adversarial => "adversarial".into(),
-        Regime::Eclipse { group } => format!("eclipse({group})"),
-    }
-}
-
 impl FuzzFailure {
-    /// Renders the failing case as a TOML repro document — the artifact
-    /// the CI fuzz job uploads. The header records the exact
-    /// `(master_seed, case)` replay coordinates; the body spells out
-    /// the sampled base config, composition table and phase grid so the
-    /// case can also be reconstructed by hand.
+    /// Renders the failing case as a **directly runnable experiment
+    /// spec** (see [`crate::spec`]) — the artifact the CI fuzz job
+    /// uploads. The `[fuzz]` table records the exact `(master_seed,
+    /// case)` replay coordinates; the body is the sampled scenario in
+    /// the standard spec schema, so the document loads through
+    /// [`ExperimentSpec::parse`] for `scenario_fuzz --replay` and the
+    /// `experiment` harness alike.
     #[must_use]
     pub fn repro_toml(&self) -> String {
         let mut out = String::new();
         out.push_str("# scenario_fuzz failing case\n");
-        out.push_str("# replay: nakamoto_sim::fuzz::run_case(master_seed, case)\n");
-        out.push_str(&format!("master_seed = {}\n", self.master_seed));
-        out.push_str(&format!("case = {}\n", self.case));
-        out.push_str(&format!("invariant = \"{}\"\n", self.invariant));
-        out.push_str(&format!(
-            "detail = \"{}\"\n",
-            self.detail.replace('\\', "\\\\").replace('"', "\\\"")
-        ));
-        let base = self.scenario.base();
-        out.push_str("\n[base]\n");
-        out.push_str(&format!("n_miners = {}\n", base.n_miners));
-        out.push_str(&format!(
-            "adversary_fraction = {}\n",
-            base.adversary_fraction
-        ));
-        out.push_str(&format!("hardness = {}\n", base.hardness));
-        out.push_str(&format!("delta = {}\n", base.delta));
-        out.push_str(&format!("seed = {}\n", base.seed));
-        for composition in self.scenario.compositions() {
-            out.push_str("\n[[composition]]\nsubs = [");
-            for (i, sub) in composition.subs().iter().enumerate() {
-                if i > 0 {
-                    out.push_str(", ");
-                }
-                out.push_str(&format!(
-                    "{{ strategy = \"{}\", weight = {} }}",
-                    strategy_name(sub.strategy),
-                    sub.weight
-                ));
-            }
-            out.push_str("]\n");
-        }
-        for phase in self.scenario.phases() {
-            out.push_str("\n[[phase]]\n");
-            out.push_str(&format!("rounds = {}\n", phase.rounds));
-            out.push_str(&format!(
-                "strategy = \"{}\"\n",
-                strategy_name(phase.strategy)
-            ));
-            out.push_str(&format!("regime = \"{}\"\n", regime_name(phase.regime)));
-            if let Some(nu) = phase.adversary_fraction {
-                out.push_str(&format!("adversary_fraction = {nu}\n"));
-            }
-            if let Some(p) = phase.hardness {
-                out.push_str(&format!("hardness = {p}\n"));
-            }
-            if let Some(d) = phase.detector_delta {
-                out.push_str(&format!("detector_delta = {d}\n"));
-            }
-        }
+        out.push_str("# replay: scenario_fuzz --replay <this file>, or\n");
+        out.push_str("#         nakamoto_sim::fuzz::run_case(master_seed, case)\n");
+        out.push_str(&self.to_spec().to_toml());
         out
+    }
+
+    /// The failing case as an [`ExperimentSpec`]: the sampled scenario
+    /// plus the trial settings the invariant checker runs (two trials,
+    /// threshold 6 — see [`check_scenario`]), stamped with the replay
+    /// coordinates in the `[fuzz]` table.
+    #[must_use]
+    pub fn to_spec(&self) -> ExperimentSpec {
+        ExperimentSpec {
+            run: RunSettings {
+                trials: 2,
+                threads: 0,
+                thresholds: vec![6],
+            },
+            base: *self.scenario.base(),
+            compositions: self.scenario.compositions().to_vec(),
+            mode: ExperimentMode::Scenario(self.scenario.phases().to_vec()),
+            sweep: None,
+            fuzz: Some(FuzzHeader {
+                master_seed: self.master_seed,
+                case: self.case,
+                invariant: self.invariant.to_string(),
+                detail: self.detail.clone(),
+            }),
+        }
     }
 }
 
@@ -215,7 +178,7 @@ impl ScenarioFuzzer {
             {
                 stats.composed_cases += 1;
             }
-            check_case(&scenario).map_err(|(invariant, detail)| {
+            check_scenario(&scenario).map_err(|(invariant, detail)| {
                 Box::new(FuzzFailure {
                     master_seed: self.master_seed,
                     case,
@@ -237,7 +200,7 @@ impl ScenarioFuzzer {
 /// Returns the same [`FuzzFailure`] the original run reported.
 pub fn run_case(master_seed: u64, case: u64) -> Result<(), Box<FuzzFailure>> {
     let scenario = sample_scenario(master_seed, case);
-    check_case(&scenario).map_err(|(invariant, detail)| {
+    check_scenario(&scenario).map_err(|(invariant, detail)| {
         Box::new(FuzzFailure {
             master_seed,
             case,
@@ -246,6 +209,15 @@ pub fn run_case(master_seed: u64, case: u64) -> Result<(), Box<FuzzFailure>> {
             scenario,
         })
     })
+}
+
+/// The scenario the generator samples for `(master_seed, case)` — the
+/// coordinates a repro spec's `[fuzz]` table records. Replay tooling
+/// (`scenario_fuzz --replay`) uses this to verify a saved repro
+/// against the case it claims to reproduce.
+#[must_use]
+pub fn sample_scenario_for(master_seed: u64, case: u64) -> Scenario {
+    sample_scenario(master_seed, case)
 }
 
 /// Derives the per-case generator: cases are independent SplitMix64
@@ -321,9 +293,19 @@ fn sample_composition(rng: &mut SplitMix64) -> Composition {
     Composition::new(subs).expect("generator: composition")
 }
 
-/// Checks every engine invariant on one sampled scenario. Returns
-/// `(invariant, detail)` on the first violation.
-fn check_case(scenario: &Scenario) -> Result<(), (&'static str, String)> {
+/// Checks every engine invariant (thread-count bit-identity,
+/// pruning-liveness, prefix monotonicity) on one scenario, exactly as
+/// the fuzzer does per sampled case. Returns `(invariant, detail)` on
+/// the first violation.
+///
+/// This is the `scenario_fuzz --replay` entry point: a saved repro
+/// spec's scenario goes back through the same checks that failed.
+///
+/// # Errors
+///
+/// Returns the violated invariant's name and a human-readable mismatch
+/// description.
+pub fn check_scenario(scenario: &Scenario) -> Result<(), (&'static str, String)> {
     // 1. Thread-count bit-identity over a small Monte-Carlo fan-out.
     let plan = ScenarioPlan::new(scenario.clone(), 2)
         .expect("two trials")
@@ -493,6 +475,7 @@ mod tests {
             scenario: scenario.clone(),
         };
         let toml = failure.repro_toml();
+        assert!(toml.contains("[fuzz]"));
         assert!(toml.contains("master_seed = 99"));
         assert!(toml.contains("case = 3"));
         assert!(toml.contains("invariant = \"thread-count bit-identity\""));
@@ -507,5 +490,35 @@ mod tests {
             toml.matches("[[composition]]").count(),
             scenario.compositions().len()
         );
+    }
+
+    /// A repro is a *directly runnable* experiment spec: it loads
+    /// through the spec parser and reconstructs the failing scenario
+    /// exactly, with the replay coordinates intact.
+    #[test]
+    fn repro_toml_round_trips_through_the_spec_parser() {
+        for case in 0..12 {
+            let scenario = sample_scenario(0xCAFE, case);
+            let failure = FuzzFailure {
+                master_seed: 0xCAFE,
+                case,
+                invariant: "pruning-liveness",
+                detail: format!("case {case} example detail"),
+                scenario: scenario.clone(),
+            };
+            let spec = ExperimentSpec::parse(&failure.repro_toml())
+                .unwrap_or_else(|e| panic!("case {case}: {e}\n{}", failure.repro_toml()));
+            assert_eq!(
+                spec.scenario().expect("repro scenario rebuilds"),
+                scenario,
+                "case {case}: the repro must reconstruct the sampled scenario"
+            );
+            let fuzz = spec.fuzz.clone().expect("replay coordinates present");
+            assert_eq!(fuzz.master_seed, 0xCAFE);
+            assert_eq!(fuzz.case, case);
+            assert_eq!(fuzz.invariant, "pruning-liveness");
+            // And the spec's own checker accepts the healthy scenario.
+            check_scenario(&spec.scenario().unwrap()).expect("invariants hold on healthy cases");
+        }
     }
 }

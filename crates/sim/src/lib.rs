@@ -63,4 +63,5 @@ pub mod network;
 pub mod oracle;
 pub mod scenario;
 pub mod selfish;
+pub mod spec;
 pub mod tree;
