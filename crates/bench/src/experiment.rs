@@ -10,9 +10,12 @@
 //! `compose_sweep` harnesses; the binaries only differ in how they
 //! pivot the flat cell list for display.
 
-use consistency_core::analytic::{self, AnalyticBounds};
+use consistency_core::analytic::{self, AnalyticBounds, BoundVerdict};
 use nakamoto_sim::montecarlo::MonteCarloRun;
-use nakamoto_sim::spec::{ExperimentCell, ExperimentMode, ExperimentSpec, SpecError};
+use nakamoto_sim::spec::{
+    EstimatorKind, ExperimentCell, ExperimentMode, ExperimentSpec, SpecError,
+};
+use nakamoto_sim::splitting::SplittingRun;
 
 /// One executed cell: its sweep labels, the concrete spec it ran, the
 /// Monte-Carlo result, and the analytic overlay (absent for the
@@ -27,6 +30,10 @@ pub struct CellResult {
     pub rounds_per_trial: u64,
     /// The Monte-Carlo aggregate and wall-clock metrics.
     pub run: MonteCarloRun,
+    /// The rare-event splitting estimate, when the cell selected
+    /// `estimator = "splitting"` (it runs *beside* the Wilson trials,
+    /// not instead of them).
+    pub splitting: Option<SplittingRun>,
     /// The paper's predictions for the cell's *binding* parameters:
     /// the `[base]` config for stationary cells, the highest-ν phase
     /// configuration for scenario cells (a bound computed from a calm
@@ -53,12 +60,14 @@ pub fn run_cell(cell: ExperimentCell) -> Result<CellResult, SpecError> {
     let plan = cell.spec.plan()?;
     let rounds_per_trial = plan.rounds_per_trial();
     let run = plan.run();
+    let splitting = plan.run_splitting();
     let analytic = analytic::for_sim_config(&binding_config(&cell.spec)?);
     Ok(CellResult {
         labels: cell.labels,
         spec: cell.spec,
         rounds_per_trial,
         run,
+        splitting,
         analytic,
     })
 }
@@ -122,6 +131,13 @@ pub fn apply_budget(
     }
     if let Some(trials) = trials {
         spec.run.trials = trials;
+        // `--trials` is the cell-budget knob, so it also caps the
+        // splitting effort: an explicit `splitting_effort = 512` must
+        // not let a tiny-budget smoke run 512 replicas per level
+        // (effort 0 already follows `trials`).
+        if spec.run.splitting.effort != 0 {
+            spec.run.splitting.effort = spec.run.splitting.effort.min(trials.max(1));
+        }
     }
     if let Some(threads) = threads {
         spec.run.threads = threads;
@@ -131,7 +147,8 @@ pub fn apply_budget(
     }
     if let Some(sweep) = &mut spec.sweep {
         let overridden = |path: &str| {
-            (trials.is_some() && path == "experiment.trials")
+            (trials.is_some()
+                && (path == "experiment.trials" || path == "experiment.splitting_effort"))
                 || (rounds.is_some()
                     && (path == "stationary.rounds"
                         || (path.starts_with("phase.") && path.ends_with(".rounds"))))
@@ -145,13 +162,18 @@ pub fn apply_budget(
 }
 
 /// Prints the flat cell table: one row per cell with the depth, every
-/// threshold's Wilson CI, and the theorem-1 margin / consistency
-/// verdict columns of the analytic overlay.
+/// threshold's Wilson CI, the splitting estimate with its relative
+/// error (when the cell selected the splitting estimator), and the
+/// theorem-1 margin / consistency verdict columns of the analytic
+/// overlay. Splitting cells get an extra `vs race bound` column
+/// holding the three-standard-error verdict against the race-analysis
+/// failure scale at the largest threshold.
 pub fn print_table(results: &[CellResult]) {
     let thresholds: Vec<u64> = results
         .first()
         .map(|r| r.spec.run.thresholds.clone())
         .unwrap_or_default();
+    let has_splitting = results.iter().any(|r| r.splitting.is_some());
     let label_width = results
         .iter()
         .map(|r| cell_name(r).len())
@@ -161,6 +183,12 @@ pub fn print_table(results: &[CellResult]) {
     print!("{:<label_width$} {:>6}", "cell", "depth");
     for t in &thresholds {
         print!(" {:>23}", format!("P[¬{t}-cons] (95% CI)"));
+    }
+    if has_splitting {
+        for t in &thresholds {
+            print!(" {:>20}", format!("split P[¬{t}] (±re)"));
+        }
+        print!(" {:>14}", "vs race bound");
     }
     println!(" {:>13} {:>10}", "thm1 margin", "consistent");
     for result in results {
@@ -175,6 +203,12 @@ pub fn print_table(results: &[CellResult]) {
                 crate::table::failure_cell(&result.run.aggregate, *t, 1.96)
             );
         }
+        if has_splitting {
+            for t in &thresholds {
+                print!(" {:>20}", splitting_cell(result, *t));
+            }
+            print!(" {:>14}", race_verdict_cell(result, &thresholds));
+        }
         match &result.analytic {
             Some(bounds) => println!(
                 " {:>13.3} {:>10}",
@@ -183,6 +217,47 @@ pub fn print_table(results: &[CellResult]) {
             ),
             None => println!(" {:>13} {:>10}", "—", "ν=0"),
         }
+    }
+}
+
+/// The splitting estimate for one threshold as a table cell:
+/// `estimate ±relative-error`, `0 (starved@ℓ)` for a starved chain, or
+/// `—` for a Wilson-only cell.
+fn splitting_cell(result: &CellResult, t: u64) -> String {
+    let Some(estimate) = result.splitting.as_ref().and_then(|s| s.estimate_at(t)) else {
+        return "—".into();
+    };
+    match (estimate.relative_error, estimate.starved_at) {
+        (Some(re), _) => format!("{:.3e} ±{:.0}%", estimate.probability, re * 100.0),
+        (None, Some(level)) => format!("0 (starved@{level})"),
+        (None, None) => "0".into(),
+    }
+}
+
+/// The bound-vs-estimate verdict at the *largest* threshold — the cell
+/// the rare-event comparison is about; `—` when no splitting estimate
+/// or no race bound applies.
+fn race_verdict_cell(result: &CellResult, thresholds: &[u64]) -> String {
+    let (Some(&t), Some(splitting)) = (thresholds.iter().max(), result.splitting.as_ref()) else {
+        return "—".into();
+    };
+    let (Some(bounds), Some(estimate)) = (result.analytic.as_ref(), splitting.estimate_at(t))
+    else {
+        return "—".into();
+    };
+    match bounds.compare_race_estimate(t, estimate.probability, estimate.standard_error()) {
+        Some(cmp) => verdict_token(cmp.verdict).into(),
+        None => "—".into(),
+    }
+}
+
+/// The JSON/table token for a [`BoundVerdict`].
+#[must_use]
+pub fn verdict_token(verdict: BoundVerdict) -> &'static str {
+    match verdict {
+        BoundVerdict::WithinBound => "within-bound",
+        BoundVerdict::ExceedsBound => "exceeds-bound",
+        BoundVerdict::Inconclusive => "inconclusive",
     }
 }
 
@@ -286,6 +361,68 @@ pub fn to_json(name: &str, results: &[CellResult]) -> String {
             ));
         }
         out.push_str("],\n");
+        out.push_str(&format!(
+            "      \"estimator\": \"{}\",\n",
+            match result.spec.run.estimator {
+                EstimatorKind::Wilson => "wilson",
+                EstimatorKind::Splitting => "splitting",
+            }
+        ));
+        match &result.splitting {
+            None => out.push_str("      \"splitting\": null,\n"),
+            Some(splitting) => {
+                out.push_str("      \"splitting\": {\n");
+                out.push_str(&format!(
+                    "        \"effort\": {},\n",
+                    splitting.levels.first().map_or(0, |l| l.effort)
+                ));
+                out.push_str(&format!(
+                    "        \"total_rounds\": {},\n",
+                    splitting.total_rounds
+                ));
+                out.push_str("        \"levels\": [");
+                for (j, stage) in splitting.levels.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!(
+                        "{{\"level\": {}, \"hits\": {}, \"effort\": {}}}",
+                        stage.level, stage.hits, stage.effort
+                    ));
+                }
+                out.push_str("],\n");
+                out.push_str("        \"estimates\": [");
+                for (j, estimate) in splitting.estimates.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let comparison = result.analytic.as_ref().and_then(|b| {
+                        b.compare_race_estimate(
+                            estimate.threshold,
+                            estimate.probability,
+                            estimate.standard_error(),
+                        )
+                    });
+                    out.push_str(&format!(
+                        "{{\"threshold\": {}, \"probability\": {}, \"relative_error\": {}, \
+                         \"standard_error\": {}, \"starved_at\": {}, \"race_bound\": {}, \
+                         \"race_verdict\": {}}}",
+                        estimate.threshold,
+                        json_f64(estimate.probability),
+                        estimate.relative_error.map_or("null".into(), json_f64),
+                        estimate.standard_error().map_or("null".into(), json_f64),
+                        estimate.starved_at.map_or("null".into(), |l| l.to_string()),
+                        comparison.map_or("null".into(), |c| json_f64(c.bound)),
+                        comparison.map_or("null".into(), |c| format!(
+                            "\"{}\"",
+                            verdict_token(c.verdict)
+                        )),
+                    ));
+                }
+                out.push_str("]\n");
+                out.push_str("      },\n");
+            }
+        }
         match &result.analytic {
             None => out.push_str("      \"analytic\": null\n"),
             Some(b) => {
@@ -627,6 +764,69 @@ mod tests {
         assert!(json.contains("\"analytic\": null"));
         assert!(json_is_well_formed(&json), "{json}");
         print_table(&results);
+    }
+
+    const SPLITTING_SPEC: &str = r#"
+        [experiment]
+        trials = 2
+        thresholds = [3, 6]
+        estimator = "splitting"
+        splitting_effort = 24
+
+        [base]
+        n_miners = 100
+        delta = 4
+        c = 1.0
+        adversary_fraction = 0.3
+        seed = 11
+
+        [stationary]
+        strategy = "private-chain"
+        rounds = 800
+    "#;
+
+    #[test]
+    fn splitting_cells_carry_both_estimators() {
+        let spec = ExperimentSpec::parse(SPLITTING_SPEC).unwrap();
+        let results = run_spec(&spec).unwrap();
+        let cell = &results[0];
+        assert_eq!(cell.run.aggregate.trials, 2, "Wilson half still runs");
+        let splitting = cell.splitting.as_ref().expect("splitting selected");
+        assert!(!splitting.levels.is_empty());
+        assert_eq!(splitting.estimates.len(), 2);
+        let json = to_json("splitting", &results);
+        assert!(json_is_well_formed(&json), "malformed:\n{json}");
+        assert!(json.contains("\"estimator\": \"splitting\""));
+        assert!(json.contains("\"race_verdict\""));
+        assert!(json.contains("\"race_bound\""));
+        print_table(&results); // must not panic
+    }
+
+    #[test]
+    fn wilson_cells_have_null_splitting() {
+        let spec = ExperimentSpec::parse(TINY_SPEC).unwrap();
+        let results = run_spec(&spec).unwrap();
+        assert!(results[0].splitting.is_none());
+        let json = to_json("tiny", &results);
+        assert!(json.contains("\"estimator\": \"wilson\""));
+        assert!(json.contains("\"splitting\": null"));
+        assert!(json_is_well_formed(&json), "{json}");
+    }
+
+    /// `--trials` is the budget knob CI smokes with, so it must also
+    /// cap an explicit (possibly huge) `splitting_effort`.
+    #[test]
+    fn trials_override_caps_splitting_effort() {
+        let mut spec = ExperimentSpec::parse(SPLITTING_SPEC).unwrap();
+        apply_budget(&mut spec, None, Some(2), None, None);
+        assert_eq!(spec.run.trials, 2);
+        assert_eq!(spec.run.splitting.effort, 2);
+        spec.validate().unwrap();
+        // The default effort (reuse `trials`) stays implicit.
+        let source = SPLITTING_SPEC.replace("splitting_effort = 24\n", "");
+        let mut spec = ExperimentSpec::parse(&source).unwrap();
+        apply_budget(&mut spec, None, Some(2), None, None);
+        assert_eq!(spec.run.splitting.effort, 0);
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   Chernoff and Hoeffding bounds.
 //! * [`rootfind`] — bisection and Brent's method, used to invert bound
 //!   curves (e.g. solving `2µ/ln(µ/ν) = c` for `ν_max`).
+//! * [`rare_event`] — the per-level product estimate and relative-error
+//!   accounting behind the multilevel-splitting rare-event estimator.
 //! * [`rng`] — deterministic SplitMix64 / Xoshiro256++ generators.
 //! * [`summation`] — compensated (Neumaier) and pairwise summation.
 //!
@@ -38,6 +40,7 @@ pub mod discrete;
 pub mod geometric;
 pub mod logfloat;
 pub mod poisson;
+pub mod rare_event;
 pub mod rng;
 pub mod rootfind;
 pub mod special;

@@ -1,0 +1,230 @@
+//! Statistics for fixed-effort multilevel-splitting estimators.
+//!
+//! A splitting run decomposes a rare event `{X ≥ ℓ_m}` into a chain of
+//! nested level crossings `{X ≥ ℓ_1} ⊃ … ⊃ {X ≥ ℓ_m}` and estimates
+//! each conditional probability `p_k = P(X ≥ ℓ_k | X ≥ ℓ_{k−1})` with
+//! its own binomial sample of `N_k` replicas. This module holds the
+//! distribution-free part of that estimator: combining the per-level
+//! `(hits, trials)` pairs into the product estimate and its relative
+//! error. The simulation-specific part (what the level function is and
+//! how replicas are cloned and re-randomised) lives in
+//! `nakamoto_sim::splitting`.
+//!
+//! Under fixed-effort splitting the level samples are independent given
+//! the entrance states, so the relative variance of the product
+//! estimator is, to first order,
+//!
+//! ```text
+//! Var[p̂] / p²  ≈  Σ_k (1 − p_k) / (N_k · p_k)
+//! ```
+//!
+//! (see e.g. Garvels' thesis on splitting, or Rubino & Tuffin,
+//! *Rare Event Simulation*, ch. 3). We report the square root of that
+//! sum as the **relative error**; multiplying it by the estimate gives
+//! a one-standard-error half-width.
+//!
+//! # Example
+//!
+//! ```
+//! use probability::rare_event::{product_estimate, LevelOutcome};
+//!
+//! // Three levels, each crossed by ~1/10 of its replicas.
+//! let levels = vec![
+//!     LevelOutcome { hits: 100, trials: 1000 },
+//!     LevelOutcome { hits: 95, trials: 1000 },
+//!     LevelOutcome { hits: 110, trials: 1000 },
+//! ];
+//! let est = product_estimate(&levels);
+//! assert!((est.probability - 1.045e-3).abs() < 1e-6);
+//! let rel = est.relative_error.unwrap();
+//! assert!(rel > 0.0 && rel < 0.2);
+//! ```
+
+/// One level of a splitting run: how many of the `trials` replicas
+/// started at the previous level crossed this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelOutcome {
+    /// Replicas that reached the level.
+    pub hits: u64,
+    /// Replicas launched toward the level (the fixed effort).
+    pub trials: u64,
+}
+
+impl LevelOutcome {
+    /// The level's conditional-probability estimate `hits / trials`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0` — an effortless level has no estimate.
+    #[must_use]
+    pub fn estimate(&self) -> f64 {
+        assert!(
+            self.trials > 0,
+            "a splitting level needs at least one replica"
+        );
+        self.hits as f64 / self.trials as f64
+    }
+}
+
+/// The combined product estimate over a chain of splitting levels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProductEstimate {
+    /// `Π_k hits_k / trials_k`.
+    pub probability: f64,
+    /// `sqrt(Σ_k (1 − p̂_k) / (N_k · p̂_k))`; `None` when some level was
+    /// starved (zero hits), where the estimator degenerates to 0 with
+    /// no finite variance estimate.
+    pub relative_error: Option<f64>,
+    /// Index of the first starved level, if any.
+    pub starved_at: Option<usize>,
+}
+
+impl ProductEstimate {
+    /// One-standard-error half-width `probability · relative_error`;
+    /// `None` for a starved chain.
+    #[must_use]
+    pub fn standard_error(&self) -> Option<f64> {
+        self.relative_error.map(|re| self.probability * re)
+    }
+}
+
+/// Combines per-level outcomes into the splitting product estimate.
+///
+/// An empty chain estimates the certain event (probability 1, zero
+/// relative error). A starved level (zero hits) makes the product 0 and
+/// the relative error undefined; `starved_at` reports where the chain
+/// died so callers can distinguish "estimated 0" from "measured tiny".
+///
+/// # Panics
+///
+/// Panics if any level has `trials == 0`.
+#[must_use]
+pub fn product_estimate(levels: &[LevelOutcome]) -> ProductEstimate {
+    let mut probability = 1.0f64;
+    let mut rel_var = 0.0f64;
+    for (at, level) in levels.iter().enumerate() {
+        let p = level.estimate();
+        if level.hits == 0 {
+            return ProductEstimate {
+                probability: 0.0,
+                relative_error: None,
+                starved_at: Some(at),
+            };
+        }
+        probability *= p;
+        rel_var += (1.0 - p) / (level.trials as f64 * p);
+    }
+    ProductEstimate {
+        probability,
+        relative_error: Some(rel_var.sqrt()),
+        starved_at: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_chain_is_certain() {
+        let est = product_estimate(&[]);
+        assert_eq!(est.probability, 1.0);
+        assert_eq!(est.relative_error, Some(0.0));
+        assert_eq!(est.starved_at, None);
+    }
+
+    #[test]
+    fn single_level_matches_binomial_proportion() {
+        // One level degenerates to the plain Monte-Carlo estimator with
+        // relative error sqrt((1-p)/(n p)).
+        let est = product_estimate(&[LevelOutcome {
+            hits: 25,
+            trials: 1000,
+        }]);
+        assert!((est.probability - 0.025).abs() < 1e-15);
+        let expected = (0.975f64 / (1000.0 * 0.025)).sqrt();
+        assert!((est.relative_error.unwrap() - expected).abs() < 1e-12);
+        assert_eq!(est.standard_error().unwrap(), est.probability * expected);
+    }
+
+    #[test]
+    fn product_and_variance_accumulate() {
+        let levels = [
+            LevelOutcome {
+                hits: 500,
+                trials: 1000,
+            },
+            LevelOutcome {
+                hits: 200,
+                trials: 400,
+            },
+        ];
+        let est = product_estimate(&levels);
+        assert!((est.probability - 0.25).abs() < 1e-15);
+        let expected = (0.5f64 / (1000.0 * 0.5) + 0.5 / (400.0 * 0.5)).sqrt();
+        assert!((est.relative_error.unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starved_level_reports_position() {
+        let levels = [
+            LevelOutcome {
+                hits: 10,
+                trials: 100,
+            },
+            LevelOutcome {
+                hits: 0,
+                trials: 100,
+            },
+            LevelOutcome {
+                hits: 5,
+                trials: 100,
+            },
+        ];
+        let est = product_estimate(&levels);
+        assert_eq!(est.probability, 0.0);
+        assert_eq!(est.relative_error, None);
+        assert_eq!(est.standard_error(), None);
+        assert_eq!(est.starved_at, Some(1));
+    }
+
+    #[test]
+    fn certain_levels_add_no_variance() {
+        let levels = [
+            LevelOutcome {
+                hits: 100,
+                trials: 100,
+            },
+            LevelOutcome {
+                hits: 30,
+                trials: 100,
+            },
+        ];
+        let est = product_estimate(&levels);
+        assert!((est.probability - 0.3).abs() < 1e-15);
+        let expected = (0.7f64 / (100.0 * 0.3)).sqrt();
+        assert!((est.relative_error.unwrap() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_effort_levels_are_rejected() {
+        let _ = product_estimate(&[LevelOutcome { hits: 0, trials: 0 }]);
+    }
+
+    #[test]
+    fn tiny_products_stay_finite() {
+        // 40 levels at p = 1/32 each: probability 2^-200 ≈ 6e-61 must
+        // not underflow to zero.
+        let levels = vec![
+            LevelOutcome {
+                hits: 4,
+                trials: 128,
+            };
+            40
+        ];
+        let est = product_estimate(&levels);
+        assert!(est.probability > 0.0);
+        assert!(est.relative_error.unwrap().is_finite());
+    }
+}

@@ -78,6 +78,11 @@ pub struct RoundRecord {
 /// A running simulation, generic over the adversary strategy so the
 /// per-round strategy calls are statically dispatched. The default
 /// parameter keeps the historical boxed API compiling unchanged.
+///
+/// A simulation with a `Clone` adversary is itself `Clone`: the
+/// splitting estimator snapshots entrance states this way and restarts
+/// them on fresh streams via [`Simulation::reseed_mining`].
+#[derive(Clone)]
 pub struct Simulation<A: Adversary = Box<dyn Adversary>> {
     config: SimConfig,
     tree: BlockTree,
@@ -230,6 +235,34 @@ impl<A: Adversary> Simulation<A> {
     #[must_use]
     pub fn mining_rng(&self) -> Xoshiro256PlusPlus {
         self.oracle.rng_clone()
+    }
+
+    /// Replaces the mining generator with `rng`, discarding the
+    /// buffered quiet-gap outcome (and its captured sub-adversary
+    /// split) sampled from the old stream. This is the splitting
+    /// estimator's replica restart: a cloned entrance state continues
+    /// under its own disjoint stream, and because geometric gaps are
+    /// memoryless, restarting the gap at the boundary leaves the
+    /// process law identical to never having buffered at all (the same
+    /// argument [`Simulation::reconfigure_mining`] relies on).
+    pub fn reseed_mining(&mut self, rng: Xoshiro256PlusPlus) {
+        self.oracle.replace_rng(rng);
+        self.pending_outcome = None;
+        self.pending_split.clear();
+    }
+
+    /// The run's consistency depth so far: the deeper of the deepest
+    /// single-group reorg and the deepest simultaneous cross-group
+    /// divergence. `T`-consistency has been violated iff this exceeds
+    /// `T` (see [`SimReport::is_consistent`]) — which makes the depth a
+    /// monotone level function for the splitting estimator: it never
+    /// decreases, and it can only change inside [`Simulation::step`],
+    /// never during a quiet-gap skip (no deliveries, no mining).
+    #[must_use]
+    pub fn consistency_depth(&self) -> u64 {
+        self.tracker
+            .max_reorg_depth()
+            .max(self.tracker.max_divergence_depth())
     }
 
     /// Re-derives the mining oracle for a new adversary fraction and
@@ -543,6 +576,47 @@ impl<A: Adversary> Simulation<A> {
                 self.skip_quiet(skip);
             }
         }
+    }
+
+    /// Runs until the consistency depth reaches `depth` or the round
+    /// counter reaches the absolute round `horizon`, whichever comes
+    /// first; returns whether the depth was reached. Unlike
+    /// [`Simulation::run`]'s relative `rounds`, `horizon` is absolute
+    /// so a cloned replica resumed mid-run races toward the same finish
+    /// line as its parent.
+    ///
+    /// Uses the same quiet-gap bulk skip as [`Simulation::run`]; the
+    /// depth check after each real step is exact because the depth can
+    /// only change inside [`Simulation::step`] (skipped rounds deliver
+    /// nothing and mine nothing).
+    pub fn run_until_depth(&mut self, horizon: u64, depth: u64) -> bool {
+        if self.consistency_depth() >= depth {
+            return true;
+        }
+        let fast = self.adversary.supports_fast_forward();
+        while self.round < horizon {
+            self.step();
+            if self.consistency_depth() >= depth {
+                return true;
+            }
+            if !fast || self.round_log.is_some() {
+                continue;
+            }
+            if self.pending_outcome.is_none() {
+                self.pending_outcome = self.sample_gap_outcome();
+            }
+            let Some((left, _)) = self.pending_outcome else {
+                continue;
+            };
+            let mut skip = (left - 1).min(horizon - self.round);
+            if let Some(due) = self.network.next_due() {
+                skip = skip.min(due.saturating_sub(self.round + 1));
+            }
+            if skip > 0 {
+                self.skip_quiet(skip);
+            }
+        }
+        false
     }
 
     /// Consumes `k` quiet rounds in O(min(k, Δ)): no mining, no

@@ -117,6 +117,7 @@ impl FuzzFailure {
                 trials: 2,
                 threads: 0,
                 thresholds: vec![6],
+                ..RunSettings::default()
             },
             base: *self.scenario.base(),
             compositions: self.scenario.compositions().to_vec(),

@@ -29,7 +29,11 @@
 //! hypergeometric success allocation plus a release arbiter), and the
 //! [`fuzz`] module searches the combined scenario × composition space
 //! with a seeded generator that asserts the engine's invariants over
-//! thousands of random cases.
+//! thousands of random cases. For failure probabilities far below any
+//! feasible trial budget, the [`splitting`] module estimates the same
+//! `T`-consistency violation events with fixed-effort multilevel
+//! splitting over the consistency depth, preserving the trial engine's
+//! thread-count bit-identity.
 //!
 //! # Quickstart
 //!
@@ -64,4 +68,5 @@ pub mod oracle;
 pub mod scenario;
 pub mod selfish;
 pub mod spec;
+pub mod splitting;
 pub mod tree;

@@ -266,8 +266,10 @@ pub struct MonteCarloRun {
 }
 
 /// Derives the per-trial generators: the master stream seeded from
-/// `config.seed`, advanced `t` jumps for trial `t`.
-fn trial_streams(master_seed: u64, trials: u64) -> Vec<Xoshiro256PlusPlus> {
+/// `config.seed`, advanced `t` jumps for trial `t`. Shared with the
+/// splitting estimator, whose first stage must be stream-for-stream
+/// identical to a plain trial fan-out.
+pub(crate) fn trial_streams(master_seed: u64, trials: u64) -> Vec<Xoshiro256PlusPlus> {
     let mut stream = Xoshiro256PlusPlus::seed_from_u64(master_seed);
     let mut streams = Vec::with_capacity(trials as usize);
     for _ in 0..trials {
@@ -421,7 +423,7 @@ where
 /// by the trial count — and never zero, so the fan-out cannot degenerate
 /// into an empty `std::thread::scope` that hangs the reduction on an
 /// empty report set.
-fn effective_threads(requested: usize, trials: u64) -> usize {
+pub(crate) fn effective_threads(requested: usize, trials: u64) -> usize {
     let available = if requested == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {

@@ -363,6 +363,15 @@ impl MiningOracle {
         self.rng.clone()
     }
 
+    /// Replaces the oracle's generator with `rng`, leaving every
+    /// distribution untouched. The splitting estimator uses this to
+    /// hand a cloned entrance state its own disjoint stream; callers
+    /// must also discard any outcome buffered from the old stream (see
+    /// `Simulation::reseed_mining`).
+    pub fn replace_rng(&mut self, rng: Xoshiro256PlusPlus) {
+        self.rng = rng;
+    }
+
     /// Samples one round.
     pub fn sample_round(&mut self) -> RoundOutcome {
         let mut honest_per_group = [0u64; 2];

@@ -8,7 +8,12 @@
 //! One spec expresses everything the bench harness previously
 //! hard-coded per binary:
 //!
-//! * `[experiment]` — trials, worker threads, consistency thresholds;
+//! * `[experiment]` — trials, worker threads, consistency thresholds,
+//!   and the failure-probability estimator: `estimator = "wilson"`
+//!   (default, plain Monte-Carlo with Wilson intervals) or
+//!   `"splitting"` (the fixed-effort multilevel-splitting rare-event
+//!   estimator of [`crate::splitting`], tuned by `splitting_levels`
+//!   and `splitting_effort` and restricted to `[stationary]` specs);
 //! * `[base]` — the [`SimConfig`] every cell starts from (`c` may be
 //!   given instead of `hardness`, mirroring the paper's axis);
 //! * either `[[phase]]` tables (a time-varying [`Scenario`]) **or** a
@@ -63,6 +68,38 @@
 //! assert_eq!(run.aggregate.trials, 4);
 //! # Ok::<(), nakamoto_sim::spec::SpecError>(())
 //! ```
+//!
+//! Selecting the splitting estimator adds a second, rare-event-capable
+//! estimate beside the Wilson one ([`ExperimentPlan::run_splitting`]):
+//!
+//! ```
+//! use nakamoto_sim::spec::ExperimentSpec;
+//!
+//! let spec = ExperimentSpec::parse(
+//!     r#"
+//!     [experiment]
+//!     trials = 2
+//!     thresholds = [4]
+//!     estimator = "splitting"
+//!     splitting_effort = 8
+//!
+//!     [base]
+//!     n_miners = 60
+//!     delta = 2
+//!     c = 1.0
+//!     adversary_fraction = 0.3
+//!     seed = 11
+//!
+//!     [stationary]
+//!     strategy = "private-chain"
+//!     rounds = 400
+//!     "#,
+//! )?;
+//! let splitting = spec.plan()?.run_splitting().expect("splitting selected");
+//! let estimate = splitting.estimate_at(4).expect("threshold 4 estimated");
+//! assert!(estimate.probability >= 0.0 && estimate.probability <= 1.0);
+//! # Ok::<(), nakamoto_sim::spec::SpecError>(())
+//! ```
 
 use crate::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
 use crate::compose::{ComposedAdversary, Composition, SubSpec};
@@ -70,6 +107,7 @@ use crate::config::SimConfig;
 use crate::montecarlo::{MonteCarloRun, TrialPlan};
 use crate::scenario::{PhaseSpec, Regime, Scenario, ScenarioPlan, StrategyKind};
 use crate::selfish::SelfishMiningAdversary;
+use crate::splitting::{SplittingPlan, SplittingRun};
 use probability::rng::{RandomSource, SplitMix64};
 use std::fmt;
 
@@ -690,6 +728,51 @@ pub fn parse_regime(token: &str) -> Option<Regime> {
 // The experiment model
 // ---------------------------------------------------------------------
 
+/// Which failure-probability estimator a spec selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorKind {
+    /// Plain Monte-Carlo trials with Wilson score intervals (the
+    /// default; resolves probabilities down to ≈ `1/trials`).
+    #[default]
+    Wilson,
+    /// Fixed-effort multilevel splitting over the consistency depth
+    /// ([`crate::splitting`]); resolves theorem-scale rarities. Runs
+    /// *beside* the Wilson trials, not instead of them, so the table
+    /// and JSON always carry both views.
+    Splitting,
+}
+
+/// The spec token for an estimator: `"wilson"` or `"splitting"`.
+#[must_use]
+pub fn estimator_token(kind: EstimatorKind) -> &'static str {
+    match kind {
+        EstimatorKind::Wilson => "wilson",
+        EstimatorKind::Splitting => "splitting",
+    }
+}
+
+/// Parses an estimator token; `None` if the token names no estimator.
+#[must_use]
+pub fn parse_estimator(token: &str) -> Option<EstimatorKind> {
+    match token {
+        "wilson" => Some(EstimatorKind::Wilson),
+        "splitting" => Some(EstimatorKind::Splitting),
+        _ => None,
+    }
+}
+
+/// The splitting estimator's level-schedule knobs (see
+/// [`SplittingPlan`] for the semantics of each field).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SplittingSettings {
+    /// Intermediate depth levels: `None` (key absent) selects the
+    /// automatic unit ladder, `Some(vec![])` (`splitting_levels = []`)
+    /// the degenerate single-stage schedule.
+    pub levels: Option<Vec<u64>>,
+    /// Replicas per level; `0` (the default) reuses `trials`.
+    pub effort: u64,
+}
+
 /// `[experiment]`: the Monte-Carlo settings every cell shares.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunSettings {
@@ -699,6 +782,10 @@ pub struct RunSettings {
     pub threads: usize,
     /// Consistency thresholds `T` tallied per trial (default none).
     pub thresholds: Vec<u64>,
+    /// Failure-probability estimator (default Wilson).
+    pub estimator: EstimatorKind,
+    /// Level-schedule knobs for the splitting estimator.
+    pub splitting: SplittingSettings,
 }
 
 impl Default for RunSettings {
@@ -707,6 +794,8 @@ impl Default for RunSettings {
             trials: 1,
             threads: 0,
             thresholds: Vec::new(),
+            estimator: EstimatorKind::default(),
+            splitting: SplittingSettings::default(),
         }
     }
 }
@@ -814,11 +903,17 @@ pub enum ExperimentPlan {
         strategy: StrategyKind,
         /// Composition table for `composed(i)` strategies.
         compositions: Vec<Composition>,
+        /// The splitting plan when the spec selects
+        /// `estimator = "splitting"` (runs beside the trial plan).
+        splitting: Option<SplittingPlan>,
     },
 }
 
 impl ExperimentPlan {
-    /// Runs the plan on the shared Monte-Carlo engine.
+    /// Runs the plan on the shared Monte-Carlo engine. This is the
+    /// Wilson-estimator half of the run; when the spec selects the
+    /// splitting estimator, [`ExperimentPlan::run_splitting`] runs the
+    /// rare-event half beside it.
     ///
     /// # Panics
     ///
@@ -832,6 +927,7 @@ impl ExperimentPlan {
                 plan,
                 strategy,
                 compositions,
+                ..
             } => {
                 let delta = plan.config.delta;
                 match *strategy {
@@ -846,6 +942,39 @@ impl ExperimentPlan {
                 }
             }
         }
+    }
+
+    /// Runs the splitting estimator the spec selected, dispatching the
+    /// strategy exactly as [`ExperimentPlan::run`] does. Returns `None`
+    /// for scenario plans and for specs that kept the default Wilson
+    /// estimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `composed(i)` strategy indexes past the composition
+    /// table — [`ExperimentSpec::plan`] validates this at construction.
+    #[must_use]
+    pub fn run_splitting(&self) -> Option<SplittingRun> {
+        let ExperimentPlan::Stationary {
+            strategy,
+            compositions,
+            splitting: Some(splitting),
+            ..
+        } = self
+        else {
+            return None;
+        };
+        let delta = splitting.config.delta;
+        Some(match *strategy {
+            StrategyKind::Honest => splitting.run(|_| ImmediateReleaseAdversary::new()),
+            StrategyKind::PrivateChain => splitting.run(|_| PrivateChainAdversary::new(delta)),
+            StrategyKind::Balance => splitting.run(|_| BalanceAdversary::new(delta)),
+            StrategyKind::Selfish => splitting.run(|_| SelfishMiningAdversary::new(delta)),
+            StrategyKind::Composed(i) => {
+                let composition = compositions[i].clone();
+                splitting.run(move |_| ComposedAdversary::new(delta, composition.clone()))
+            }
+        })
     }
 
     /// Rounds each trial simulates (the scenario total, or the
@@ -903,6 +1032,37 @@ impl TrialPlan {
     }
 }
 
+impl SplittingPlan {
+    /// Builds the splitting plan a spec describes: the base config and
+    /// stationary horizon, the spec's thresholds, the
+    /// `splitting_levels` schedule, and `splitting_effort` replicas per
+    /// level (defaulting to `trials` when 0 so a bare
+    /// `estimator = "splitting"` line is runnable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for scenario-mode specs (the splitting
+    /// level function needs the stationary engine), missing thresholds,
+    /// or an invalid level schedule.
+    pub fn from_spec(spec: &ExperimentSpec) -> Result<Self, SpecError> {
+        let ExperimentMode::Stationary { rounds, .. } = spec.mode else {
+            return Err(SpecError::whole(
+                "the splitting estimator needs a [stationary] table; scenario specs only support `estimator = \"wilson\"`",
+            ));
+        };
+        let effort = if spec.run.splitting.effort == 0 {
+            spec.run.trials
+        } else {
+            spec.run.splitting.effort
+        };
+        let plan = SplittingPlan::new(spec.base, rounds, effort, spec.run.thresholds.clone())
+            .map_err(|e| SpecError::whole(e.to_string()))?
+            .with_levels(spec.run.splitting.levels.clone())
+            .map_err(|e| SpecError::whole(e.to_string()))?;
+        Ok(plan.with_threads(spec.run.threads))
+    }
+}
+
 impl ExperimentSpec {
     /// Parses and validates a spec document.
     ///
@@ -942,6 +1102,46 @@ impl ExperimentSpec {
                         )),
                     })
                     .collect::<Result<_, _>>()?;
+            }
+            if let Some((line, token)) = table.take_str("estimator")? {
+                run.estimator = parse_estimator(&token).ok_or_else(|| {
+                    SpecError::new(
+                        line,
+                        format!(
+                            "unknown estimator `{token}` (expected \"wilson\" or \"splitting\")"
+                        ),
+                    )
+                })?;
+            }
+            if let Some((line, items)) = table.take_array("splitting_levels")? {
+                let levels = items
+                    .iter()
+                    .map(|item| match item {
+                        SpecValue::Int(i) => u64::try_from(*i).map_err(|_| {
+                            SpecError::new(
+                                line,
+                                "`splitting_levels` entries must be unsigned integers",
+                            )
+                        }),
+                        other => Err(SpecError::new(
+                            line,
+                            format!(
+                                "`splitting_levels` entries must be integers, got a {}",
+                                other.type_name()
+                            ),
+                        )),
+                    })
+                    .collect::<Result<_, _>>()?;
+                run.splitting.levels = Some(levels);
+            }
+            if let Some((line, effort)) = table.take_u64("splitting_effort")? {
+                if effort == 0 {
+                    return Err(SpecError::new(
+                        line,
+                        "`splitting_effort` must be at least 1 (omit the key to reuse `trials`)",
+                    ));
+                }
+                run.splitting.effort = effort;
             }
             table.expect_empty("[experiment]")?;
         }
@@ -1286,6 +1486,15 @@ impl ExperimentSpec {
                 }
             }
         }
+        if self.run.estimator == EstimatorKind::Splitting {
+            // Surfaces scenario-mode conflicts, missing thresholds, and
+            // bad level schedules with the splitting plan's own checks.
+            SplittingPlan::from_spec(self)?;
+        } else if self.run.splitting != SplittingSettings::default() {
+            return Err(SpecError::whole(
+                "splitting_levels / splitting_effort need `estimator = \"splitting\"`",
+            ));
+        }
         Ok(())
     }
 
@@ -1313,14 +1522,20 @@ impl ExperimentSpec {
     pub fn plan(&self) -> Result<ExperimentPlan, SpecError> {
         match &self.mode {
             ExperimentMode::Scenario(_) => {
+                self.validate()?;
                 Ok(ExperimentPlan::Scenario(ScenarioPlan::from_spec(self)?))
             }
             ExperimentMode::Stationary { strategy, .. } => {
                 self.validate()?;
+                let splitting = match self.run.estimator {
+                    EstimatorKind::Wilson => None,
+                    EstimatorKind::Splitting => Some(SplittingPlan::from_spec(self)?),
+                };
                 Ok(ExperimentPlan::Stationary {
                     plan: TrialPlan::from_spec(self)?,
                     strategy: *strategy,
                     compositions: self.compositions.clone(),
+                    splitting,
                 })
             }
         }
@@ -1456,6 +1671,31 @@ impl ExperimentSpec {
             ["experiment", "trials"] => {
                 let trials = patch_u64(value).ok_or_else(|| bad_value("non-negative integer"))?;
                 self.run.trials = trials;
+                Ok(())
+            }
+            ["experiment", "estimator"] => {
+                let SpecValue::Str(token) = value else {
+                    return Err(bad_value("estimator string"));
+                };
+                self.run.estimator = parse_estimator(token).ok_or_else(|| {
+                    SpecError::whole(format!("patch `{path}`: unknown estimator `{token}`"))
+                })?;
+                Ok(())
+            }
+            ["experiment", "splitting_effort"] => {
+                self.run.splitting.effort =
+                    patch_u64(value).ok_or_else(|| bad_value("non-negative integer"))?;
+                Ok(())
+            }
+            ["experiment", "splitting_levels"] => {
+                let SpecValue::Array(items) = value else {
+                    return Err(bad_value("array of integers"));
+                };
+                let levels = items
+                    .iter()
+                    .map(|item| patch_u64(item).ok_or_else(|| bad_value("array of integers")))
+                    .collect::<Result<_, _>>()?;
+                self.run.splitting.levels = Some(levels);
                 Ok(())
             }
             ["stationary", field] => {
@@ -1595,6 +1835,22 @@ impl ExperimentSpec {
         if !self.run.thresholds.is_empty() {
             let list: Vec<String> = self.run.thresholds.iter().map(u64::to_string).collect();
             out.push_str(&format!("thresholds = [{}]\n", list.join(", ")));
+        }
+        if self.run.estimator != EstimatorKind::Wilson {
+            out.push_str(&format!(
+                "estimator = {}\n",
+                emit_str(estimator_token(self.run.estimator))
+            ));
+        }
+        if let Some(levels) = &self.run.splitting.levels {
+            let list: Vec<String> = levels.iter().map(u64::to_string).collect();
+            out.push_str(&format!("splitting_levels = [{}]\n", list.join(", ")));
+        }
+        if self.run.splitting.effort != 0 {
+            out.push_str(&format!(
+                "splitting_effort = {}\n",
+                self.run.splitting.effort
+            ));
         }
         if let Some(fuzz) = &self.fuzz {
             out.push_str("\n[fuzz]\n");
@@ -1798,6 +2054,147 @@ mod tests {
         rounds = 1000
     "#;
 
+    const SPLITTING_SPEC: &str = r#"
+        [experiment]
+        trials = 2
+        thresholds = [4, 8]
+        estimator = "splitting"
+        splitting_levels = [2, 5]
+        splitting_effort = 16
+
+        [base]
+        n_miners = 100
+        delta = 4
+        c = 1.0
+        adversary_fraction = 0.3
+        seed = 9
+
+        [stationary]
+        strategy = "private-chain"
+        rounds = 1000
+    "#;
+
+    #[test]
+    fn parses_splitting_estimator_settings() {
+        let spec = ExperimentSpec::parse(SPLITTING_SPEC).unwrap();
+        assert_eq!(spec.run.estimator, EstimatorKind::Splitting);
+        assert_eq!(spec.run.splitting.levels, Some(vec![2, 5]));
+        assert_eq!(spec.run.splitting.effort, 16);
+        let plan = SplittingPlan::from_spec(&spec).unwrap();
+        assert_eq!(plan.effort, 16);
+        assert_eq!(plan.thresholds, vec![4, 8]);
+        assert_eq!(plan.stage_levels(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn splitting_effort_defaults_to_trials() {
+        let source = SPLITTING_SPEC.replace("splitting_effort = 16\n", "");
+        let spec = ExperimentSpec::parse(&source).unwrap();
+        assert_eq!(spec.run.splitting.effort, 0);
+        let plan = SplittingPlan::from_spec(&spec).unwrap();
+        assert_eq!(plan.effort, spec.run.trials);
+    }
+
+    #[test]
+    fn splitting_spec_plans_both_estimators() {
+        let spec = ExperimentSpec::parse(SPLITTING_SPEC).unwrap();
+        let plan = spec.plan().unwrap();
+        let run = plan.run_splitting().expect("splitting estimator selected");
+        let ladder: Vec<u64> = run.levels.iter().map(|s| s.level).collect();
+        assert_eq!(ladder, vec![2, 5, 9]);
+        assert!(run.estimate_at(4).is_some());
+        assert!(run.estimate_at(8).is_some());
+        // The Wilson half still runs beside it.
+        let wilson = plan.run();
+        assert_eq!(wilson.aggregate.trials, 2);
+    }
+
+    #[test]
+    fn wilson_specs_have_no_splitting_plan() {
+        let spec = ExperimentSpec::parse(STATIONARY_SPEC).unwrap();
+        assert_eq!(spec.run.estimator, EstimatorKind::Wilson);
+        assert!(spec.plan().unwrap().run_splitting().is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_estimator() {
+        let source = SPLITTING_SPEC.replace("\"splitting\"", "\"bootstrap\"");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.to_string().contains("unknown estimator"), "{err}");
+    }
+
+    #[test]
+    fn rejects_splitting_for_scenario_specs() {
+        let source = SCENARIO_SPEC.replace(
+            "thresholds = [6, 12]",
+            "thresholds = [6, 12]\n        estimator = \"splitting\"",
+        );
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(
+            err.to_string().contains("scenario specs only support"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_orphan_splitting_keys() {
+        let source = SPLITTING_SPEC.replace("estimator = \"splitting\"\n", "");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(
+            err.to_string().contains("need `estimator = \"splitting\"`"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_zero_splitting_effort() {
+        let source = SPLITTING_SPEC.replace("splitting_effort = 16", "splitting_effort = 0");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_splitting_levels_past_largest_threshold() {
+        let source = SPLITTING_SPEC.replace("splitting_levels = [2, 5]", "splitting_levels = [9]");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.to_string().contains("past the largest"), "{err}");
+    }
+
+    #[test]
+    fn patches_reach_splitting_settings() {
+        let mut spec = ExperimentSpec::parse(STATIONARY_SPEC).unwrap();
+        spec.apply_patch("experiment.estimator", &SpecValue::Str("splitting".into()))
+            .unwrap();
+        spec.apply_patch("experiment.splitting_effort", &SpecValue::Int(32))
+            .unwrap();
+        spec.apply_patch(
+            "experiment.splitting_levels",
+            &SpecValue::Array(vec![SpecValue::Int(3), SpecValue::Int(7)]),
+        )
+        .unwrap();
+        assert_eq!(spec.run.estimator, EstimatorKind::Splitting);
+        assert_eq!(spec.run.splitting.effort, 32);
+        assert_eq!(spec.run.splitting.levels, Some(vec![3, 7]));
+        spec.validate().unwrap();
+
+        let err = spec
+            .apply_patch("experiment.estimator", &SpecValue::Str("guess".into()))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown estimator"), "{err}");
+    }
+
+    #[test]
+    fn splitting_spec_round_trips_through_toml() {
+        let spec = ExperimentSpec::parse(SPLITTING_SPEC).unwrap();
+        let reparsed = ExperimentSpec::parse(&spec.to_toml()).unwrap();
+        assert_eq!(spec, reparsed);
+        // The degenerate empty schedule must survive the round trip too.
+        let mut degenerate = spec.clone();
+        degenerate.run.splitting.levels = Some(Vec::new());
+        let reparsed = ExperimentSpec::parse(&degenerate.to_toml()).unwrap();
+        assert_eq!(degenerate, reparsed);
+    }
+
     #[test]
     fn parses_a_scenario_spec() {
         let spec = ExperimentSpec::parse(SCENARIO_SPEC).unwrap();
@@ -1981,11 +2378,33 @@ mod tests {
         } else {
             None
         };
+        let thresholds: Vec<u64> = (0..rng.next_below(3)).map(|i| 6 * (i + 1)).collect();
+        let stationary = matches!(mode, ExperimentMode::Stationary { .. });
+        let (estimator, splitting) =
+            if stationary && !thresholds.is_empty() && rng.next_below(3) == 0 {
+                let max_t = *thresholds.iter().max().unwrap();
+                let levels = match rng.next_below(3) {
+                    0 => None,
+                    1 => Some(Vec::new()),
+                    _ => Some((1..=1 + rng.next_below(max_t)).collect()),
+                };
+                (
+                    EstimatorKind::Splitting,
+                    SplittingSettings {
+                        levels,
+                        effort: rng.next_below(2) * (4 + rng.next_below(60)),
+                    },
+                )
+            } else {
+                (EstimatorKind::Wilson, SplittingSettings::default())
+            };
         let spec = ExperimentSpec {
             run: RunSettings {
                 trials: 1 + rng.next_below(8),
                 threads: rng.next_below(3) as usize,
-                thresholds: (0..rng.next_below(3)).map(|i| 6 * (i + 1)).collect(),
+                thresholds,
+                estimator,
+                splitting,
             },
             base,
             compositions,

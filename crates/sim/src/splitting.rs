@@ -1,0 +1,594 @@
+//! Multilevel-splitting rare-event estimator for consistency failures.
+//!
+//! The paper's theorems bound failure probabilities around 10⁻⁹ —
+//! far below anything a direct Monte-Carlo fan-out can resolve: at
+//! `n` trials the Wilson interval for zero observed failures is
+//! `[0, ≈3/n]`, so every feasible budget reports "0 [0, 0.3]" against
+//! a bound of 10⁻⁹. This module estimates those probabilities with
+//! fixed-effort importance splitting instead.
+//!
+//! # Level function
+//!
+//! The level function is the run's **consistency depth**
+//! ([`crate::execution::Simulation::consistency_depth`]): the deeper of
+//! the deepest reorg and the deepest cross-group divergence. It is
+//! monotone non-decreasing over a run, and a `T`-consistency violation
+//! is exactly the event `depth ≥ T + 1` — so the rare event factors
+//! through the nested levels `depth ≥ 1, depth ≥ 2, …, depth ≥ T + 1`.
+//!
+//! # Fixed-effort splitting
+//!
+//! Stage 1 launches `effort` independent replicas from round 0 (on the
+//! *same* `jump()`-derived streams a plain [`crate::montecarlo::run_trials`]
+//! fan-out would use) and runs each until it crosses the first level or
+//! its round horizon expires. Stage `k` then resamples `effort` replicas
+//! with replacement from stage `k−1`'s crossing states (cloning the full
+//! engine state at the crossing round), hands each clone a fresh
+//! disjoint stream via [`crate::execution::Simulation::reseed_mining`]
+//! (sound because geometric mining gaps are memoryless), and races them
+//! toward the next level. The failure probability estimate is the
+//! product of per-stage crossing fractions, with the relative-error
+//! accounting of [`probability::rare_event::product_estimate`].
+//!
+//! # Determinism contract
+//!
+//! Identical to the trial engine's: parent selections and replica
+//! streams are derived from `config.seed` alone before any worker
+//! starts, and stage results are reduced in replica order, so a
+//! [`SplittingRun`]'s statistics are bit-identical for any thread
+//! count. With no intermediate levels (a single-stage "degenerate"
+//! schedule) the estimator *is* the plain Monte-Carlo failure fraction,
+//! bit for bit.
+
+use crate::adversary::Adversary;
+use crate::config::{ConfigError, SimConfig};
+use crate::execution::Simulation;
+use crate::montecarlo::{effective_threads, trial_streams};
+use probability::rare_event::{product_estimate, LevelOutcome};
+use probability::rng::{RandomSource, SplitMix64};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Domain-separation tag mixed into `config.seed` for the stage-seed
+/// stream, keeping stage-≥2 replica streams distinct from the stage-1
+/// streams (which deliberately coincide with `run_trials`' streams).
+const STAGE_SEED_TAG: u64 = 0x5350_4C49_5454_494E;
+
+/// A fixed-effort splitting experiment: `effort` replicas per level,
+/// racing toward `depth ≥ max(thresholds) + 1` within `rounds` rounds.
+///
+/// `config.seed` is the master seed; as with
+/// [`crate::montecarlo::TrialPlan`], the thread count affects wall-clock
+/// time only, never results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplittingPlan {
+    /// Shared simulation parameters; `config.seed` is the master seed.
+    pub config: SimConfig,
+    /// Round horizon per replica (absolute: a replica cloned at round
+    /// `r` races from `r` to `rounds`).
+    pub rounds: u64,
+    /// Consistency thresholds `T` to estimate `P[depth ≥ T+1]` for.
+    pub thresholds: Vec<u64>,
+    /// Intermediate depth levels strictly below `max(thresholds) + 1`:
+    /// `None` selects the automatic unit ladder `1, 2, …, max(T)`;
+    /// `Some(vec![])` is the degenerate single-stage schedule (plain
+    /// Monte-Carlo); explicit levels are merged with every `T + 1`.
+    pub levels: Option<Vec<u64>>,
+    /// Replicas launched per stage (≥ 1).
+    pub effort: u64,
+    /// Worker threads; `0` means one per available CPU.
+    pub threads: usize,
+}
+
+impl SplittingPlan {
+    /// Creates a validated plan with the automatic unit level ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid config, `rounds == 0`,
+    /// `effort == 0`, or empty `thresholds`.
+    pub fn new(
+        config: SimConfig,
+        rounds: u64,
+        effort: u64,
+        thresholds: Vec<u64>,
+    ) -> Result<Self, ConfigError> {
+        let plan = SplittingPlan {
+            config,
+            rounds,
+            thresholds,
+            levels: None,
+            effort,
+            threads: 0,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// Sets the intermediate level schedule (builder style); see
+    /// [`SplittingPlan::levels`] for the `None` / `Some(vec![])`
+    /// semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the levels are not strictly
+    /// increasing, contain 0, or reach past `max(thresholds)`.
+    pub fn with_levels(mut self, levels: Option<Vec<u64>>) -> Result<Self, ConfigError> {
+        self.levels = levels;
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Sets the worker thread count (builder style); `0` selects one
+    /// worker per available CPU.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Re-checks every plan invariant (useful after mutating the public
+    /// fields directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.config.validate()?;
+        if self.rounds == 0 {
+            return Err(ConfigError::new(
+                "a splitting plan needs at least one round (rounds = 0)",
+            ));
+        }
+        if self.effort == 0 {
+            return Err(ConfigError::new(
+                "a splitting plan needs at least one replica per level (effort = 0)",
+            ));
+        }
+        if self.thresholds.is_empty() {
+            return Err(ConfigError::new(
+                "a splitting plan needs at least one consistency threshold",
+            ));
+        }
+        if let Some(levels) = &self.levels {
+            let max_t = *self.thresholds.iter().max().expect("non-empty thresholds");
+            for (i, &level) in levels.iter().enumerate() {
+                if level == 0 {
+                    return Err(ConfigError::new("splitting levels must be ≥ 1"));
+                }
+                if level > max_t {
+                    return Err(ConfigError::new(format!(
+                        "splitting level {level} reaches past the largest threshold {max_t}"
+                    )));
+                }
+                if i > 0 && levels[i - 1] >= level {
+                    return Err(ConfigError::new(
+                        "splitting levels must be strictly increasing",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The full stage ladder in crossing order: the intermediate levels
+    /// (automatic unit ladder when unset) merged with `T + 1` for every
+    /// threshold, sorted and deduplicated.
+    #[must_use]
+    pub fn stage_levels(&self) -> Vec<u64> {
+        let max_t = *self.thresholds.iter().max().expect("non-empty thresholds");
+        let mut ladder: Vec<u64> = match &self.levels {
+            None => (1..=max_t + 1).collect(),
+            Some(levels) => {
+                let mut ladder = levels.clone();
+                ladder.extend(self.thresholds.iter().map(|&t| t + 1));
+                ladder.sort_unstable();
+                ladder.dedup();
+                ladder
+            }
+        };
+        ladder.retain(|&l| l <= max_t + 1);
+        ladder
+    }
+
+    /// Runs the plan; see [`run_splitting`].
+    pub fn run<A, F>(&self, make_adversary: F) -> SplittingRun
+    where
+        A: Adversary + Clone + Send + Sync,
+        F: Fn(u64) -> A + Sync,
+    {
+        run_splitting(self, make_adversary)
+    }
+}
+
+/// One stage of a splitting run: how many of the `effort` replicas
+/// crossed `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// The consistency depth this stage raced toward.
+    pub level: u64,
+    /// Replicas that reached it before the round horizon.
+    pub hits: u64,
+    /// Replicas launched (the fixed effort).
+    pub effort: u64,
+}
+
+/// The splitting estimate for one consistency threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplittingEstimate {
+    /// The consistency threshold `T`.
+    pub threshold: u64,
+    /// Estimated `P[T-consistency violated within the horizon]` — the
+    /// product of stage crossing fractions through level `T + 1`.
+    pub probability: f64,
+    /// Relative error (one standard error / estimate); `None` when the
+    /// chain starved before level `T + 1`.
+    pub relative_error: Option<f64>,
+    /// The level at which the chain starved (zero hits), if it did at
+    /// or below `T + 1`.
+    pub starved_at: Option<u64>,
+}
+
+impl SplittingEstimate {
+    /// One-standard-error half-width `probability · relative_error`;
+    /// `None` for a starved chain.
+    #[must_use]
+    pub fn standard_error(&self) -> Option<f64> {
+        self.relative_error.map(|re| self.probability * re)
+    }
+}
+
+/// Result of [`run_splitting`]: per-threshold estimates, the full stage
+/// ladder, and wall-clock metrics (which, as for the trial engine,
+/// *do* depend on thread count while the statistics never do).
+#[derive(Debug, Clone)]
+pub struct SplittingRun {
+    /// One estimate per plan threshold, in plan order.
+    pub estimates: Vec<SplittingEstimate>,
+    /// Per-stage crossing statistics, in ladder order; truncated at the
+    /// first starved stage (later stages have no entrance states).
+    pub levels: Vec<LevelStats>,
+    /// Worker threads actually used.
+    pub threads: usize,
+    /// Wall-clock seconds for all stages.
+    pub elapsed_secs: f64,
+    /// Rounds simulated across every replica of every stage.
+    pub total_rounds: u64,
+    /// Aggregate simulated-round throughput.
+    pub rounds_per_sec: f64,
+}
+
+impl SplittingRun {
+    /// The estimate for threshold `t`, if `t` was a plan threshold.
+    #[must_use]
+    pub fn estimate_at(&self, t: u64) -> Option<&SplittingEstimate> {
+        self.estimates.iter().find(|e| e.threshold == t)
+    }
+}
+
+/// One stage's fan-out: runs `run_one(replica)` for every replica index
+/// over `std::thread::scope` workers pulling from an atomic counter and
+/// reduces the results **in replica order** (the mirror of
+/// `fan_out_reports`, carrying engine states instead of reports).
+/// Returns the survivors (index order, `None` for replicas that missed
+/// the level), the rounds simulated, and the worker count used.
+fn fan_out_stage<A, F>(
+    effort: u64,
+    requested_threads: usize,
+    run_one: &F,
+) -> (Vec<Option<Simulation<A>>>, u64, usize)
+where
+    A: Adversary + Clone + Send + Sync,
+    F: Fn(u64) -> (Option<Simulation<A>>, u64) + Sync,
+{
+    let threads = effective_threads(requested_threads, effort);
+    let next_replica = AtomicU64::new(0);
+    type Slot<A> = (u64, Option<Simulation<A>>, u64);
+    let collected: Mutex<Vec<Slot<A>>> = Mutex::new(Vec::with_capacity(effort as usize));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<Slot<A>> = Vec::new();
+                loop {
+                    let replica = next_replica.fetch_add(1, Ordering::Relaxed);
+                    if replica >= effort {
+                        break;
+                    }
+                    let (survivor, rounds) = run_one(replica);
+                    local.push((replica, survivor, rounds));
+                }
+                if !local.is_empty() {
+                    collected.lock().expect("no poisoned workers").extend(local);
+                }
+            });
+        }
+    });
+    let mut collected = collected.into_inner().expect("no poisoned workers");
+    debug_assert_eq!(collected.len() as u64, effort);
+    // Ordered reduction: replica order, not completion order.
+    collected.sort_unstable_by_key(|&(replica, _, _)| replica);
+    let mut rounds_total = 0u64;
+    let survivors = collected
+        .into_iter()
+        .map(|(_, survivor, rounds)| {
+            rounds_total += rounds;
+            survivor
+        })
+        .collect();
+    (survivors, rounds_total, threads)
+}
+
+/// Runs a fixed-effort splitting experiment.
+///
+/// `make_adversary` builds the strategy for first-stage replica `i`
+/// exactly as [`crate::montecarlo::run_trials`] does for trial `i`;
+/// later stages clone the adversary (mid-attack state included) along
+/// with the rest of the engine.
+///
+/// The returned statistics are bit-identical for a fixed
+/// `plan.config.seed` regardless of `plan.threads`.
+///
+/// # Panics
+///
+/// Panics if the plan's public fields were mutated into an invalid
+/// state after construction (see [`SplittingPlan::validate`]).
+pub fn run_splitting<A, F>(plan: &SplittingPlan, make_adversary: F) -> SplittingRun
+where
+    A: Adversary + Clone + Send + Sync,
+    F: Fn(u64) -> A + Sync,
+{
+    plan.validate()
+        .expect("invalid splitting plan: construct through SplittingPlan::new");
+    let ladder = plan.stage_levels();
+    let effort = plan.effort;
+    let started = Instant::now();
+    let mut stage_seeder = SplitMix64::new(plan.config.seed ^ STAGE_SEED_TAG);
+    let mut level_stats: Vec<LevelStats> = Vec::with_capacity(ladder.len());
+    let mut total_rounds = 0u64;
+    let mut threads_used = 1usize;
+    let mut entrants: Vec<Simulation<A>> = Vec::new();
+
+    for (stage, &level) in ladder.iter().enumerate() {
+        let (survivors, stage_rounds, threads) = if stage == 0 {
+            // Stage 1 replicas are plain trials: same streams, same
+            // adversary factory, same engine entry as `run_trials` — a
+            // degenerate (single-stage) schedule reproduces the plain
+            // Monte-Carlo failure count bit for bit.
+            let streams = trial_streams(plan.config.seed, effort);
+            let run_one = |replica: u64| {
+                let rng = streams[replica as usize].clone();
+                let mut sim = Simulation::with_rng(plan.config, make_adversary(replica), rng);
+                let hit = sim.run_until_depth(plan.rounds, level);
+                let consumed = sim.round();
+                (hit.then_some(sim), consumed)
+            };
+            fan_out_stage(effort, plan.threads, &run_one)
+        } else {
+            // Later stages: resample entrance states with replacement
+            // and restart each clone on its own disjoint stream. Both
+            // the parent selections and the streams are fixed before
+            // the fan-out, so scheduling cannot perturb them.
+            let stage_seed = stage_seeder.next_u64();
+            let selection_seed = stage_seeder.next_u64();
+            let mut selection = SplitMix64::new(selection_seed);
+            let parents: Vec<usize> = (0..effort)
+                .map(|_| selection.next_below(entrants.len() as u64) as usize)
+                .collect();
+            let streams = trial_streams(stage_seed, effort);
+            let run_one = |replica: u64| {
+                let mut sim = entrants[parents[replica as usize]].clone();
+                let entered_at = sim.round();
+                sim.reseed_mining(streams[replica as usize].clone());
+                let hit = sim.run_until_depth(plan.rounds, level);
+                let consumed = sim.round() - entered_at;
+                (hit.then_some(sim), consumed)
+            };
+            fan_out_stage(effort, plan.threads, &run_one)
+        };
+        threads_used = threads_used.max(threads);
+        total_rounds += stage_rounds;
+        entrants = survivors.into_iter().flatten().collect();
+        let hits = entrants.len() as u64;
+        level_stats.push(LevelStats {
+            level,
+            hits,
+            effort,
+        });
+        if hits == 0 {
+            // Level starvation: no entrance states remain, so every
+            // deeper level (and every threshold above it) estimates 0.
+            break;
+        }
+    }
+
+    let estimates = plan
+        .thresholds
+        .iter()
+        .map(|&t| {
+            let stages: Vec<&LevelStats> =
+                level_stats.iter().filter(|s| s.level <= t + 1).collect();
+            let outcomes: Vec<LevelOutcome> = stages
+                .iter()
+                .map(|s| LevelOutcome {
+                    hits: s.hits,
+                    trials: s.effort,
+                })
+                .collect();
+            let product = product_estimate(&outcomes);
+            SplittingEstimate {
+                threshold: t,
+                probability: product.probability,
+                relative_error: product.relative_error,
+                starved_at: product.starved_at.map(|i| stages[i].level),
+            }
+        })
+        .collect();
+
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    SplittingRun {
+        estimates,
+        levels: level_stats,
+        threads: threads_used,
+        elapsed_secs,
+        total_rounds,
+        rounds_per_sec: total_rounds as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{ImmediateReleaseAdversary, PrivateChainAdversary};
+    use crate::montecarlo::TrialPlan;
+
+    fn cfg(seed: u64) -> SimConfig {
+        SimConfig::from_c(60, 3, 1.0, 0.35, seed).unwrap()
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_inputs() {
+        assert!(SplittingPlan::new(cfg(1), 0, 8, vec![2]).is_err());
+        assert!(SplittingPlan::new(cfg(1), 100, 0, vec![2]).is_err());
+        assert!(SplittingPlan::new(cfg(1), 100, 8, vec![]).is_err());
+        let plan = SplittingPlan::new(cfg(1), 100, 8, vec![4]).unwrap();
+        assert!(plan.clone().with_levels(Some(vec![0])).is_err(), "level 0");
+        assert!(
+            plan.clone().with_levels(Some(vec![2, 2])).is_err(),
+            "not strictly increasing"
+        );
+        assert!(
+            plan.clone().with_levels(Some(vec![5])).is_err(),
+            "past the largest threshold"
+        );
+        assert!(plan.with_levels(Some(vec![1, 3])).is_ok());
+    }
+
+    #[test]
+    fn stage_ladder_merges_levels_and_thresholds() {
+        let plan = SplittingPlan::new(cfg(1), 100, 8, vec![2, 6]).unwrap();
+        assert_eq!(plan.stage_levels(), vec![1, 2, 3, 4, 5, 6, 7]);
+        let plan = plan.with_levels(Some(vec![2, 4])).unwrap();
+        // Explicit levels ∪ {T+1} = {2, 4} ∪ {3, 7}.
+        assert_eq!(plan.stage_levels(), vec![2, 3, 4, 7]);
+        let degenerate = SplittingPlan::new(cfg(1), 100, 8, vec![4])
+            .unwrap()
+            .with_levels(Some(vec![]))
+            .unwrap();
+        assert_eq!(degenerate.stage_levels(), vec![5]);
+    }
+
+    /// Satellite edge case: a single-stage (degenerate) schedule must
+    /// reduce to the plain Monte-Carlo estimator, bit for bit — same
+    /// streams, same failure count, same point estimate.
+    #[test]
+    fn degenerate_schedule_reduces_to_plain_monte_carlo() {
+        let trials = 24;
+        let threshold = 2u64;
+        let rounds = 4_000;
+        for seed in [11u64, 23, 77] {
+            let mc = TrialPlan::new(cfg(seed), rounds, trials)
+                .unwrap()
+                .thresholds(vec![threshold])
+                .run(|_| PrivateChainAdversary::new(3));
+            let split = SplittingPlan::new(cfg(seed), rounds, trials, vec![threshold])
+                .unwrap()
+                .with_levels(Some(vec![]))
+                .unwrap()
+                .run(|_| PrivateChainAdversary::new(3));
+            let failures = mc.aggregate.failures_at(threshold).unwrap();
+            assert_eq!(split.levels.len(), 1, "one stage");
+            assert_eq!(split.levels[0].hits, failures, "seed {seed}");
+            let estimate = split.estimate_at(threshold).unwrap();
+            assert_eq!(
+                estimate.probability,
+                failures as f64 / trials as f64,
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// Satellite edge case: thread-count bit-identity at 1/2/4/8
+    /// workers (the CI determinism job picks this test up by name).
+    #[test]
+    fn splitting_independent_of_thread_count() {
+        let plan = SplittingPlan::new(cfg(42), 3_000, 16, vec![3]).unwrap();
+        let reference = plan
+            .clone()
+            .with_threads(1)
+            .run(|_| PrivateChainAdversary::new(3));
+        for threads in [2usize, 4, 8] {
+            let other = plan
+                .clone()
+                .with_threads(threads)
+                .run(|_| PrivateChainAdversary::new(3));
+            assert_eq!(
+                reference.estimates, other.estimates,
+                "estimates differ at {threads} threads"
+            );
+            assert_eq!(
+                reference.levels, other.levels,
+                "level stats differ at {threads} threads"
+            );
+            assert_eq!(reference.total_rounds, other.total_rounds);
+        }
+    }
+
+    /// Satellite edge case: zero successes at an intermediate level.
+    /// With no adversary and one group, the consistency depth can reach
+    /// shallow levels (same-round sibling ties) but never deep ones, so
+    /// the chain starves and deeper thresholds report a clean zero.
+    #[test]
+    fn intermediate_level_starvation_reports_zero() {
+        let config = SimConfig::new(50, 0.0, 2e-3, 2, 9).unwrap();
+        let run = SplittingPlan::new(config, 3_000, 12, vec![12])
+            .unwrap()
+            .run(|_| ImmediateReleaseAdversary::new());
+        let starved = run.levels.last().unwrap();
+        assert_eq!(starved.hits, 0, "deep levels must starve");
+        assert!(
+            (run.levels.len() as u64) < 13,
+            "ladder must truncate at the starved stage"
+        );
+        let estimate = run.estimate_at(12).unwrap();
+        assert_eq!(estimate.probability, 0.0);
+        assert_eq!(estimate.relative_error, None);
+        assert_eq!(estimate.standard_error(), None);
+        assert_eq!(estimate.starved_at, Some(starved.level));
+    }
+
+    #[test]
+    fn multi_threshold_estimates_are_nested_products() {
+        let run = SplittingPlan::new(cfg(7), 4_000, 20, vec![1, 3])
+            .unwrap()
+            .run(|_| PrivateChainAdversary::new(3));
+        // Recompute each estimate from the level stats by hand.
+        for estimate in &run.estimates {
+            let expected: f64 = run
+                .levels
+                .iter()
+                .filter(|s| s.level <= estimate.threshold + 1)
+                .map(|s| s.hits as f64 / s.effort as f64)
+                .product();
+            if estimate.starved_at.is_none() {
+                assert!((estimate.probability - expected).abs() < 1e-15);
+            }
+        }
+        // Deeper thresholds can never be more likely.
+        let p1 = run.estimate_at(1).unwrap().probability;
+        let p3 = run.estimate_at(3).unwrap().probability;
+        assert!(p3 <= p1, "P[depth ≥ 4] = {p3} > P[depth ≥ 2] = {p1}");
+        assert!((0.0..=1.0).contains(&p1));
+    }
+
+    #[test]
+    fn throughput_fields_populated() {
+        let run = SplittingPlan::new(cfg(3), 500, 4, vec![1])
+            .unwrap()
+            .run(|_| PrivateChainAdversary::new(3));
+        assert!(run.elapsed_secs > 0.0);
+        assert!(run.total_rounds > 0);
+        assert!(run.rounds_per_sec > 0.0);
+        assert!(run.threads >= 1);
+    }
+}
