@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
     let rounds = args.pos_u64(0)?.unwrap_or(30_000);
     let trials = args.pos_u64(1)?;
-    experiment::apply_budget(&mut spec, Some(rounds), trials, args.threads, None);
+    experiment::apply_budget(&mut spec, Some(rounds), trials, args.threads, None, None);
 
     let trials = spec.run.trials;
     let t_consistency = *spec.run.thresholds.first().expect("spec carries T");

@@ -7,9 +7,17 @@
 //!
 //! * `bench_sim` — measure and print the table.
 //! * `bench_sim --write PATH` — measure and (re)write the JSON baseline.
-//! * `bench_sim --check PATH` — run the short check workload and exit
-//!   non-zero if throughput regressed more than 25% versus the
-//!   committed baseline's `check_rounds_per_sec`.
+//! * `bench_sim --check PATH` — run the short check workloads (scalar
+//!   and lockstep-batch) and exit non-zero if either throughput
+//!   regressed more than 25% versus the committed baseline's
+//!   `check_rounds_per_sec` / `check_batch_rounds_per_sec`.
+//!
+//! The `bench_sim/v2` schema adds lockstep-batch rows (width
+//! [`BATCH_WIDTH`]) for the two single-thread workloads. The batch
+//! engine runs each lane through the *same* per-lane code path as the
+//! scalar loop (that is what buys bit-identical aggregates), so its
+//! rounds/sec is expected to track the scalar number — the row exists
+//! to catch wave-overhead regressions, not to advertise a speedup.
 //!
 //! Budgets and expected runtime: see EXPERIMENTS.md.
 
@@ -29,8 +37,12 @@ const SEED_IMMEDIATE_N1000_RPS: f64 = 17_542_993.0;
 const SEED_SWEEP_WALL_SECS: f64 = 0.942;
 
 /// Fraction of the committed check throughput below which `--check`
-/// fails (i.e. a >25% regression).
+/// fails (i.e. a >25% regression). Scalar and batch rows share the
+/// same floor.
 const CHECK_FLOOR: f64 = 0.75;
+
+/// Lane count for the lockstep-batch rows.
+const BATCH_WIDTH: u64 = 8;
 
 fn best_of<F: FnMut() -> f64>(reps: u32, mut f: F) -> f64 {
     (0..reps).map(|_| f()).fold(f64::INFINITY, f64::min)
@@ -54,6 +66,39 @@ fn immediate_n1000(rounds: u64) -> f64 {
     let report = run_simulation_with(cfg, ImmediateReleaseAdversary::new(), rounds);
     let dt = t.elapsed().as_secs_f64();
     assert_eq!(report.rounds, rounds);
+    dt
+}
+
+/// Lockstep-batch private-chain run at c = 3: [`BATCH_WIDTH`] lanes ×
+/// `rounds_per_lane`, single thread, through the Monte-Carlo batched
+/// fan-out. Returns wall seconds for the whole batch.
+fn private_chain_c3_batch(rounds_per_lane: u64) -> f64 {
+    let cfg = SimConfig::from_c(100, 4, 3.0, 0.25, 42).unwrap();
+    let plan = TrialPlan::new(cfg, rounds_per_lane, BATCH_WIDTH)
+        .unwrap()
+        .thresholds(vec![12])
+        .with_threads(1)
+        .with_batch_width(BATCH_WIDTH as usize);
+    let t = Instant::now();
+    let run = plan.run(|_| PrivateChainAdversary::new(4));
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(run.aggregate.total_rounds(), rounds_per_lane * BATCH_WIDTH);
+    dt
+}
+
+/// Lockstep-batch immediate-release run with n = 1000 miners:
+/// [`BATCH_WIDTH`] lanes × `rounds_per_lane`, single thread.
+fn immediate_n1000_batch(rounds_per_lane: u64) -> f64 {
+    let cfg = SimConfig::new(1_000, 0.25, 1.0 / (3.0 * 1_000.0 * 4.0), 4, 1).unwrap();
+    let plan = TrialPlan::new(cfg, rounds_per_lane, BATCH_WIDTH)
+        .unwrap()
+        .thresholds(vec![12])
+        .with_threads(1)
+        .with_batch_width(BATCH_WIDTH as usize);
+    let t = Instant::now();
+    let run = plan.run(|_| ImmediateReleaseAdversary::new());
+    let dt = t.elapsed().as_secs_f64();
+    assert_eq!(run.aggregate.total_rounds(), rounds_per_lane * BATCH_WIDTH);
     dt
 }
 
@@ -87,12 +132,23 @@ fn check_throughput() -> f64 {
     ROUNDS as f64 / best_of(3, || private_chain_c3(ROUNDS))
 }
 
+/// The batch-mode CI check workload: the same 1M private-chain rounds
+/// split over [`BATCH_WIDTH`] lockstep lanes, best of 3. Returns
+/// rounds/sec.
+fn check_batch_throughput() -> f64 {
+    const ROUNDS: u64 = 1_000_000;
+    ROUNDS as f64 / best_of(3, || private_chain_c3_batch(ROUNDS / BATCH_WIDTH))
+}
+
 struct Baseline {
     private_rps: f64,
+    private_batch_rps: f64,
     immediate_rps: f64,
+    immediate_batch_rps: f64,
     sweep_walls: Vec<(usize, f64)>,
     sweep_rounds: u64,
     check_rps: f64,
+    check_batch_rps: f64,
     cpus: usize,
 }
 
@@ -100,7 +156,11 @@ fn measure() -> Baseline {
     const ROUNDS: u64 = 2_000_000;
     let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let private_rps = ROUNDS as f64 / best_of(3, || private_chain_c3(ROUNDS));
+    let private_batch_rps =
+        ROUNDS as f64 / best_of(3, || private_chain_c3_batch(ROUNDS / BATCH_WIDTH));
     let immediate_rps = ROUNDS as f64 / best_of(3, || immediate_n1000(ROUNDS));
+    let immediate_batch_rps =
+        ROUNDS as f64 / best_of(3, || immediate_n1000_batch(ROUNDS / BATCH_WIDTH));
     let mut sweep_rounds = 0;
     let sweep_walls = [1usize, 2, 8]
         .into_iter()
@@ -114,12 +174,16 @@ fn measure() -> Baseline {
         })
         .collect();
     let check_rps = check_throughput();
+    let check_batch_rps = check_batch_throughput();
     Baseline {
         private_rps,
+        private_batch_rps,
         immediate_rps,
+        immediate_batch_rps,
         sweep_walls,
         sweep_rounds,
         check_rps,
+        check_batch_rps,
         cpus,
     }
 }
@@ -139,10 +203,24 @@ fn print_table(b: &Baseline) {
     );
     println!(
         "{:<28} {:>16.0} {:>16.0} {:>8.1}x",
+        format!("private_chain_c3 (batch {BATCH_WIDTH})"),
+        b.private_batch_rps,
+        SEED_PRIVATE_C3_RPS,
+        b.private_batch_rps / SEED_PRIVATE_C3_RPS
+    );
+    println!(
+        "{:<28} {:>16.0} {:>16.0} {:>8.1}x",
         "immediate_n1000 (1 thread)",
         b.immediate_rps,
         SEED_IMMEDIATE_N1000_RPS,
         b.immediate_rps / SEED_IMMEDIATE_N1000_RPS
+    );
+    println!(
+        "{:<28} {:>16.0} {:>16.0} {:>8.1}x",
+        format!("immediate_n1000 (batch {BATCH_WIDTH})"),
+        b.immediate_batch_rps,
+        SEED_IMMEDIATE_N1000_RPS,
+        b.immediate_batch_rps / SEED_IMMEDIATE_N1000_RPS
     );
     for &(threads, wall) in &b.sweep_walls {
         println!(
@@ -156,6 +234,10 @@ fn print_table(b: &Baseline) {
     println!(
         "{:<28} {:>16.0} {:>16} {:>9}",
         "check workload (CI smoke)", b.check_rps, "-", "-"
+    );
+    println!(
+        "{:<28} {:>16.0} {:>16} {:>9}",
+        "check batch workload", b.check_batch_rps, "-", "-"
     );
 }
 
@@ -173,27 +255,38 @@ fn to_json(b: &Baseline) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"bench_sim/v1\",\n  \"regenerate\": \"cargo run --release -p \
+        "{{\n  \"schema\": \"bench_sim/v2\",\n  \"regenerate\": \"cargo run --release -p \
          consistency_bench --bin bench_sim -- --write BENCH_sim.json\",\n  \"host_cpus\": {},\n  \
+         \"batch_width\": {BATCH_WIDTH},\n  \
          \"seed_baseline\": {{\n    \"description\": \"pre-overhaul engine: boxed dispatch, \
          per-round sampling, unbounded arena (commit 3627bf5, same container)\",\n    \
          \"private_chain_c3_rounds_per_sec\": {:.0},\n    \
          \"immediate_n1000_rounds_per_sec\": {:.0},\n    \"attack_sweep_wall_secs\": {:.3}\n  \
          }},\n  \"private_chain_c3_rounds_per_sec\": {:.0},\n  \
          \"private_chain_c3_speedup_vs_seed\": {:.2},\n  \
+         \"private_chain_c3_batch_rounds_per_sec\": {:.0},\n  \
+         \"private_chain_c3_batch_vs_scalar\": {:.2},\n  \
          \"immediate_n1000_rounds_per_sec\": {:.0},\n  \
-         \"immediate_n1000_speedup_vs_seed\": {:.2},\n  \"attack_sweep\": [\n{}\n  ],\n  \
-         \"check_rounds_per_sec\": {:.0},\n  \"check_regression_floor\": {:.2}\n}}\n",
+         \"immediate_n1000_speedup_vs_seed\": {:.2},\n  \
+         \"immediate_n1000_batch_rounds_per_sec\": {:.0},\n  \
+         \"immediate_n1000_batch_vs_scalar\": {:.2},\n  \"attack_sweep\": [\n{}\n  ],\n  \
+         \"check_rounds_per_sec\": {:.0},\n  \"check_batch_rounds_per_sec\": {:.0},\n  \
+         \"check_regression_floor\": {:.2}\n}}\n",
         b.cpus,
         SEED_PRIVATE_C3_RPS,
         SEED_IMMEDIATE_N1000_RPS,
         SEED_SWEEP_WALL_SECS,
         b.private_rps,
         b.private_rps / SEED_PRIVATE_C3_RPS,
+        b.private_batch_rps,
+        b.private_batch_rps / b.private_rps,
         b.immediate_rps,
         b.immediate_rps / SEED_IMMEDIATE_N1000_RPS,
+        b.immediate_batch_rps,
+        b.immediate_batch_rps / b.immediate_rps,
         sweep.join(",\n"),
         b.check_rps,
+        b.check_batch_rps,
         CHECK_FLOOR,
     )
 }
@@ -220,16 +313,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (Some(path), None) => {
             let path = path.as_deref().unwrap_or("BENCH_sim.json");
             let committed = std::fs::read_to_string(path)?;
+            let floor = json_number(&committed, "check_regression_floor").unwrap_or(CHECK_FLOOR);
             let baseline = json_number(&committed, "check_rounds_per_sec")
                 .ok_or("BENCH_sim.json has no check_rounds_per_sec")?;
-            let floor = json_number(&committed, "check_regression_floor").unwrap_or(CHECK_FLOOR);
+            let mut failed = false;
             let fresh = check_throughput();
             let ratio = fresh / baseline;
             println!(
                 "check workload: {fresh:.0} rounds/sec vs committed {baseline:.0} \
                  (ratio {ratio:.2}, floor {floor:.2})"
             );
-            if ratio < floor {
+            failed |= ratio < floor;
+            // Batch row: gated under the same floor. Absent from a
+            // pre-v2 baseline, in which case only the scalar gate runs.
+            match json_number(&committed, "check_batch_rounds_per_sec") {
+                Some(batch_baseline) => {
+                    let fresh = check_batch_throughput();
+                    let ratio = fresh / batch_baseline;
+                    println!(
+                        "check batch workload: {fresh:.0} rounds/sec vs committed \
+                         {batch_baseline:.0} (ratio {ratio:.2}, floor {floor:.2})"
+                    );
+                    failed |= ratio < floor;
+                }
+                None => println!("check batch workload: no committed row (pre-v2 baseline)"),
+            }
+            if failed {
                 eprintln!(
                     "FAIL: single-thread round throughput regressed more than \
                      {:.0}% vs the committed baseline",

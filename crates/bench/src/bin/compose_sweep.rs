@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
     let rounds = args.pos_u64(0)?.unwrap_or(20_000);
     let trials = args.pos_u64(1)?;
-    experiment::apply_budget(&mut spec, Some(rounds), trials, args.threads, None);
+    experiment::apply_budget(&mut spec, Some(rounds), trials, args.threads, None, None);
 
     let base = spec.base;
     let trials = spec.run.trials;

@@ -8,25 +8,34 @@
 //!
 //! ```text
 //! cargo run --release -p consistency_bench --bin experiment -- \
-//!     <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] [--out PATH]
+//!     <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] [--batch W] [--out PATH]
 //! ```
 //!
 //! `--rounds`/`--trials` override the spec's budgets (CI smokes every
 //! committed spec this way), `--seed` overrides the base master seed
-//! (sweep cells still derive theirs from the sweep stream), `--out`
-//! writes JSON. Budgets and expected runtimes: see EXPERIMENTS.md.
+//! (sweep cells still derive theirs from the sweep stream), `--batch`
+//! overrides the lockstep batch width (stationary specs only; the
+//! aggregates are bit-identical at every width), `--out` writes JSON.
+//! Budgets and expected runtimes: see EXPERIMENTS.md.
 
 use consistency_bench::{cli, experiment};
 use nakamoto_sim::spec::ExperimentSpec;
 
-const USAGE: &str =
-    "experiment <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] [--out PATH]";
+const USAGE: &str = "experiment <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] \
+                     [--batch W] [--out PATH]";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = cli::Args::parse(
         USAGE,
         1,
-        &["--rounds", "--trials", "--threads", "--seed", "--out"],
+        &[
+            "--rounds",
+            "--trials",
+            "--threads",
+            "--seed",
+            "--batch",
+            "--out",
+        ],
     )?;
     let path = args
         .positionals
@@ -34,7 +43,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or_else(|| format!("missing spec path; usage: {USAGE}"))?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     let mut spec = ExperimentSpec::parse(&source).map_err(|e| format!("{path}: {e}"))?;
-    experiment::apply_budget(&mut spec, args.rounds, args.trials, args.threads, args.seed);
+    experiment::apply_budget(
+        &mut spec,
+        args.rounds,
+        args.trials,
+        args.threads,
+        args.seed,
+        args.batch,
+    );
 
     let name = std::path::Path::new(path)
         .file_stem()

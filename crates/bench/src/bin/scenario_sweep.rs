@@ -44,6 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trials,
         args.threads,
         None,
+        None,
     );
 
     let base = spec.base;

@@ -20,14 +20,15 @@
 
 /// Flags a binary may opt into (`Args::parse`'s `allowed` list).
 /// Value-taking: `--threads N`, `--seed N`, `--budget N`, `--rounds N`,
-/// `--trials N`, `--out PATH`, `--replay PATH`, `--write [PATH]`,
-/// `--check [PATH]`. Boolean: `--seed-from-env`.
+/// `--trials N`, `--batch N`, `--out PATH`, `--replay PATH`,
+/// `--write [PATH]`, `--check [PATH]`. Boolean: `--seed-from-env`.
 pub const KNOWN_FLAGS: &[&str] = &[
     "--threads",
     "--seed",
     "--budget",
     "--rounds",
     "--trials",
+    "--batch",
     "--out",
     "--replay",
     "--write",
@@ -57,6 +58,8 @@ pub struct Args {
     pub rounds: Option<u64>,
     /// `--trials N`: trial-count override.
     pub trials: Option<u64>,
+    /// `--batch N`: lockstep batch-width override (1 = scalar engine).
+    pub batch: Option<u64>,
     /// `--out PATH`: machine-readable output path.
     pub out: Option<String>,
     /// `--replay PATH`: a saved repro spec to re-run.
@@ -158,6 +161,7 @@ impl Args {
                 "--budget" => parsed.budget = Some(number(&value)?),
                 "--rounds" => parsed.rounds = Some(number(&value)?),
                 "--trials" => parsed.trials = Some(number(&value)?),
+                "--batch" => parsed.batch = Some(number(&value)?),
                 "--out" => parsed.out = value,
                 "--replay" => parsed.replay = value,
                 "--write" => parsed.write = Some(value),
@@ -276,6 +280,16 @@ mod tests {
         );
         let err = Args::parse_from(["1", "2", "3"], "u", 2, ALL).unwrap_err();
         assert!(err.contains("unexpected argument `3`"), "{err}");
+    }
+
+    #[test]
+    fn batch_flag_takes_a_width() {
+        let args = Args::parse_from(["--batch", "8"], "u", 0, ALL).unwrap();
+        assert_eq!(args.batch, Some(8));
+        let err = Args::parse_from(["--batch"], "u", 0, ALL).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = Args::parse_from(["--batch", "wide"], "u", 0, ALL).unwrap_err();
+        assert!(err.contains("unsigned integer"), "{err}");
     }
 
     #[test]

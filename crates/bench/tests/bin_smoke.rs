@@ -207,7 +207,7 @@ fn experiment_entry_runs_every_committed_spec() {
         let source = std::fs::read_to_string(path).expect("spec readable");
         let mut spec = ExperimentSpec::parse(&source)
             .unwrap_or_else(|e| panic!("{name}: committed spec must parse: {e}"));
-        experiment::apply_budget(&mut spec, Some(200), Some(2), None, None);
+        experiment::apply_budget(&mut spec, Some(200), Some(2), None, None, None);
         let results = experiment::run_spec(&spec)
             .unwrap_or_else(|e| panic!("{name}: committed spec must run: {e}"));
         assert!(!results.is_empty(), "{name}: at least one cell");

@@ -323,21 +323,35 @@ impl Adversary for PrivateChainAdversary {
         successes: u64,
         releases: &mut Vec<ReleaseDirective>,
     ) {
-        let public_tip = best_tip(tree, group_tips);
-        let public_height = tree.height(public_tip);
+        // One height lookup per tip; the private height is then tracked
+        // arithmetically (each mined block extends the tip by exactly
+        // one), so the hot path never re-walks the arena.
+        let h0 = tree.height(group_tips[0]);
+        let h1 = tree.height(group_tips[1]);
+        let (public_tip, public_height) = if h0 >= h1 {
+            (group_tips[0], h0)
+        } else {
+            (group_tips[1], h1)
+        };
 
-        // Abandon a fallen-behind private fork.
-        self.abandon_if_behind(public_tip, tree);
+        // Abandon a fallen-behind private fork (same move as
+        // `abandon_if_behind`, reusing the heights already in hand).
+        let mut private_height = tree.height(self.private_tip);
+        if private_height < public_height {
+            self.private_tip = public_tip;
+            self.withheld.clear();
+            private_height = public_height;
+        }
 
         for _ in 0..successes {
             self.private_tip = tree.add_block(self.private_tip, round, Provenance::Adversary);
             self.withheld.push(self.private_tip);
         }
+        private_height += successes;
 
         // Release the fork when the lead shrinks to one block: the
         // public network adopts the strictly longer private chain and
         // every honest block since the fork point is discarded.
-        let private_height = tree.height(self.private_tip);
         if !self.withheld.is_empty()
             && private_height > public_height
             && private_height - public_height <= 1

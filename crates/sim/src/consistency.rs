@@ -72,12 +72,14 @@ impl ChainTracker {
 
     /// Current tip of a group's chain.
     #[must_use]
+    #[inline]
     pub fn tip(&self, group: usize) -> BlockId {
         *self.chains[group].last().expect("chain contains its base")
     }
 
     /// Current height of a group's chain.
     #[must_use]
+    #[inline]
     pub fn height(&self, group: usize) -> u64 {
         self.base_height + self.chains[group].len() as u64 - 1
     }
@@ -128,6 +130,7 @@ impl ChainTracker {
     /// Offers a block to a group; it is adopted iff strictly higher than
     /// the current tip (longest-chain rule with first-seen tie-break).
     /// Returns `true` if adopted.
+    #[inline]
     pub fn consider(&mut self, group: usize, block: BlockId, tree: &BlockTree) -> bool {
         let new_height = tree.height(block);
         if new_height <= self.height(group) {

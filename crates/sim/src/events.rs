@@ -112,10 +112,18 @@ impl SuffixState {
 /// Occupancy counting starts once the tracker has seen enough history
 /// for the suffix state to be well defined (two `H` rounds, as in the
 /// paper's "sufficiently large t" proviso).
+///
+/// Internally the state is kept as its flat [`SuffixState::index`]
+/// rather than the enum: the transition function is then pure index
+/// arithmetic (`H` always returns to index 0 except out of `LongGap`;
+/// `N` climbs consecutive indices until the absorbing `LongGap`),
+/// which keeps the twice-per-event update off the branchy enum match.
+/// Observable behaviour is identical to the enum-driven automaton.
 #[derive(Debug, Clone)]
 pub struct SuffixTracker {
     delta: u64,
-    state: Option<SuffixState>,
+    /// Flat state index, or [`SUFFIX_WARMUP`] while undefined.
+    state_idx: u64,
     h_rounds_seen: u64,
     /// N rounds since the last H, maintained during warm-up so the first
     /// defined state can distinguish `HN^{<Δ}H` from `HN^{≥Δ}H`.
@@ -123,6 +131,9 @@ pub struct SuffixTracker {
     occupancy: Vec<u64>,
     rounds_counted: u64,
 }
+
+/// Sentinel index for the warm-up phase (state not yet defined).
+const SUFFIX_WARMUP: u64 = u64::MAX;
 
 impl SuffixTracker {
     /// Creates a tracker for delay bound `delta`.
@@ -135,7 +146,7 @@ impl SuffixTracker {
         assert!(delta >= 1, "Δ must be at least 1");
         SuffixTracker {
             delta,
-            state: None,
+            state_idx: SUFFIX_WARMUP,
             h_rounds_seen: 0,
             warmup_gap: 0,
             occupancy: vec![0; SuffixState::count(delta)],
@@ -175,7 +186,8 @@ impl SuffixTracker {
     /// The current suffix state, if defined yet.
     #[must_use]
     pub fn state(&self) -> Option<SuffixState> {
-        self.state
+        (self.state_idx != SUFFIX_WARMUP)
+            .then(|| SuffixState::from_index(self.state_idx as usize, self.delta))
     }
 
     /// Per-state visit counts (indexed per [`SuffixState::index`]).
@@ -193,62 +205,52 @@ impl SuffixTracker {
     /// Consumes one round.
     pub fn update(&mut self, round_state: RoundState) {
         let is_h = round_state.is_h();
-        if is_h {
-            self.h_rounds_seen += 1;
-        }
         let delta = self.delta;
-        self.state = match (self.state, is_h) {
+        if self.state_idx == SUFFIX_WARMUP {
             // Warm-up: the suffix needs two H's of history. On the
             // second H the state is HN^{≤Δ−1}H or HN^{≥Δ}H depending on
             // the tracked gap between the two H's.
-            (None, true) if self.h_rounds_seen >= 2 => {
-                if self.warmup_gap >= delta {
-                    Some(SuffixState::AfterLongGap(0))
+            if is_h {
+                self.h_rounds_seen += 1;
+                if self.h_rounds_seen >= 2 {
+                    let idx = if self.warmup_gap >= delta {
+                        delta + 1
+                    } else {
+                        0
+                    };
+                    self.state_idx = idx;
+                    self.occupancy[idx as usize] += 1;
+                    self.rounds_counted += 1;
                 } else {
-                    Some(SuffixState::RecentH)
+                    self.warmup_gap = 0;
                 }
+            } else if self.h_rounds_seen > 0 {
+                self.warmup_gap += 1;
             }
-            (None, true) => {
-                self.warmup_gap = 0;
-                None
-            }
-            (None, false) => {
-                if self.h_rounds_seen > 0 {
-                    self.warmup_gap += 1;
-                }
-                None
-            }
-            (Some(SuffixState::RecentH), true) => Some(SuffixState::RecentH),
-            (Some(SuffixState::RecentH), false) => {
-                if delta >= 2 {
-                    Some(SuffixState::ShortGap(1))
-                } else {
-                    Some(SuffixState::LongGap)
-                }
-            }
-            (Some(SuffixState::ShortGap(_)), true) => Some(SuffixState::RecentH),
-            (Some(SuffixState::ShortGap(a)), false) => {
-                if a < delta - 1 {
-                    Some(SuffixState::ShortGap(a + 1))
-                } else {
-                    Some(SuffixState::LongGap)
-                }
-            }
-            (Some(SuffixState::LongGap), false) => Some(SuffixState::LongGap),
-            (Some(SuffixState::LongGap), true) => Some(SuffixState::AfterLongGap(0)),
-            (Some(SuffixState::AfterLongGap(_)), true) => Some(SuffixState::RecentH),
-            (Some(SuffixState::AfterLongGap(b)), false) => {
-                if b < delta - 1 {
-                    Some(SuffixState::AfterLongGap(b + 1))
-                } else {
-                    Some(SuffixState::LongGap)
-                }
-            }
-        };
-        if let Some(s) = self.state {
-            self.occupancy[s.index(delta)] += 1;
-            self.rounds_counted += 1;
+            return;
         }
+        self.h_rounds_seen += u64::from(is_h);
+        // Index-arithmetic transitions (see the layout table above):
+        // an H round lands on RecentH (0) except out of LongGap, which
+        // starts an AfterLongGap run; an N round climbs the current
+        // consecutive-index run, wrapping into the absorbing LongGap
+        // from either run's end (ShortGap(Δ−1) = Δ−1, AfterLongGap(Δ−1)
+        // = 2Δ).
+        let idx = self.state_idx;
+        let next = if is_h {
+            if idx == delta {
+                delta + 1
+            } else {
+                0
+            }
+        } else if idx == delta || idx == 2 * delta {
+            delta
+        } else {
+            idx + 1
+        };
+        self.state_idx = next;
+        self.occupancy[next as usize] += 1;
+        self.rounds_counted += 1;
     }
 
     /// Consumes `k` consecutive `N` (no-honest-block) rounds at once.
@@ -262,51 +264,38 @@ impl SuffixTracker {
         if k == 0 {
             return;
         }
-        let Some(mut state) = self.state else {
+        let idx = self.state_idx;
+        if idx == SUFFIX_WARMUP {
             // Warm-up: N rounds only grow the tracked gap (and only
             // once an H has been seen); nothing is counted.
             if self.h_rounds_seen > 0 {
                 self.warmup_gap += k;
             }
             return;
-        };
-        let delta = self.delta;
-        let mut consumed = 0u64;
-        while consumed < k {
-            if state == SuffixState::LongGap {
-                // Absorbing under N: charge the rest of the run here.
-                self.occupancy[SuffixState::LongGap.index(delta)] += k - consumed;
-                break;
-            }
-            state = match state {
-                SuffixState::RecentH => {
-                    if delta >= 2 {
-                        SuffixState::ShortGap(1)
-                    } else {
-                        SuffixState::LongGap
-                    }
-                }
-                SuffixState::ShortGap(a) => {
-                    if a < delta - 1 {
-                        SuffixState::ShortGap(a + 1)
-                    } else {
-                        SuffixState::LongGap
-                    }
-                }
-                SuffixState::AfterLongGap(b) => {
-                    if b < delta - 1 {
-                        SuffixState::AfterLongGap(b + 1)
-                    } else {
-                        SuffixState::LongGap
-                    }
-                }
-                SuffixState::LongGap => unreachable!("handled above"),
-            };
-            self.occupancy[state.index(delta)] += 1;
-            consumed += 1;
         }
-        self.state = Some(state);
+        let delta = self.delta;
         self.rounds_counted += k;
+        if idx == delta {
+            // Already absorbed: the whole run is charged to LongGap.
+            self.occupancy[delta as usize] += k;
+            return;
+        }
+        // Under N the state climbs consecutive indices (idx+1, idx+2, …)
+        // up to the end of its run — index Δ (which *is* LongGap) for a
+        // ShortGap run, index 2Δ for an AfterLongGap run — after which
+        // LongGap absorbs the remainder. The climbed slots are
+        // consecutive, so the occupancy charge is a plain slice sweep.
+        let stop = if idx < delta { delta } else { 2 * delta };
+        let climb = (stop - idx).min(k);
+        for slot in &mut self.occupancy[(idx + 1) as usize..=(idx + climb) as usize] {
+            *slot += 1;
+        }
+        if k > stop - idx {
+            self.occupancy[delta as usize] += k - (stop - idx);
+            self.state_idx = delta;
+        } else {
+            self.state_idx = idx + climb;
+        }
     }
 
     /// Empirical state distribution (occupancy / rounds counted).

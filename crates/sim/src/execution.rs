@@ -397,16 +397,25 @@ impl<A: Adversary> Simulation<A> {
         let delta = self.config.delta;
         let n_groups = self.tracker.n_groups();
 
-        // 1. Receive.
-        let mut deliveries = std::mem::take(&mut self.delivery_buf);
-        self.network.drain_due_into(round, &mut deliveries);
-        for delivery in &deliveries {
-            if delivery.group < n_groups {
-                self.tracker
-                    .consider(delivery.group, delivery.block, &self.tree);
+        // 1. Receive. Most executed rounds have nothing due, so the
+        // drain (and its buffer dance) is gated on the ring's next-due
+        // line; the drain line still advances so the ring's window
+        // arithmetic stays tight for later schedules.
+        let mut delivered = false;
+        if self.network.next_due().is_some_and(|due| due <= round) {
+            let mut deliveries = std::mem::take(&mut self.delivery_buf);
+            self.network.drain_due_into(round, &mut deliveries);
+            for delivery in &deliveries {
+                if delivery.group < n_groups {
+                    self.tracker
+                        .consider(delivery.group, delivery.block, &self.tree);
+                }
             }
+            delivered = !deliveries.is_empty();
+            self.delivery_buf = deliveries;
+        } else {
+            self.network.advance_drained(round);
         }
-        self.delivery_buf = deliveries;
 
         // 2. Mine (honest). The outcome comes from the gap buffer: when
         // it is empty the oracle samples how many all-quiet rounds
@@ -415,13 +424,17 @@ impl<A: Adversary> Simulation<A> {
         // success outcome — the only round whose sub-adversary split
         // (captured at sampling time) is nonzero.
         let mut applied_success = false;
-        let outcome = match self.pending_outcome.take() {
+        let outcome = match &mut self.pending_outcome {
             Some((1, out)) => {
                 applied_success = true;
+                let out = *out;
+                self.pending_outcome = None;
                 out
             }
-            Some((left, out)) => {
-                self.pending_outcome = Some((left - 1, out));
+            // Decrement in place: the common buffered-quiet round never
+            // rewrites the whole option.
+            Some((left, _)) => {
+                *left -= 1;
                 RoundOutcome::quiet()
             }
             None => match self.sample_gap_outcome() {
@@ -478,40 +491,47 @@ impl<A: Adversary> Simulation<A> {
             }
         }
 
-        // 3. Adversary mining and releases.
+        // 3. Adversary mining and releases. On executed rounds with no
+        // successes and no deliveries, a fast-forward-capable strategy's
+        // `act` is a no-op by the same contract the quiet-gap bulk skip
+        // relies on (nothing it observes has changed since its last
+        // call), so the call — and the release buffer dance — is elided.
         self.adversary_blocks += outcome.adversary;
-        let tips = self.group_tips();
-        let mut releases = std::mem::take(&mut self.release_buf);
-        releases.clear();
-        if self.sub_counts.is_none() {
-            self.adversary.act(
-                round,
-                &tips,
-                &mut self.tree,
-                outcome.adversary,
-                &mut releases,
-            );
-        } else {
-            // Split-budget strategy: hand over the per-sub-adversary
-            // success counts the oracle allocated for this round.
-            let split = if applied_success {
-                &self.pending_split
+        let eventless = honest_total == 0 && outcome.adversary == 0 && !delivered;
+        if !eventless || !self.adversary.supports_fast_forward() {
+            let tips = self.group_tips();
+            let mut releases = std::mem::take(&mut self.release_buf);
+            releases.clear();
+            if self.sub_counts.is_none() {
+                self.adversary.act(
+                    round,
+                    &tips,
+                    &mut self.tree,
+                    outcome.adversary,
+                    &mut releases,
+                );
             } else {
-                &self.zero_split
-            };
-            debug_assert_eq!(split.iter().sum::<u64>(), outcome.adversary);
-            self.adversary
-                .act_split(round, &tips, &mut self.tree, split, &mut releases);
-        }
-        for release in &releases {
-            if release.group >= n_groups {
-                continue;
+                // Split-budget strategy: hand over the per-sub-adversary
+                // success counts the oracle allocated for this round.
+                let split = if applied_success {
+                    &self.pending_split
+                } else {
+                    &self.zero_split
+                };
+                debug_assert_eq!(split.iter().sum::<u64>(), outcome.adversary);
+                self.adversary
+                    .act_split(round, &tips, &mut self.tree, split, &mut releases);
             }
-            let delay = release.delay.clamp(1, delta);
-            self.network
-                .schedule(release.block, release.group, round + delay);
+            for release in &releases {
+                if release.group >= n_groups {
+                    continue;
+                }
+                let delay = release.delay.clamp(1, delta);
+                self.network
+                    .schedule(release.block, release.group, round + delay);
+            }
+            self.release_buf = releases;
         }
-        self.release_buf = releases;
         // Engine invariant: every delay is clamped to ≥ 1 above, so no
         // engine-originated schedule can land at or before the drain
         // line and trip the network's re-timing fallback (see
@@ -549,33 +569,56 @@ impl<A: Adversary> Simulation<A> {
     /// `step_by_step_equals_run` test).
     pub fn run(&mut self, rounds: u64) {
         let target = self.round + rounds;
-        let fast = self.adversary.supports_fast_forward();
+        let fast = self.fast_forward_enabled();
         while self.round < target {
             self.step();
-            if !fast || self.round_log.is_some() {
+            if !fast {
                 continue;
             }
-            // Refill the gap buffer eagerly: sampling order (and hence
-            // the random stream) is unchanged, but the round that would
-            // otherwise execute just to draw the next gap becomes
-            // skippable like the rest of the quiet stretch.
-            if self.pending_outcome.is_none() {
-                self.pending_outcome = self.sample_gap_outcome();
-            }
-            let Some((left, _)) = self.pending_outcome else {
-                continue;
-            };
-            // Rounds strictly before the buffered success round are
-            // quiet; stop early for the run target and for the next
-            // delivery (its round must execute for real).
-            let mut skip = (left - 1).min(target - self.round);
-            if let Some(due) = self.network.next_due() {
-                skip = skip.min(due.saturating_sub(self.round + 1));
-            }
+            let skip = self.plan_quiet_skip(target);
             if skip > 0 {
                 self.skip_quiet(skip);
             }
         }
+    }
+
+    /// Whether the quiet-gap bulk skip applies to this run: the
+    /// strategy declares [`Adversary::supports_fast_forward`] and no
+    /// per-round log demands that every round execute for real.
+    /// Constant for the lifetime of a run (logging can only be enabled
+    /// at round zero), so [`Simulation::run`] and the lockstep batch
+    /// engine both evaluate it once per run segment.
+    pub(crate) fn fast_forward_enabled(&self) -> bool {
+        self.adversary.supports_fast_forward() && self.round_log.is_none()
+    }
+
+    /// The fast-path epilogue of one run-loop iteration: eagerly
+    /// refills the gap buffer and returns how many quiet rounds may be
+    /// consumed in bulk before `target`, the next buffered success, or
+    /// the next delivery — whichever is nearest. Shared between
+    /// [`Simulation::run`], [`Simulation::run_until_depth`] and the
+    /// lockstep batch engine so every driver advances a lane through
+    /// the identical op sequence (and hence the identical random
+    /// stream).
+    pub(crate) fn plan_quiet_skip(&mut self, target: u64) -> u64 {
+        // Refill the gap buffer eagerly: sampling order (and hence
+        // the random stream) is unchanged, but the round that would
+        // otherwise execute just to draw the next gap becomes
+        // skippable like the rest of the quiet stretch.
+        if self.pending_outcome.is_none() {
+            self.pending_outcome = self.sample_gap_outcome();
+        }
+        let Some((left, _)) = self.pending_outcome else {
+            return 0;
+        };
+        // Rounds strictly before the buffered success round are
+        // quiet; stop early for the run target and for the next
+        // delivery (its round must execute for real).
+        let mut skip = (left - 1).min(target - self.round);
+        if let Some(due) = self.network.next_due() {
+            skip = skip.min(due.saturating_sub(self.round + 1));
+        }
+        skip
     }
 
     /// Runs until the consistency depth reaches `depth` or the round
@@ -593,25 +636,16 @@ impl<A: Adversary> Simulation<A> {
         if self.consistency_depth() >= depth {
             return true;
         }
-        let fast = self.adversary.supports_fast_forward();
+        let fast = self.fast_forward_enabled();
         while self.round < horizon {
             self.step();
             if self.consistency_depth() >= depth {
                 return true;
             }
-            if !fast || self.round_log.is_some() {
+            if !fast {
                 continue;
             }
-            if self.pending_outcome.is_none() {
-                self.pending_outcome = self.sample_gap_outcome();
-            }
-            let Some((left, _)) = self.pending_outcome else {
-                continue;
-            };
-            let mut skip = (left - 1).min(horizon - self.round);
-            if let Some(due) = self.network.next_due() {
-                skip = skip.min(due.saturating_sub(self.round + 1));
-            }
+            let skip = self.plan_quiet_skip(horizon);
             if skip > 0 {
                 self.skip_quiet(skip);
             }
@@ -621,8 +655,10 @@ impl<A: Adversary> Simulation<A> {
 
     /// Consumes `k` quiet rounds in O(min(k, Δ)): no mining, no
     /// deliveries, no strategy calls — only the round counter, the gap
-    /// buffer, and the streaming detectors advance.
-    fn skip_quiet(&mut self, k: u64) {
+    /// buffer, and the streaming detectors advance. `pub(crate)` for
+    /// the lockstep batch engine, whose per-lane advance phase is this
+    /// exact call.
+    pub(crate) fn skip_quiet(&mut self, k: u64) {
         debug_assert!(self.network.next_due().map_or(true, |d| d > self.round + k));
         self.round += k;
         if let Some((left, _)) = &mut self.pending_outcome {

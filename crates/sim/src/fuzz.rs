@@ -22,6 +22,10 @@
 //!    opportunities, reorgs, depth maxima, group heights) is
 //!    nondecreasing, and the per-phase rounds recompose into the
 //!    scenario total.
+//! 4. **Lockstep-batch bit-identity** — the case's base config and
+//!    leading strategy, fanned out over `jump()`-derived lanes through
+//!    the [`crate::batch::BatchSimulation`] engine, reproduce the
+//!    scalar engine's reports lane for lane.
 //!
 //! A violation aborts the run with a [`FuzzFailure`] carrying the full
 //! sampled case as a TOML repro ([`FuzzFailure::repro_toml`]) plus the
@@ -38,12 +42,18 @@
 //! assert_eq!(stats.cases, 4);
 //! ```
 
-use crate::compose::{Composition, SubSpec};
+use crate::adversary::{
+    Adversary, BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary,
+};
+use crate::batch::BatchSimulation;
+use crate::compose::{ComposedAdversary, Composition, SubSpec};
 use crate::config::SimConfig;
+use crate::execution::Simulation;
 use crate::metrics::SimReport;
 use crate::scenario::{PhaseSpec, Regime, Scenario, ScenarioPlan, ScenarioRunner, StrategyKind};
+use crate::selfish::SelfishMiningAdversary;
 use crate::spec::{ExperimentMode, ExperimentSpec, FuzzHeader, RunSettings};
-use probability::rng::{RandomSource, SplitMix64};
+use probability::rng::{RandomSource, SplitMix64, Xoshiro256PlusPlus};
 use std::fmt;
 
 /// Aggregate statistics of a completed fuzz run.
@@ -394,6 +404,52 @@ pub fn check_scenario(scenario: &Scenario) -> Result<(), (&'static str, String)>
                 scenario.total_rounds()
             ),
         ));
+    }
+
+    // 4. Lockstep-batch bit-identity: the case's base config and its
+    // leading strategy, run stationary over jump()-derived lanes, must
+    // give lane-for-lane identical reports through the batch engine
+    // and the scalar engine.
+    const BATCH_LANES: usize = 4;
+    let base = *scenario.base();
+    let kind = scenario.phases()[0].strategy;
+    let make = || -> Box<dyn Adversary> {
+        match kind {
+            StrategyKind::Honest => Box::new(ImmediateReleaseAdversary::new()),
+            StrategyKind::PrivateChain => Box::new(PrivateChainAdversary::new(base.delta)),
+            StrategyKind::Balance => Box::new(BalanceAdversary::new(base.delta)),
+            StrategyKind::Selfish => Box::new(SelfishMiningAdversary::new(base.delta)),
+            StrategyKind::Composed(i) => Box::new(ComposedAdversary::new(
+                base.delta,
+                scenario.compositions()[i].clone(),
+            )),
+        }
+    };
+    let rounds = scenario.total_rounds().min(1_500);
+    let mut stream = Xoshiro256PlusPlus::seed_from_u64(base.seed);
+    let mut lanes = Vec::with_capacity(BATCH_LANES);
+    let mut scalars = Vec::with_capacity(BATCH_LANES);
+    for _ in 0..BATCH_LANES {
+        lanes.push(Simulation::with_rng(base, make(), stream.clone()));
+        scalars.push(Simulation::with_rng(base, make(), stream.clone()));
+        stream = stream.jump();
+    }
+    let mut batch = BatchSimulation::new(lanes);
+    batch.run(rounds);
+    let batched = batch.reports();
+    for (lane, mut sim) in scalars.into_iter().enumerate() {
+        sim.run(rounds);
+        let scalar = sim.report();
+        if batched[lane] != scalar {
+            return Err((
+                "lockstep-batch bit-identity",
+                format!(
+                    "lane {lane} of a width-{BATCH_LANES} batch diverged from the scalar engine \
+                     under `{kind:?}`: {:?} vs {scalar:?}",
+                    batched[lane]
+                ),
+            ));
+        }
     }
     Ok(())
 }

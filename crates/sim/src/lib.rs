@@ -54,6 +54,7 @@
 //! ```
 
 pub mod adversary;
+pub mod batch;
 pub mod block;
 pub mod compose;
 pub mod config;

@@ -35,6 +35,7 @@
 //! ```
 
 use crate::adversary::Adversary;
+use crate::batch::BatchSimulation;
 use crate::config::{ConfigError, SimConfig};
 use crate::execution::Simulation;
 use crate::metrics::SimReport;
@@ -42,6 +43,18 @@ use probability::rng::Xoshiro256PlusPlus;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Critical value used by the sequential stopping rule: the per-wave
+/// Wilson half-width check runs at 95% confidence (z = 1.96), matching
+/// the confidence level every reporting surface defaults to.
+pub const STOP_Z: f64 = 1.96;
+
+/// Default number of trials per stopping-rule wave when
+/// [`TrialPlan::stop_half_width`] is set but no explicit cadence was
+/// chosen. Checkpoints land on fixed trial counts (multiples of the
+/// wave size), so the stopping decision is a pure function of the
+/// master seed — never of thread count or batch width.
+pub const DEFAULT_STOP_CHECK_EVERY: u64 = 64;
 
 /// A Monte-Carlo experiment: `trials` independent simulations of
 /// `rounds` rounds each, all sharing one validated configuration.
@@ -62,6 +75,23 @@ pub struct TrialPlan {
     /// Consistency thresholds `T` for which per-trial violation is
     /// tallied (see [`TrialAggregate::failure_counts`]).
     pub consistency_thresholds: Vec<u64>,
+    /// Lockstep batch width: how many consecutive trials each worker
+    /// advances together through a [`BatchSimulation`]. `1` (the
+    /// default) runs the scalar engine per trial; any width produces
+    /// bit-identical aggregates (the batch engine shares the scalar
+    /// per-lane code path).
+    pub batch_width: usize,
+    /// Sequential stopping target: when set, trials run in
+    /// deterministic waves of [`TrialPlan::check_every`] and stop at
+    /// the first wave boundary where every threshold's Wilson
+    /// half-width (at [`STOP_Z`]) is at most this value — `trials`
+    /// then acts as the *maximum* budget. Requires at least one
+    /// consistency threshold.
+    pub stop_half_width: Option<f64>,
+    /// Trials per stopping-rule wave; `0` selects
+    /// [`DEFAULT_STOP_CHECK_EVERY`]. Ignored without
+    /// [`TrialPlan::stop_half_width`].
+    pub check_every: u64,
 }
 
 impl TrialPlan {
@@ -93,6 +123,9 @@ impl TrialPlan {
             trials,
             threads: 0,
             consistency_thresholds: Vec::new(),
+            batch_width: 1,
+            stop_half_width: None,
+            check_every: 0,
         })
     }
 
@@ -110,6 +143,28 @@ impl TrialPlan {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the lockstep batch width (builder style); `0` is treated as
+    /// `1` (the scalar path). Aggregates are bit-identical at every
+    /// width — the batch engine advances each lane through the exact
+    /// scalar op sequence.
+    #[must_use]
+    pub fn with_batch_width(mut self, batch_width: usize) -> Self {
+        self.batch_width = batch_width.max(1);
+        self
+    }
+
+    /// Enables the sequential stopping rule (builder style): run in
+    /// deterministic waves of `check_every` trials (`0` selects
+    /// [`DEFAULT_STOP_CHECK_EVERY`]) until every threshold's Wilson
+    /// half-width at [`STOP_Z`] is at most `half_width`, capped by the
+    /// plan's `trials` budget.
+    #[must_use]
+    pub fn with_stopping(mut self, half_width: f64, check_every: u64) -> Self {
+        self.stop_half_width = Some(half_width);
+        self.check_every = check_every;
         self
     }
 
@@ -244,6 +299,18 @@ impl TrialAggregate {
             .map(|failures| WilsonInterval::new(failures, self.trials, z))
     }
 
+    /// Half the width of the Wilson interval for the `T`-consistency
+    /// failure rate at critical value `z`, if `T` was a plan threshold
+    /// and the aggregate is non-empty. This is the quantity the
+    /// sequential stopping rule drives to the spec's target: even at
+    /// zero observed failures the Wilson upper bound stays positive,
+    /// so the half-width shrinks like `z²/n` rather than collapsing to
+    /// zero — a zero-failure cell still has to *earn* its precision.
+    #[must_use]
+    pub fn half_width(&self, t: u64, z: f64) -> Option<f64> {
+        self.failure_interval(t, z).map(|w| (w.hi - w.lo) / 2.0)
+    }
+
     /// Total rounds simulated across all trials.
     #[must_use]
     pub fn total_rounds(&self) -> u64 {
@@ -331,6 +398,62 @@ where
     (reports, elapsed_secs, threads)
 }
 
+/// Block-pulling variant of [`fan_out_reports`] for the lockstep batch
+/// engine: workers pull *blocks* of `batch_width` consecutive trials
+/// from the atomic counter and hand each block's streams to
+/// `run_block`, which returns one report per stream in stream order.
+/// Trial `base_trial + i` runs on `streams[i]`, and the reduction is in
+/// trial order, so the result is a pure function of the streams — never
+/// of thread count or batch width. With `batch_width == 1` the pull
+/// sequence is exactly [`fan_out_reports`]'s.
+pub(crate) fn fan_out_report_blocks<F>(
+    streams: &[Xoshiro256PlusPlus],
+    base_trial: u64,
+    requested_threads: usize,
+    batch_width: u64,
+    run_block: &F,
+) -> (Vec<SimReport>, f64, usize)
+where
+    F: Fn(u64, &[Xoshiro256PlusPlus]) -> Vec<SimReport> + Sync,
+{
+    let trials = streams.len() as u64;
+    let batch_width = batch_width.max(1);
+    let threads = effective_threads(requested_threads, trials.div_ceil(batch_width));
+    let next_block = AtomicU64::new(0);
+    let reports: Mutex<Vec<(u64, SimReport)>> = Mutex::new(Vec::with_capacity(streams.len()));
+
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(u64, SimReport)> = Vec::new();
+                loop {
+                    let start = next_block.fetch_add(batch_width, Ordering::Relaxed);
+                    if start >= trials {
+                        break;
+                    }
+                    let end = (start + batch_width).min(trials);
+                    let block =
+                        run_block(base_trial + start, &streams[start as usize..end as usize]);
+                    debug_assert_eq!(block.len() as u64, end - start);
+                    local.extend(block.into_iter().zip(start..end).map(|(r, t)| (t, r)));
+                }
+                if !local.is_empty() {
+                    reports.lock().expect("no poisoned workers").extend(local);
+                }
+            });
+        }
+    });
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    let mut reports = reports.into_inner().expect("no poisoned workers");
+    debug_assert_eq!(reports.len() as u64, trials);
+    // Ordered reduction: trial order, not completion order.
+    reports.sort_unstable_by_key(|&(trial, _)| trial);
+    let reports = reports.into_iter().map(|(_, report)| report).collect();
+    (reports, elapsed_secs, threads)
+}
+
 /// Order-preserving reduction of per-trial reports into a
 /// [`TrialAggregate`]; shared by [`run_trials`] and the scenario layer.
 pub(crate) fn aggregate_reports(
@@ -383,15 +506,24 @@ pub(crate) fn aggregate_reports(
 /// `make_adversary` builds a fresh strategy for trial `t`; it runs on
 /// worker threads, so it must be `Sync` (it is called once per trial).
 ///
+/// With `plan.batch_width > 1`, workers pull blocks of consecutive
+/// trials and advance them through the lockstep [`BatchSimulation`];
+/// with [`TrialPlan::stop_half_width`] set, trials run in deterministic
+/// waves and stop at the first wave boundary meeting the target (see
+/// `run_trials_adaptive`).
+///
 /// The returned [`TrialAggregate`] is bit-identical for a fixed
-/// `plan.config.seed` regardless of `plan.threads`.
+/// `plan.config.seed` regardless of `plan.threads` *and* of
+/// `plan.batch_width`.
 ///
 /// # Panics
 ///
 /// Panics if the plan's public fields were mutated into an empty
 /// experiment (`trials == 0` or `rounds == 0`) after construction —
 /// [`TrialPlan::new`] rejects those as [`ConfigError`]s; bypassing it
-/// is a programming error, not a silently-empty result.
+/// is a programming error, not a silently-empty result. Also panics if
+/// `stop_half_width` is set without any consistency threshold or
+/// outside `(0, 1)`.
 pub fn run_trials<A, F>(plan: &TrialPlan, make_adversary: F) -> MonteCarloRun
 where
     A: Adversary,
@@ -401,18 +533,148 @@ where
         plan.trials > 0 && plan.rounds > 0,
         "empty experiment: construct plans through TrialPlan::new"
     );
-    let run_one = |trial: u64, rng: Xoshiro256PlusPlus| {
-        let mut sim = Simulation::with_rng(plan.config, make_adversary(trial), rng);
-        sim.run(plan.rounds);
-        sim.report()
-    };
+    if plan.stop_half_width.is_some() {
+        return run_trials_adaptive(plan, make_adversary);
+    }
+    let width = plan.batch_width.max(1) as u64;
+    if width == 1 {
+        // Scalar path: one trial per pull, the historical engine.
+        let run_one = |trial: u64, rng: Xoshiro256PlusPlus| {
+            let mut sim = Simulation::with_rng(plan.config, make_adversary(trial), rng);
+            sim.run(plan.rounds);
+            sim.report()
+        };
+        let (reports, elapsed_secs, threads) =
+            fan_out_reports(plan.config.seed, plan.trials, plan.threads, &run_one);
+        let aggregate = aggregate_reports(&reports, plan.rounds, &plan.consistency_thresholds);
+        let total_rounds = aggregate.total_rounds();
+        return MonteCarloRun {
+            aggregate,
+            threads,
+            elapsed_secs,
+            rounds_per_sec: total_rounds as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+        };
+    }
+    let streams = trial_streams(plan.config.seed, plan.trials);
+    let run_block = batch_block_runner(plan, &make_adversary);
     let (reports, elapsed_secs, threads) =
-        fan_out_reports(plan.config.seed, plan.trials, plan.threads, &run_one);
+        fan_out_report_blocks(&streams, 0, plan.threads, width, &run_block);
     let aggregate = aggregate_reports(&reports, plan.rounds, &plan.consistency_thresholds);
     let total_rounds = aggregate.total_rounds();
     MonteCarloRun {
         aggregate,
         threads,
+        elapsed_secs,
+        rounds_per_sec: total_rounds as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
+    }
+}
+
+/// Builds the block runner shared by the fixed-budget and adaptive
+/// paths: trial `first + i` becomes lane `i` of a lockstep batch.
+fn batch_block_runner<'p, A, F>(
+    plan: &'p TrialPlan,
+    make_adversary: &'p F,
+) -> impl Fn(u64, &[Xoshiro256PlusPlus]) -> Vec<SimReport> + Sync + 'p
+where
+    A: Adversary,
+    F: Fn(u64) -> A + Sync,
+{
+    move |first: u64, streams: &[Xoshiro256PlusPlus]| {
+        let lanes = streams
+            .iter()
+            .enumerate()
+            .map(|(i, rng)| {
+                Simulation::with_rng(plan.config, make_adversary(first + i as u64), rng.clone())
+            })
+            .collect();
+        let mut batch = BatchSimulation::new(lanes);
+        batch.run(plan.rounds);
+        batch.reports()
+    }
+}
+
+/// Sequential-stopping fan-out: runs trials in deterministic waves of
+/// [`TrialPlan::check_every`] (default [`DEFAULT_STOP_CHECK_EVERY`])
+/// and stops at the first wave boundary where every plan threshold's
+/// Wilson half-width at [`STOP_Z`] is at most the target — or when the
+/// `plan.trials` budget is exhausted.
+///
+/// Checkpoints land on trial counts that are pure functions of the plan
+/// (multiples of the wave size, capped by the budget), and each
+/// checkpoint's statistic is computed over the trial-ordered prefix, so
+/// the stopping decision — and hence the aggregate — is bit-identical
+/// at every thread count and batch width. Trial `t` still runs on the
+/// master stream advanced `t` jumps: the master generator rolls forward
+/// wave by wave instead of being expanded up front.
+fn run_trials_adaptive<A, F>(plan: &TrialPlan, make_adversary: F) -> MonteCarloRun
+where
+    A: Adversary,
+    F: Fn(u64) -> A + Sync,
+{
+    let target = plan
+        .stop_half_width
+        .expect("adaptive path requires stop_half_width");
+    assert!(
+        target > 0.0 && target < 1.0,
+        "stop_half_width must lie in (0, 1), got {target}"
+    );
+    assert!(
+        !plan.consistency_thresholds.is_empty(),
+        "the stopping rule tracks consistency failure rates: set at least one threshold"
+    );
+    let width = plan.batch_width.max(1) as u64;
+    let check = if plan.check_every == 0 {
+        DEFAULT_STOP_CHECK_EVERY
+    } else {
+        plan.check_every
+    };
+    let run_block = batch_block_runner(plan, &make_adversary);
+
+    let mut master = Xoshiro256PlusPlus::seed_from_u64(plan.config.seed);
+    let mut reports: Vec<SimReport> = Vec::new();
+    let mut failures: Vec<(u64, u64)> = plan
+        .consistency_thresholds
+        .iter()
+        .map(|&t| (t, 0))
+        .collect();
+    let mut elapsed_secs = 0.0;
+    let mut threads_used = 1usize;
+    while (reports.len() as u64) < plan.trials {
+        let wave = check.min(plan.trials - reports.len() as u64);
+        let wave_streams: Vec<Xoshiro256PlusPlus> = (0..wave)
+            .map(|_| {
+                let stream = master.clone();
+                master = master.jump();
+                stream
+            })
+            .collect();
+        let base = reports.len() as u64;
+        let (wave_reports, secs, threads) =
+            fan_out_report_blocks(&wave_streams, base, plan.threads, width, &run_block);
+        elapsed_secs += secs;
+        threads_used = threads_used.max(threads);
+        for report in &wave_reports {
+            for (t, count) in &mut failures {
+                if !report.is_consistent(*t) {
+                    *count += 1;
+                }
+            }
+        }
+        reports.extend(wave_reports);
+        let n = reports.len() as u64;
+        let stop = failures.iter().all(|&(_, count)| {
+            let w = WilsonInterval::new(count, n, STOP_Z);
+            (w.hi - w.lo) / 2.0 <= target
+        });
+        if stop {
+            break;
+        }
+    }
+    let aggregate = aggregate_reports(&reports, plan.rounds, &plan.consistency_thresholds);
+    let total_rounds = aggregate.total_rounds();
+    MonteCarloRun {
+        aggregate,
+        threads: threads_used,
         elapsed_secs,
         rounds_per_sec: total_rounds as f64 / elapsed_secs.max(f64::MIN_POSITIVE),
     }
@@ -609,6 +871,146 @@ mod tests {
         assert!(run.elapsed_secs > 0.0);
         assert!(run.rounds_per_sec > 0.0);
         assert!(run.threads >= 1);
+    }
+
+    #[test]
+    fn batch_widths_and_thread_counts_are_bit_identical() {
+        // Tentpole acceptance: the lockstep batch engine must return
+        // the scalar engine's aggregate bit-for-bit at every batch
+        // width and thread count.
+        let reference = plan(31, 24)
+            .with_threads(1)
+            .run(|_| PrivateChainAdversary::new(3));
+        for width in [1usize, 2, 8, 16] {
+            for threads in [1usize, 2, 8] {
+                let other = plan(31, 24)
+                    .with_threads(threads)
+                    .with_batch_width(width)
+                    .run(|_| PrivateChainAdversary::new(3));
+                assert_eq!(
+                    reference.aggregate, other.aggregate,
+                    "width {width}, threads {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_width_zero_is_scalar() {
+        let a = plan(32, 6).run(|_| BalanceAdversary::new(3));
+        let b = plan(32, 6)
+            .with_batch_width(0)
+            .run(|_| BalanceAdversary::new(3));
+        assert_eq!(a.aggregate, b.aggregate);
+    }
+
+    #[test]
+    fn batch_width_larger_than_trials_is_fine() {
+        let a = plan(33, 5).run(|_| PrivateChainAdversary::new(3));
+        let b = plan(33, 5)
+            .with_batch_width(16)
+            .run(|_| PrivateChainAdversary::new(3));
+        assert_eq!(a.aggregate, b.aggregate);
+    }
+
+    #[test]
+    fn adaptive_stopping_is_thread_and_width_independent() {
+        // The stopping rule must fire at the same trial count — and
+        // return the same aggregate — at every thread count and batch
+        // width: checkpoints are pure functions of the master seed.
+        let mk = || {
+            let cfg = SimConfig::from_c(60, 3, 1.0, 0.35, 41).unwrap();
+            TrialPlan::new(cfg, 4_000, 4_096)
+                .unwrap()
+                .thresholds(vec![4, 12])
+                .with_stopping(0.05, 16)
+        };
+        let reference = mk().with_threads(1).run(|_| PrivateChainAdversary::new(3));
+        assert!(
+            reference.aggregate.trials < 4_096,
+            "stopping rule never fired; tighten the test target"
+        );
+        assert_eq!(
+            reference.aggregate.trials % 16,
+            0,
+            "stopping must land on a wave boundary"
+        );
+        for (threads, width) in [(2usize, 1usize), (8, 1), (1, 8), (2, 8), (8, 16)] {
+            let other = mk()
+                .with_threads(threads)
+                .with_batch_width(width)
+                .run(|_| PrivateChainAdversary::new(3));
+            assert_eq!(
+                reference.aggregate, other.aggregate,
+                "threads {threads}, width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_stopping_matches_fixed_budget_prefix() {
+        // The adaptive run's aggregate over n trials must equal a
+        // fixed-budget run of exactly n trials: stopping only truncates
+        // the trial sequence, it never alters any trial.
+        let cfg = SimConfig::from_c(60, 3, 1.0, 0.35, 43).unwrap();
+        let adaptive = TrialPlan::new(cfg, 4_000, 4_096)
+            .unwrap()
+            .thresholds(vec![4, 12])
+            .with_stopping(0.05, 16)
+            .run(|_| PrivateChainAdversary::new(3));
+        let n = adaptive.aggregate.trials;
+        let fixed = TrialPlan::new(cfg, 4_000, n)
+            .unwrap()
+            .thresholds(vec![4, 12])
+            .run(|_| PrivateChainAdversary::new(3));
+        assert_eq!(adaptive.aggregate, fixed.aggregate);
+    }
+
+    #[test]
+    fn adaptive_stopping_respects_trial_budget() {
+        // An unreachable target exhausts the budget and returns the
+        // full fixed-budget aggregate.
+        let cfg = SimConfig::from_c(60, 3, 1.0, 0.35, 44).unwrap();
+        let run = TrialPlan::new(cfg, 2_000, 40)
+            .unwrap()
+            .thresholds(vec![0])
+            .with_stopping(1e-6, 16)
+            .run(|_| PrivateChainAdversary::new(3));
+        assert_eq!(run.aggregate.trials, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn adaptive_stopping_requires_thresholds() {
+        let cfg = SimConfig::from_c(60, 3, 1.0, 0.35, 45).unwrap();
+        let _ = TrialPlan::new(cfg, 2_000, 40)
+            .unwrap()
+            .with_stopping(0.05, 16)
+            .run(|_| PrivateChainAdversary::new(3));
+    }
+
+    #[test]
+    fn half_width_accessor() {
+        // 50/100 at z=1.96: hi − lo ≈ 0.192, half ≈ 0.096.
+        let mut aggregate = aggregate_reports(&[], 1_000, &[12]);
+        aggregate.trials = 100;
+        aggregate.failure_counts = vec![(12, 50)];
+        let hw = aggregate.half_width(12, 1.96).unwrap();
+        assert!((hw - 0.096).abs() < 0.002, "half-width {hw}");
+        // Zero-failure edge case: the Wilson upper bound stays
+        // positive, so the half-width is positive too and shrinks as
+        // n grows — a zero-failure cell cannot claim instant
+        // convergence.
+        aggregate.failure_counts = vec![(12, 0)];
+        let at_100 = aggregate.half_width(12, 1.96).unwrap();
+        assert!(at_100 > 0.0, "zero failures must not give zero width");
+        aggregate.trials = 10_000;
+        let at_10k = aggregate.half_width(12, 1.96).unwrap();
+        assert!(at_10k > 0.0 && at_10k < at_100);
+        // Unlisted threshold and empty aggregate report absence.
+        assert_eq!(aggregate.half_width(7, 1.96), None);
+        aggregate.trials = 0;
+        assert_eq!(aggregate.half_width(12, 1.96), None);
     }
 
     /// The engine must agree with `run_simulation_with` when a single

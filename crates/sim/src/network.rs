@@ -156,8 +156,20 @@ impl Network {
     /// Round of the earliest pending delivery, if any — the horizon up
     /// to which the simulator may fast-forward quiet rounds.
     #[must_use]
+    #[inline]
     pub fn next_due(&self) -> Option<Round> {
         (self.pending > 0).then_some(self.earliest)
+    }
+
+    /// Advances the drain line to `round` without draining anything —
+    /// the caller's cheap alternative to [`Network::drain_due_into`] on
+    /// rounds it has verified (via [`Network::next_due`]) have nothing
+    /// pending. Keeping the drain line tight keeps the ring's window
+    /// arithmetic bounded by Δ on the next [`Network::schedule`].
+    #[inline]
+    pub fn advance_drained(&mut self, round: Round) {
+        debug_assert!(self.next_due().map_or(true, |due| due > round));
+        self.drained = self.drained.max(round);
     }
 
     /// Blocks referenced by pending deliveries (arbitrary order); used

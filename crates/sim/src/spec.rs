@@ -773,8 +773,12 @@ pub struct SplittingSettings {
     pub effort: u64,
 }
 
+/// The widest lockstep batch a spec may request; wider batches buy no
+/// further locality on one core and inflate per-worker memory.
+pub const MAX_BATCH_WIDTH: u64 = 64;
+
 /// `[experiment]`: the Monte-Carlo settings every cell shares.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSettings {
     /// Independent trials per cell (≥ 1; default 1).
     pub trials: u64,
@@ -786,6 +790,14 @@ pub struct RunSettings {
     pub estimator: EstimatorKind,
     /// Level-schedule knobs for the splitting estimator.
     pub splitting: SplittingSettings,
+    /// Lockstep batch width (`1` = the scalar engine; max
+    /// [`MAX_BATCH_WIDTH`]). Bit-identical aggregates at every width.
+    pub batch_width: u64,
+    /// Sequential stopping target: stop a cell at the first wave
+    /// boundary where every threshold's Wilson half-width is at most
+    /// this value, with `trials` as the budget cap. Stationary specs
+    /// only; requires at least one threshold.
+    pub stop_half_width: Option<f64>,
 }
 
 impl Default for RunSettings {
@@ -796,6 +808,8 @@ impl Default for RunSettings {
             thresholds: Vec::new(),
             estimator: EstimatorKind::default(),
             splitting: SplittingSettings::default(),
+            batch_width: 1,
+            stop_half_width: None,
         }
     }
 }
@@ -1026,9 +1040,14 @@ impl TrialPlan {
         };
         let plan = TrialPlan::new(spec.base, rounds, spec.run.trials)
             .map_err(|e| SpecError::whole(e.to_string()))?;
-        Ok(plan
+        let mut plan = plan
             .thresholds(spec.run.thresholds.clone())
-            .with_threads(spec.run.threads))
+            .with_threads(spec.run.threads)
+            .with_batch_width(usize::try_from(spec.run.batch_width).unwrap_or(1).max(1));
+        if let Some(half_width) = spec.run.stop_half_width {
+            plan = plan.with_stopping(half_width, 0);
+        }
+        Ok(plan)
     }
 }
 
@@ -1142,6 +1161,24 @@ impl ExperimentSpec {
                     ));
                 }
                 run.splitting.effort = effort;
+            }
+            if let Some((line, width)) = table.take_u64("batch_width")? {
+                if width == 0 || width > MAX_BATCH_WIDTH {
+                    return Err(SpecError::new(
+                        line,
+                        format!("`batch_width` must lie in 1..={MAX_BATCH_WIDTH}, got {width}"),
+                    ));
+                }
+                run.batch_width = width;
+            }
+            if let Some((line, half_width)) = table.take_f64("stop_half_width")? {
+                if !(half_width > 0.0 && half_width < 1.0) {
+                    return Err(SpecError::new(
+                        line,
+                        format!("`stop_half_width` must lie in (0, 1), got {half_width}"),
+                    ));
+                }
+                run.stop_half_width = Some(half_width);
             }
             table.expect_empty("[experiment]")?;
         }
@@ -1495,6 +1532,34 @@ impl ExperimentSpec {
                 "splitting_levels / splitting_effort need `estimator = \"splitting\"`",
             ));
         }
+        if self.run.batch_width == 0 || self.run.batch_width > MAX_BATCH_WIDTH {
+            return Err(SpecError::whole(format!(
+                "experiment.batch_width must lie in 1..={MAX_BATCH_WIDTH}, got {}",
+                self.run.batch_width
+            )));
+        }
+        if self.run.batch_width > 1 && !matches!(self.mode, ExperimentMode::Stationary { .. }) {
+            return Err(SpecError::whole(
+                "experiment.batch_width > 1 needs a [stationary] table; scenario cells run the scalar engine",
+            ));
+        }
+        if let Some(half_width) = self.run.stop_half_width {
+            if !(half_width > 0.0 && half_width < 1.0) {
+                return Err(SpecError::whole(format!(
+                    "experiment.stop_half_width must lie in (0, 1), got {half_width}"
+                )));
+            }
+            if self.run.thresholds.is_empty() {
+                return Err(SpecError::whole(
+                    "experiment.stop_half_width needs at least one consistency threshold",
+                ));
+            }
+            if !matches!(self.mode, ExperimentMode::Stationary { .. }) {
+                return Err(SpecError::whole(
+                    "experiment.stop_half_width needs a [stationary] table; scenario cells run their fixed budget",
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -1687,6 +1752,16 @@ impl ExperimentSpec {
                     patch_u64(value).ok_or_else(|| bad_value("non-negative integer"))?;
                 Ok(())
             }
+            ["experiment", "batch_width"] => {
+                self.run.batch_width =
+                    patch_u64(value).ok_or_else(|| bad_value("non-negative integer"))?;
+                Ok(())
+            }
+            ["experiment", "stop_half_width"] => {
+                self.run.stop_half_width =
+                    Some(value_as_f64(value).ok_or_else(|| bad_value("number"))?);
+                Ok(())
+            }
             ["experiment", "splitting_levels"] => {
                 let SpecValue::Array(items) = value else {
                     return Err(bad_value("array of integers"));
@@ -1851,6 +1926,12 @@ impl ExperimentSpec {
                 "splitting_effort = {}\n",
                 self.run.splitting.effort
             ));
+        }
+        if self.run.batch_width != 1 {
+            out.push_str(&format!("batch_width = {}\n", self.run.batch_width));
+        }
+        if let Some(half_width) = self.run.stop_half_width {
+            out.push_str(&format!("stop_half_width = {}\n", emit_f64(half_width)));
         }
         if let Some(fuzz) = &self.fuzz {
             out.push_str("\n[fuzz]\n");
@@ -2254,6 +2335,72 @@ mod tests {
     }
 
     #[test]
+    fn batch_width_key_drives_the_lockstep_engine() {
+        // A batched spec run must be bit-identical to the scalar spec
+        // run: `batch_width` is a performance knob, never a semantic
+        // one.
+        let scalar = ExperimentSpec::parse(STATIONARY_SPEC).unwrap();
+        let mut source = String::from(STATIONARY_SPEC);
+        source = source.replace("trials = 2", "trials = 6\nbatch_width = 8");
+        let batched = ExperimentSpec::parse(&source).unwrap();
+        assert_eq!(batched.run.batch_width, 8);
+        let mut scalar = scalar;
+        scalar.run.trials = 6;
+        assert_eq!(
+            scalar.plan().unwrap().run().aggregate,
+            batched.plan().unwrap().run().aggregate,
+        );
+    }
+
+    #[test]
+    fn batch_width_and_stop_half_width_are_range_checked() {
+        for (patch, needle) in [
+            ("batch_width = 0", "batch_width"),
+            ("batch_width = 65", "batch_width"),
+            ("stop_half_width = 0.0", "stop_half_width"),
+            ("stop_half_width = 1.5", "stop_half_width"),
+        ] {
+            let source = STATIONARY_SPEC.replace("trials = 2", &format!("trials = 2\n{patch}"));
+            let err = ExperimentSpec::parse(&source).unwrap_err();
+            assert!(err.message.contains(needle), "{patch}: {err}");
+            assert!(err.line > 0, "{patch}: range errors carry positions");
+        }
+        // The stopping rule needs a threshold to watch.
+        let source = STATIONARY_SPEC.replace("thresholds = [12]", "stop_half_width = 0.05");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("threshold"), "{err}");
+    }
+
+    #[test]
+    fn batching_and_stopping_are_stationary_only() {
+        let source = SCENARIO_SPEC.replace("trials = 3", "trials = 3\nbatch_width = 8");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("stationary"), "{err}");
+        let source = SCENARIO_SPEC.replace("trials = 3", "trials = 3\nstop_half_width = 0.05");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("stationary"), "{err}");
+    }
+
+    #[test]
+    fn stopping_spec_round_trips_and_stops_early() {
+        let source = STATIONARY_SPEC.replace(
+            "trials = 2",
+            "trials = 4096\nbatch_width = 8\nstop_half_width = 0.2",
+        );
+        let spec = ExperimentSpec::parse(&source).unwrap();
+        let reparsed = ExperimentSpec::parse(&spec.to_toml()).unwrap();
+        assert_eq!(spec, reparsed);
+        let run = spec.plan().unwrap().run();
+        assert!(
+            run.aggregate.trials < 4096,
+            "a 0.2 half-width is cheap; the rule must stop early (ran {})",
+            run.aggregate.trials
+        );
+        let hw = run.aggregate.half_width(12, crate::montecarlo::STOP_Z);
+        assert!(hw.unwrap() <= 0.2, "stopped above the target: {hw:?}");
+    }
+
+    #[test]
     fn round_trip_through_toml_is_identity() {
         for source in [SCENARIO_SPEC, STATIONARY_SPEC] {
             let spec = ExperimentSpec::parse(source).unwrap();
@@ -2398,6 +2545,16 @@ mod tests {
             } else {
                 (EstimatorKind::Wilson, SplittingSettings::default())
             };
+        let batch_width = if stationary {
+            1 + rng.next_below(16)
+        } else {
+            1
+        };
+        let stop_half_width = if stationary && !thresholds.is_empty() && rng.next_below(3) == 0 {
+            Some(0.01 * (1 + rng.next_below(20)) as f64)
+        } else {
+            None
+        };
         let spec = ExperimentSpec {
             run: RunSettings {
                 trials: 1 + rng.next_below(8),
@@ -2405,6 +2562,8 @@ mod tests {
                 thresholds,
                 estimator,
                 splitting,
+                batch_width,
+                stop_half_width,
             },
             base,
             compositions,
