@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the benchmark harness binaries that regenerate
 //! every table and figure of the paper (see DESIGN.md §4 for the
 //! experiment index and EXPERIMENTS.md for recorded outputs).

@@ -198,9 +198,25 @@ fn experiment_entry_runs_every_committed_spec() {
         .filter(|p| p.extension().is_some_and(|e| e == "toml"))
         .collect();
     paths.sort();
-    assert!(
-        paths.len() >= 5,
-        "expected the committed golden specs, found {paths:?}"
+    // The literal stem list keeps every committed spec pinned to this
+    // smoke test (detlint's xref-spec-used rule cross-checks it): a new
+    // spec must be added here, a deleted one must be removed.
+    let expected = [
+        "adaptive_stopping",
+        "attack_sweep",
+        "attack_window",
+        "compose_sweep",
+        "rare_event",
+        "scenario_sweep",
+        "theorem1_check",
+    ];
+    let stems: Vec<_> = paths
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    assert_eq!(
+        stems, expected,
+        "committed specs drifted from the pinned list"
     );
     for path in &paths {
         let name = path.file_stem().unwrap().to_string_lossy().into_owned();

@@ -257,7 +257,7 @@ pub mod explicit {
         let detail_probs: Vec<f64> = (0..=mu_n).map(|h| binom.pmf(h)).collect();
 
         let proto = ExplicitChain {
-            chain: MarkovChain::from_rows(vec![vec![1.0]]).expect("placeholder"),
+            chain: MarkovChain::from_rows(vec![vec![1.0]]).expect("placeholder"), // detlint: allow(panic-expect) -- a literal 1x1 row [1.0] is always row-stochastic
             n_suffix,
             n_detail,
             window,
@@ -276,7 +276,7 @@ pub mod explicit {
                     continue;
                 }
                 let mut new_win = Vec::with_capacity(window);
-                new_win.extend_from_slice(&win[1..]);
+                new_win.extend_from_slice(&win[1..]); // detlint: allow(panic-slice-index) -- decode always yields exactly `window` >= 1 entries
                 new_win.push(new_detail);
                 let target = proto.encode(new_suffix, &new_win);
                 b.add(state, target, prob).map_err(Error::from)?;

@@ -51,7 +51,7 @@ pub fn lemma2(params: &ProtocolParams, delta1: f64) -> (bool, bool) {
 #[must_use]
 pub fn lemma3(params: &ProtocolParams, eps1: f64, eps2: f64) -> (f64, f64) {
     let consts =
-        crate::theorem3::Constants::new(eps1, eps2, params.nu()).expect("validated upstream");
+        crate::theorem3::Constants::new(eps1, eps2, params.nu()).expect("validated upstream"); // detlint: allow(panic-expect) -- valid eps/nu is a documented precondition of the lemma helpers
     let p_mu_n = params.p() * params.mu_n();
     let two_delta = 2.0 * params.delta() as f64;
     let lhs = ((consts.delta1.ln_1p() - (-p_mu_n).ln_1p()) / two_delta).exp();
@@ -135,7 +135,7 @@ pub fn lemma7(params: &ProtocolParams) -> (f64, f64, f64) {
 /// Returns `(lhs, rhs)`.
 #[must_use]
 pub fn lemma8(nu: f64, eps1: f64, eps2: f64) -> (f64, f64) {
-    let consts = crate::theorem3::Constants::new(eps1, eps2, nu).expect("validated upstream");
+    let consts = crate::theorem3::Constants::new(eps1, eps2, nu).expect("validated upstream"); // detlint: allow(panic-expect) -- valid eps/nu is a documented precondition of the lemma helpers
     let ell = ((1.0 - nu) / nu).ln();
     let lhs = 1.0 + consts.delta4 / (ell - consts.delta4);
     let rhs = (1.0 + eps2) / (1.0 - eps1);

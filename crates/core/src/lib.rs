@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The paper's contribution: consistency analysis of Nakamoto's
 //! blockchain protocol in asynchronous (Δ-delay) networks, deriving the
 //! neat bound `c > 2µ/ln(µ/ν)`.

@@ -187,7 +187,7 @@ impl ProtocolParams {
     #[must_use]
     pub fn to_sim_config(&self, seed: u64) -> nakamoto_sim::config::SimConfig {
         nakamoto_sim::config::SimConfig::new(self.n, self.nu, self.p, self.delta, seed)
-            .expect("ProtocolParams constraints are a superset of SimConfig's")
+            .expect("ProtocolParams constraints are a superset of SimConfig's") // detlint: allow(panic-expect) -- ProtocolParams validation is strictly stronger than SimConfig validation
     }
 }
 

@@ -92,7 +92,7 @@ pub fn exact_consistency_nu_max(n: u64, delta: u64, c: f64) -> Result<Option<f64
         return Ok(Some(hi));
     }
     let root = bisect(
-        |nu| margin(nu).expect("validated range"),
+        |nu| margin(nu).expect("validated range"), // detlint: allow(panic-expect) -- bisect probes only inside [lo, hi], where margin was just shown Ok
         lo,
         hi,
         RootConfig::default(),

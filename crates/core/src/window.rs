@@ -99,7 +99,7 @@ pub fn simulate_and_scan(
     let mut sim = nakamoto_sim::execution::Simulation::new(params.to_sim_config(seed), adversary);
     sim.enable_round_log();
     sim.run(rounds);
-    let log = sim.round_log().expect("logging enabled");
+    let log = sim.round_log().expect("logging enabled"); // detlint: allow(panic-expect) -- enable_round_log() was called two lines above
     windows.iter().map(|&w| worst_window(log, w)).collect()
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A vendored, API-compatible subset of the [criterion](https://docs.rs/criterion)
 //! benchmark harness.
 //!

@@ -1,0 +1,10 @@
+//! Negative: ordered collections, plus `HashMap` mentioned only in
+//! text the lexer must not confuse with code.
+use std::collections::BTreeMap;
+
+// A comment naming HashMap is not a use of HashMap.
+pub fn index() -> BTreeMap<u32, u32> {
+    let _doc = "HashMap has seed-dependent order";
+    let _raw = r##"so does HashSet"##;
+    BTreeMap::new()
+}

@@ -1,0 +1,10 @@
+//! Positive: seed-order-dependent collections in simulation code.
+use std::collections::HashMap;
+
+pub fn index() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn dedup(xs: &[u32]) -> std::collections::HashSet<u32> {
+    xs.iter().copied().collect()
+}

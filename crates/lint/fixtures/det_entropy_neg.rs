@@ -1,0 +1,6 @@
+//! Negative: seeded generators and near-miss identifiers.
+pub fn roll(seed: u64) -> u64 {
+    let environment = seed; // `environment` is not `env::var`
+    let var = environment.wrapping_mul(3); // bare `var` without `env::`
+    var
+}

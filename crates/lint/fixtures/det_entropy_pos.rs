@@ -1,0 +1,9 @@
+//! Positive: ambient entropy / environment reads.
+pub fn roll() -> u64 {
+    let _threads = std::env::var("RAYON_NUM_THREADS");
+    thread_rng()
+}
+
+fn thread_rng() -> u64 {
+    0
+}

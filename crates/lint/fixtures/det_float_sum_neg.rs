@@ -1,0 +1,10 @@
+//! Negative: integer folds, even when the statement later casts the
+//! result to float.
+pub fn mean(xs: &[u64]) -> f64 {
+    let n = xs.len() as f64;
+    xs.iter().sum::<u64>() as f64 / n
+}
+
+pub fn count(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,7 @@
+//! Positive: uncompensated float folds.
+pub fn total(xs: &[f64]) -> f64 {
+    let direct: f64 = xs.iter().sum();
+    let turbo = xs.iter().sum::<f64>();
+    let prod = xs.iter().product::<f32>() as f64;
+    direct + turbo + prod
+}

@@ -1,0 +1,6 @@
+//! Negative: durations are plain data, not clock reads.
+use std::time::Duration;
+
+pub fn tick() -> Duration {
+    Duration::from_millis(1)
+}

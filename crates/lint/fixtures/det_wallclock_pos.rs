@@ -1,0 +1,10 @@
+//! Positive: wall-clock reads in estimator code.
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,10 @@
+//! Negative: text that looks like violations must never fire — the
+//! lexer has to see strings, raw strings, chars and nested comments.
+pub fn stress<'a>(s: &'a str) -> (&'a str, char, String) {
+    /* outer HashMap /* nested HashSet */ still HashMap */
+    let raw = r##"xs.unwrap() and ys.expect("boom") and panic!()"##;
+    let ch = '"';
+    let esc = '\'';
+    let quoted = format!("Instant::now() {raw} {ch} {esc}");
+    (s, 'x', quoted)
+}

@@ -1,0 +1,23 @@
+//! Negative: `expect`-named helpers are not `.expect()` calls.
+pub struct Cursor {
+    pos: usize,
+}
+
+impl Cursor {
+    pub fn expect_char(&mut self, _ch: char) -> Option<()> {
+        self.pos += 1;
+        Some(())
+    }
+}
+
+pub fn drive(c: &mut Cursor) -> Option<()> {
+    c.expect_char('=')
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn expect_is_fine_in_tests() {
+        [1u32].first().expect("non-empty");
+    }
+}

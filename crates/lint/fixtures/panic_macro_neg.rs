@@ -1,0 +1,14 @@
+//! Negative: `panic` as a plain identifier, and macros under test.
+pub fn stats(panic: u64) -> u64 {
+    let panic_count = panic + 1; // ident, no `!`
+    panic_count
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn panics_are_fine_in_tests() {
+        panic!("expected");
+    }
+}

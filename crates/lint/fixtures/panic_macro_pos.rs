@@ -1,0 +1,9 @@
+//! Positive: panicking macros in library code.
+pub fn decode(index: u8) -> u8 {
+    match index {
+        0 => 0,
+        1 => unreachable!("caller filtered"),
+        2 => todo!(),
+        _ => panic!("index {index} out of range"),
+    }
+}

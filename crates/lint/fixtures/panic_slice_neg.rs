@@ -1,0 +1,9 @@
+//! Negative: full-range reborrows are infallible, `.get` is checked,
+//! and brackets that are not index expressions do not count.
+pub fn views(xs: &[u32], n: usize) -> (&[u32], Option<&[u32]>, [u8; 2]) {
+    let all = &xs[..];
+    let checked = xs.get(..n);
+    let literal = [0u8, 1u8];
+    let _built = vec![1u32, 2];
+    (all, checked, literal)
+}

@@ -1,0 +1,7 @@
+//! Positive: bounded range indexing can panic on a bad bound.
+pub fn windows(xs: &[u32], n: usize) -> (&[u32], &[u32], u32) {
+    let head = &xs[..n];
+    let tail = &xs[1..];
+    let mid = xs[1..=n].len() as u32;
+    (head, tail, mid)
+}

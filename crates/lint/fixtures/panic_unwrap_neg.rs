@@ -1,0 +1,16 @@
+//! Negative: unwrap only in test code, text, or as a different
+//! identifier.
+pub fn first(xs: &[u32]) -> u32 {
+    // .unwrap() in a comment is not a call.
+    let _doc = r#"xs.first().unwrap() would panic here"#;
+    xs.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,4 @@
+//! Positive: `.unwrap()` in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,3 @@
+#![forbid(unsafe_code)]
+//! Negative: the crate root asserts the attribute.
+pub fn noop() {}

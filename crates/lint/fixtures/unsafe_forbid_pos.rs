@@ -1,0 +1,2 @@
+//! Positive: a crate root missing `#![forbid(unsafe_code)]`.
+pub fn noop() {}

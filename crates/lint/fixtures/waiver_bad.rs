@@ -1,0 +1,7 @@
+//! Positive: malformed waivers.
+pub fn first(xs: &[u32]) -> u32 {
+    // detlint: allow(panic-unwrap)
+    let a = *xs.first().unwrap();
+    let b = *xs.last().unwrap(); // detlint: allow(no-such-rule) -- the rule name is wrong
+    a + b
+}

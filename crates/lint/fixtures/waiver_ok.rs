@@ -1,0 +1,10 @@
+//! Negative: violations suppressed by justified waivers, both trailing
+//! and own-line.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() // detlint: allow(panic-unwrap) -- callers pass a non-empty slice by contract
+}
+
+pub fn tail(xs: &[u32]) -> &[u32] {
+    // detlint: allow(panic-slice-index) -- callers pass a non-empty slice by contract
+    &xs[1..]
+}

@@ -1,0 +1,5 @@
+//! Positive: a waiver with nothing to suppress is itself an error.
+pub fn clean() -> u32 {
+    // detlint: allow(panic-unwrap) -- stale justification
+    41 + 1
+}

@@ -1,0 +1,2 @@
+#[test]
+fn something_else() {}

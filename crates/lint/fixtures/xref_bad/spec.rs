@@ -1,0 +1,4 @@
+pub struct Spec {
+    pub experiment: String,
+    pub trials: u64,
+}

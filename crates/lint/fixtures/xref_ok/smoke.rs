@@ -1,0 +1,2 @@
+#[test]
+fn run_all_entry_emits_json() {}

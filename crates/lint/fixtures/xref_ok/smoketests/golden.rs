@@ -1,0 +1,4 @@
+#[test]
+fn runs_demo_spec() {
+    let _ = "specs/demo.toml";
+}

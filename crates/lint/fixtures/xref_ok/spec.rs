@@ -1,0 +1,5 @@
+pub struct Spec {
+    pub experiment: String,
+    pub trials: u64,
+    pub seed: u64,
+}

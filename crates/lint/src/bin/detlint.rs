@@ -1,0 +1,135 @@
+//! `detlint` — the workspace's static determinism / hygiene gate.
+//!
+//! ```text
+//! detlint --workspace [-D] [--json PATH] [--root DIR]
+//! ```
+//!
+//! * `--workspace`   scan the whole workspace (the only mode; required
+//!   so an argless invocation fails loudly instead of scanning nothing)
+//! * `-D`, `--deny`  exit 1 when any finding survives (CI mode);
+//!   without it findings are printed but the exit code stays 0
+//! * `--json PATH`   also write the machine-readable findings summary
+//! * `--root DIR`    workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` containing `[workspace]`)
+//! * `--list-rules`  print the rule catalogue and exit
+//!
+//! Exit codes: 0 clean (or findings without `-D`), 1 findings under
+//! `-D`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use consistency_lint::{rules::RULE_IDS, scan_workspace, Policy};
+
+struct Args {
+    workspace: bool,
+    deny: bool,
+    json: Option<PathBuf>,
+    root: Option<PathBuf>,
+    list_rules: bool,
+}
+
+const USAGE: &str =
+    "usage: detlint --workspace [-D|--deny] [--json PATH] [--root DIR] [--list-rules]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        deny: false,
+        json: None,
+        root: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workspace" => args.workspace = true,
+            "-D" | "--deny" => args.deny = true,
+            "--list-rules" => args.list_rules = true,
+            "--json" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| format!("--json needs a path\n{USAGE}"))?;
+                args.json = Some(PathBuf::from(p));
+            }
+            "--root" => {
+                let p = it
+                    .next()
+                    .ok_or_else(|| format!("--root needs a path\n{USAGE}"))?;
+                args.root = Some(PathBuf::from(p));
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml`
+/// declaring `[workspace]`.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace Cargo.toml found above the current directory".into());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for r in RULE_IDS {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if !args.workspace {
+        eprintln!("detlint: nothing to do\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let root = match args.root.map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match scan_workspace(&root, &Policy::workspace_default()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{}\n", f.render());
+    }
+    println!(
+        "detlint: {} finding(s) across {} file(s), {} waiver(s) honored",
+        report.findings.len(),
+        report.files_scanned,
+        report.waivers_honored
+    );
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("detlint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.deny && !report.is_clean() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

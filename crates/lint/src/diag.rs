@@ -1,0 +1,173 @@
+//! Findings and their two renderings: rustc-style human diagnostics
+//! and a machine-readable JSON summary (hand-emitted, same in-tree
+//! discipline as `consistency_bench::experiment::to_json`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (e.g. `panic-unwrap`).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line (0 for whole-file findings).
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Constructs a finding. `rule` must be a static rule id so the
+    /// JSON layer can group without allocation games.
+    #[must_use]
+    pub fn new(rule: &'static str, path: &str, line: u32, col: u32, message: String) -> Self {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            col,
+            message,
+        }
+    }
+
+    /// Renders one finding in rustc style:
+    ///
+    /// ```text
+    /// error[panic-unwrap]: `.unwrap()` in non-test library code
+    ///   --> crates/sim/src/spec.rs:569:14
+    /// ```
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "error[{}]: {}", self.rule, self.message);
+        if self.line > 0 {
+            let _ = write!(s, "  --> {}:{}:{}", self.path, self.line, self.col);
+        } else {
+            let _ = write!(s, "  --> {}", self.path);
+        }
+        s
+    }
+}
+
+/// The outcome of a workspace scan.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// All surviving (un-waived) findings, in scan order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files tokenised.
+    pub files_scanned: usize,
+    /// Number of waiver rules that suppressed a finding.
+    pub waivers_honored: usize,
+}
+
+impl ScanReport {
+    /// True when the scan produced no findings.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Per-rule finding counts, sorted by rule id.
+    #[must_use]
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// The machine-readable JSON summary written by `detlint --json`
+    /// and uploaded as a CI artifact.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"tool\": \"detlint\",");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(s, "  \"waivers_honored\": {},", self.waivers_honored);
+        let _ = writeln!(s, "  \"finding_count\": {},", self.findings.len());
+        let _ = writeln!(s, "  \"counts_by_rule\": {{");
+        let counts = self.counts();
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            let comma = if i + 1 < counts.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{rule}\": {n}{comma}");
+        }
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{ \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\" }}{comma}",
+                escape(f.rule),
+                escape(&f.path),
+                f.line,
+                f.col,
+                escape(&f.message)
+            );
+        }
+        let _ = writeln!(s, "  ]");
+        s.push('}');
+        s.push('\n');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_rule_and_position() {
+        let f = Finding::new("panic-unwrap", "crates/sim/src/a.rs", 12, 5, "msg".into());
+        let r = f.render();
+        assert!(r.contains("error[panic-unwrap]: msg"));
+        assert!(r.contains("crates/sim/src/a.rs:12:5"));
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_counts_rules() {
+        let mut rep = ScanReport::default();
+        rep.findings.push(Finding::new(
+            "det-collections",
+            "a.rs",
+            1,
+            1,
+            "uses \"HashMap\"".into(),
+        ));
+        rep.findings.push(Finding::new(
+            "det-collections",
+            "b.rs",
+            2,
+            2,
+            "again".into(),
+        ));
+        let j = rep.to_json();
+        assert!(j.contains("\\\"HashMap\\\""));
+        assert!(j.contains("\"det-collections\": 2"));
+        assert!(j.contains("\"finding_count\": 2"));
+    }
+}

@@ -1,0 +1,566 @@
+//! A hand-rolled token-level lexer for Rust source, in the same
+//! in-tree-parser discipline as `nakamoto_sim::spec`: no external
+//! crates, no syntax tree — just a faithful token stream with enough
+//! structure for the lint rules to match on.
+//!
+//! The lexer's one job is to never mistake *text* for *code*: a
+//! `HashMap` inside a nested block comment, an `unwrap()` inside a raw
+//! string, or a `'h'` char literal must not produce tokens, while
+//! lifetimes (`'a`), numeric literals with range dots (`0..n`), and
+//! `r#"…"#` raw strings with any number of hashes must all lex through
+//! without desynchronising the stream. Comments are not discarded:
+//! they are collected separately so the waiver layer can read
+//! `// detlint: allow(…)` directives.
+
+/// The coarse classification the rule layer matches on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `fn`, `unwrap`, `r#raw_id`).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `!`, …). Multi-char
+    /// operators appear as consecutive `Punct` tokens; rules that need
+    /// `..` or `::` look at adjacency.
+    Punct,
+    /// A literal: string, raw string, byte string, char, or number.
+    /// The payload text is *not* re-scanned by any rule.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token text (for `Punct`, exactly one character).
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the given punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+
+    /// True if this token is an identifier with exactly the given name.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// A comment, preserved for the waiver layer.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text *after* the `//` / `/*` marker (closing `*/`
+    /// excluded for block comments).
+    pub text: String,
+    /// 1-based line where the comment starts.
+    pub line: u32,
+    /// True when no code token precedes the comment on its line, i.e.
+    /// the comment owns the line (a waiver there applies to the next
+    /// code line rather than to its own).
+    pub own_line: bool,
+    /// True for `/* … */` block comments (which may not carry waivers).
+    pub block: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct SourceFile {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl SourceFile {
+    /// The first code-token line strictly after `line`, if any — where
+    /// an own-line waiver comment attaches.
+    #[must_use]
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. The lexer is total: any input
+/// produces a stream (unterminated strings/comments simply run to end
+/// of file), so the rule layer never has to handle a parse abort.
+#[must_use]
+pub fn lex(src: &str) -> SourceFile {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    i: usize,
+    line: u32,
+    col: u32,
+    /// Whether a code token has been emitted on the current line
+    /// (drives `Comment::own_line`).
+    line_has_code: bool,
+    out: SourceFile,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            i: 0,
+            line: 1,
+            col: 1,
+            line_has_code: false,
+            out: SourceFile::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    /// Consumes one character, maintaining line/column counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+            self.line_has_code = false;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push_tok(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.line_has_code = true;
+        self.out.tokens.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> SourceFile {
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                'r' | 'b' if self.starts_string_prefix() => self.prefixed_literal(line, col),
+                c if is_ident_start(c) => self.ident(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                '"' => {
+                    self.bump();
+                    self.string_body(line, col);
+                }
+                '\'' => self.quote(line, col),
+                _ => {
+                    self.bump();
+                    self.push_tok(TokKind::Punct, c.to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// True when the cursor sits on a raw/byte string prefix (`r"`,
+    /// `r#`, `b"`, `b'`, `br"`, `br#`) rather than a plain identifier.
+    /// `r#ident` (a raw identifier, hash NOT followed by `"` or more
+    /// hashes then `"`) is excluded by checking what follows the hashes.
+    fn starts_string_prefix(&self) -> bool {
+        let (mut j, byte) = match self.peek(0) {
+            Some('b') => {
+                if matches!(self.peek(1), Some('"') | Some('\'')) {
+                    return true;
+                }
+                if self.peek(1) == Some('r') {
+                    (2, true)
+                } else {
+                    return false;
+                }
+            }
+            Some('r') => (1, false),
+            _ => return false,
+        };
+        let _ = byte;
+        // After `r` / `br`: zero or more `#` then `"` means raw string.
+        let mut hashes = 0usize;
+        while self.peek(j) == Some('#') {
+            j += 1;
+            hashes += 1;
+        }
+        // `r#ident` is a raw identifier, not a string — it has exactly
+        // one hash and an identifier char after it; any hashes followed
+        // by `"` is a raw string.
+        self.peek(j) == Some('"') && (hashes > 0 || self.peek(j).is_some())
+    }
+
+    fn prefixed_literal(&mut self, line: u32, col: u32) {
+        // Consume the prefix letters.
+        if self.peek(0) == Some('b') {
+            self.bump();
+            match self.peek(0) {
+                Some('"') => {
+                    self.bump();
+                    self.string_body(line, col);
+                    return;
+                }
+                Some('\'') => {
+                    self.bump();
+                    self.char_body(line, col);
+                    return;
+                }
+                Some('r') => {
+                    self.bump();
+                }
+                _ => unreachable_prefix(),
+            }
+        } else {
+            self.bump(); // the `r`
+        }
+        // Raw string: count hashes, expect `"`, then scan for the
+        // closing `"` followed by the same number of hashes.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    } else {
+                        // Not the terminator: the quote and hashes were
+                        // literal content.
+                        text.push('"');
+                        for _ in 0..seen {
+                            text.push('#');
+                        }
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push_tok(TokKind::Literal, text, line, col);
+    }
+
+    /// Body of a `"…"` string, opening quote already consumed.
+    fn string_body(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push_tok(TokKind::Literal, text, line, col);
+    }
+
+    /// Body of a `'…'` char literal, opening quote already consumed.
+    fn char_body(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '\'' => break,
+                c => text.push(c),
+            }
+        }
+        self.push_tok(TokKind::Literal, text, line, col);
+    }
+
+    /// A `'` is either a char literal or a lifetime/label. The
+    /// discriminator: `'x'` (closing quote right after one scalar) is a
+    /// char; `'ident` with no closing quote is a lifetime; an escape
+    /// (`'\n'`) is always a char.
+    fn quote(&mut self, line: u32, col: u32) {
+        self.bump(); // the opening quote
+        match self.peek(0) {
+            Some('\\') => self.char_body(line, col),
+            Some(c) if is_ident_start(c) => {
+                if self.peek(1) == Some('\'') {
+                    self.char_body(line, col);
+                } else {
+                    // Lifetime or loop label: consume the identifier.
+                    let mut name = String::from("'");
+                    while let Some(c) = self.peek(0) {
+                        if is_ident_continue(c) {
+                            name.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push_tok(TokKind::Lifetime, name, line, col);
+                }
+            }
+            // Punctuation char literal, e.g. `'('` or `'"'`.
+            Some(_) => self.char_body(line, col),
+            None => {}
+        }
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push_tok(TokKind::Ident, text, line, col);
+    }
+
+    /// Numeric literal. Range dots must survive: `0..n` lexes as the
+    /// number `0`, two `.` puncts, then `n` — a `.` is only part of the
+    /// number when followed by a digit and no `.` was consumed yet.
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                let prev = self.chars[self.i.saturating_sub(1)];
+                self.bump();
+                // Exponent sign: `1e-3` / `2.5E+7`.
+                if (c == 'e' || c == 'E')
+                    && !prev.is_alphabetic()
+                    && matches!(self.peek(0), Some('+') | Some('-'))
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.push_tok(TokKind::Literal, text, line, col);
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_code;
+        self.bump();
+        self.bump(); // the two slashes
+        let start = self.i;
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.i].iter().collect();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            own_line,
+            block: false,
+        });
+    }
+
+    /// Block comment with full nesting support: `/* /* inner */ still
+    /// comment */` only closes when the depth returns to zero.
+    fn block_comment(&mut self, line: u32) {
+        let own_line = !self.line_has_code;
+        self.bump();
+        self.bump(); // `/*`
+        let start = self.i;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let end = self.i.min(self.chars.len()).saturating_sub(2).max(start);
+        let text: String = self.chars[start..end].iter().collect();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            own_line,
+            block: true,
+        });
+        let _ = self.src;
+    }
+}
+
+/// `prefixed_literal` is only entered after `starts_string_prefix`
+/// vetted the shape, so the `b`-arm fallthrough cannot occur; kept as
+/// a named function so the invariant is searchable.
+fn unreachable_prefix() {
+    debug_assert!(false, "string prefix vetted by starts_string_prefix");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn raw_string_contents_produce_no_tokens() {
+        let src = r##"let x = r#"foo.unwrap() HashMap"#; let y = 1;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(ids.contains(&"y".to_string()));
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes_than_terminator_candidates() {
+        let src = r###"let s = r##"a "# b"## ; after"###;
+        let f = lex(src);
+        let lit: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .collect();
+        assert_eq!(lit[0].text, r##"a "# b"##);
+        assert!(idents(src).contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comment_is_one_comment() {
+        let src = "/* outer /* HashMap */ still */ fn f() {}";
+        let f = lex(src);
+        assert_eq!(f.comments.len(), 1);
+        assert!(f.comments[0].text.contains("HashMap"));
+        assert!(
+            !f.tokens.iter().any(|t| t.is_ident("HashMap")),
+            "comment text leaked into tokens"
+        );
+        assert!(f.tokens.iter().any(|t| t.is_ident("fn")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let f = lex(src);
+        let lifetimes: Vec<_> = f
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert!(f.tokens.iter().any(|t| t.is_ident("str")));
+    }
+
+    #[test]
+    fn char_literals_including_escapes_and_punctuation() {
+        let src = r"let a = 'x'; let b = '\n'; let c = '\''; let d = '('; let e = '\u{41}';";
+        let f = lex(src);
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            0
+        );
+        // All five let-bindings survive.
+        assert_eq!(f.tokens.iter().filter(|t| t.is_ident("let")).count(), 5);
+    }
+
+    #[test]
+    fn range_dots_survive_number_lexing() {
+        let f = lex("for i in 0..10 { v[i..=j]; }");
+        let dots = f.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 4, "0..10 and i..=j contribute two dots each");
+    }
+
+    #[test]
+    fn float_exponent_forms() {
+        let f = lex("let x = 1.5e-3 + 2E+7 + 0xfe + 1_000.0;");
+        assert_eq!(
+            f.tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Literal)
+                .count(),
+            4
+        );
+    }
+
+    #[test]
+    fn comment_own_line_flag() {
+        let f = lex("// alone\nlet x = 1; // trailing\n");
+        assert!(f.comments[0].own_line);
+        assert!(!f.comments[1].own_line);
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_loop() {
+        let _ = lex("/* never closed");
+        let _ = lex("let s = \"never closed");
+        let _ = lex("let s = r#\"never closed");
+        let _ = lex("let c = '");
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let f = lex("/// calls .unwrap()\n//! and .expect()\nfn g() {}");
+        assert_eq!(f.comments.len(), 2);
+        assert!(!f.tokens.iter().any(|t| t.is_ident("unwrap")));
+    }
+}

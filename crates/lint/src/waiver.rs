@@ -1,0 +1,268 @@
+//! The waiver layer: per-line, per-rule suppression with mandatory
+//! justification, and errors for waivers that suppress nothing.
+//!
+//! Syntax (line comments only — block comments cannot carry waivers):
+//!
+//! ```text
+//! some_call().unwrap(); // detlint: allow(panic-unwrap) -- len checked above
+//! // detlint: allow(det-wallclock, panic-expect) -- elapsed feeds a diagnostic only
+//! let started = Instant::now();
+//! ```
+//!
+//! A trailing waiver applies to its own line; a waiver alone on a line
+//! applies to the *next* line holding code. Every waiver must name at
+//! least one known rule and carry a non-empty `--` justification; a
+//! waiver whose rule never fires on its target line is itself an error
+//! (`waiver-unused`), so stale suppressions cannot accumulate.
+
+use crate::diag::Finding;
+use crate::lexer::SourceFile;
+use crate::rules::RULE_IDS;
+
+/// A parsed waiver directive.
+#[derive(Debug)]
+pub struct Waiver {
+    /// The rules this waiver suppresses.
+    pub rules: Vec<String>,
+    /// The justification text after `--`.
+    pub justification: String,
+    /// Line the comment sits on.
+    pub comment_line: u32,
+    /// Line whose findings it suppresses.
+    pub target_line: u32,
+    /// Which of `rules` actually suppressed a finding (parallel vec).
+    pub used: Vec<bool>,
+}
+
+/// Result of extracting waivers from a file's comments: the parsed
+/// waivers plus findings for malformed or unknown-rule directives.
+#[derive(Debug, Default)]
+pub struct WaiverSet {
+    /// Well-formed waivers, ready to suppress findings.
+    pub waivers: Vec<Waiver>,
+    /// `waiver-syntax` / `waiver-unknown-rule` findings.
+    pub findings: Vec<Finding>,
+}
+
+impl WaiverSet {
+    /// Attempts to suppress a finding of `rule` on `line`; returns true
+    /// (and marks the waiver used) when a matching waiver exists.
+    pub fn try_suppress(&mut self, rule: &str, line: u32) -> bool {
+        for w in &mut self.waivers {
+            if w.target_line != line {
+                continue;
+            }
+            if let Some(i) = w.rules.iter().position(|r| r == rule) {
+                w.used[i] = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Emits `waiver-unused` findings for every waiver rule that never
+    /// suppressed anything. Call after all rule checks ran.
+    pub fn flush_unused(&mut self, path: &str) {
+        for w in &self.waivers {
+            for (rule, used) in w.rules.iter().zip(&w.used) {
+                if !used {
+                    self.findings.push(Finding::new(
+                        "waiver-unused",
+                        path,
+                        w.comment_line,
+                        1,
+                        format!(
+                            "waiver for `{rule}` suppresses nothing on line {}; \
+                             remove it (stale waivers are errors)",
+                            w.target_line
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Scans a file's comments for `detlint:` directives.
+#[must_use]
+pub fn collect(path: &str, file: &SourceFile) -> WaiverSet {
+    let mut set = WaiverSet::default();
+    for c in &file.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("detlint:") else {
+            continue;
+        };
+        if c.block {
+            set.findings.push(Finding::new(
+                "waiver-syntax",
+                path,
+                c.line,
+                1,
+                "waivers must be `//` line comments, not block comments".into(),
+            ));
+            continue;
+        }
+        match parse_directive(rest) {
+            Ok((rules, justification)) => {
+                let mut known = true;
+                for r in &rules {
+                    if !RULE_IDS.contains(&r.as_str()) {
+                        known = false;
+                        set.findings.push(Finding::new(
+                            "waiver-unknown-rule",
+                            path,
+                            c.line,
+                            1,
+                            format!(
+                                "unknown rule `{r}` in waiver; known rules: {}",
+                                RULE_IDS.join(", ")
+                            ),
+                        ));
+                    }
+                }
+                if !known {
+                    continue;
+                }
+                // A trailing waiver guards its own line; an own-line
+                // waiver guards the next line that holds code.
+                let target_line = if c.own_line {
+                    match file.next_code_line(c.line) {
+                        Some(l) => l,
+                        None => {
+                            set.findings.push(Finding::new(
+                                "waiver-unused",
+                                path,
+                                c.line,
+                                1,
+                                "waiver at end of file guards no code".into(),
+                            ));
+                            continue;
+                        }
+                    }
+                } else {
+                    c.line
+                };
+                let used = vec![false; rules.len()];
+                set.waivers.push(Waiver {
+                    rules,
+                    justification,
+                    comment_line: c.line,
+                    target_line,
+                    used,
+                });
+            }
+            Err(msg) => {
+                set.findings
+                    .push(Finding::new("waiver-syntax", path, c.line, 1, msg));
+            }
+        }
+    }
+    set
+}
+
+/// Parses `allow(rule-a, rule-b) -- justification` (the part after
+/// `detlint:`).
+fn parse_directive(rest: &str) -> Result<(Vec<String>, String), String> {
+    const USAGE: &str = "expected `detlint: allow(<rule>[, <rule>…]) -- <justification>`";
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err(format!("{USAGE} (missing `allow`)"));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err(format!("{USAGE} (missing `(`)"));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err(format!("{USAGE} (unclosed rule list)"));
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err(format!("{USAGE} (empty rule list)"));
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(justification) = tail.strip_prefix("--") else {
+        return Err(format!("{USAGE} (missing `--` justification)"));
+    };
+    let justification = justification.trim();
+    if justification.is_empty() {
+        return Err(format!("{USAGE} (empty justification)"));
+    }
+    Ok((rules, justification.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_waiver_targets_its_own_line() {
+        let src = "let x = v.unwrap(); // detlint: allow(panic-unwrap) -- guarded above\n";
+        let set = collect("f.rs", &lex(src));
+        assert!(set.findings.is_empty());
+        assert_eq!(set.waivers.len(), 1);
+        assert_eq!(set.waivers[0].target_line, 1);
+        assert_eq!(set.waivers[0].rules, vec!["panic-unwrap"]);
+        assert_eq!(set.waivers[0].justification, "guarded above");
+    }
+
+    #[test]
+    fn own_line_waiver_targets_next_code_line() {
+        let src = "// detlint: allow(det-wallclock) -- diagnostic only\n\n// other comment\nlet t = Instant::now();\n";
+        let set = collect("f.rs", &lex(src));
+        assert_eq!(set.waivers[0].target_line, 4);
+    }
+
+    #[test]
+    fn multi_rule_waiver_parses() {
+        let src = "x(); // detlint: allow(panic-unwrap, panic-expect) -- both proven\n";
+        let set = collect("f.rs", &lex(src));
+        assert_eq!(set.waivers[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let src = "x(); // detlint: allow(panic-unwrap)\n";
+        let set = collect("f.rs", &lex(src));
+        assert!(set.waivers.is_empty());
+        assert_eq!(set.findings.len(), 1);
+        assert_eq!(set.findings[0].rule, "waiver-syntax");
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let src = "x(); // detlint: allow(no-such-rule) -- why\n";
+        let set = collect("f.rs", &lex(src));
+        assert!(set.waivers.is_empty());
+        assert_eq!(set.findings[0].rule, "waiver-unknown-rule");
+    }
+
+    #[test]
+    fn unused_waiver_is_an_error() {
+        let src = "let x = 1; // detlint: allow(panic-unwrap) -- nothing here\n";
+        let mut set = collect("f.rs", &lex(src));
+        set.flush_unused("f.rs");
+        assert_eq!(set.findings.len(), 1);
+        assert_eq!(set.findings[0].rule, "waiver-unused");
+    }
+
+    #[test]
+    fn used_waiver_is_not_flagged() {
+        let src = "let x = v.unwrap(); // detlint: allow(panic-unwrap) -- ok\n";
+        let mut set = collect("f.rs", &lex(src));
+        assert!(set.try_suppress("panic-unwrap", 1));
+        set.flush_unused("f.rs");
+        assert!(set.findings.is_empty());
+    }
+
+    #[test]
+    fn end_of_file_own_line_waiver_is_unused() {
+        let src = "let x = 1;\n// detlint: allow(panic-unwrap) -- dangling\n";
+        let set = collect("f.rs", &lex(src));
+        assert_eq!(set.findings[0].rule, "waiver-unused");
+    }
+}

@@ -1,0 +1,27 @@
+//! The gate on the gate: the committed workspace must scan clean, so
+//! `cargo test` alone (no separate detlint invocation) catches a
+//! violation merged without its waiver.
+
+use std::path::Path;
+
+use consistency_lint::{scan_workspace, Policy};
+
+#[test]
+fn committed_workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = scan_workspace(&root, &Policy::workspace_default()).expect("workspace root scans");
+    assert!(
+        report.files_scanned > 50,
+        "scan saw only {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        report.is_clean(),
+        "the committed tree must lint clean:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -113,7 +113,7 @@ pub fn analyze(chain: &MarkovChain) -> Result<AbsorbingAnalysis> {
         });
     }
     let m = transient.len();
-    let index_of: std::collections::HashMap<usize, usize> =
+    let index_of: std::collections::BTreeMap<usize, usize> =
         transient.iter().enumerate().map(|(i, &s)| (s, i)).collect();
 
     // Build I − Q and the R block (transient → absorbing one-step mass).

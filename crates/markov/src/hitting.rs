@@ -97,7 +97,7 @@ pub fn expected_hitting_times(chain: &MarkovChain, targets: &[usize]) -> Result<
     }
     // Index the non-target states.
     let free: Vec<usize> = (0..n).filter(|&v| !is_target[v]).collect();
-    let index_of: std::collections::HashMap<usize, usize> =
+    let index_of: std::collections::BTreeMap<usize, usize> =
         free.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let m = free.len();
     if m == 0 {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Finite discrete-time Markov chains.
 //!
 //! The paper proves its consistency theorem by constructing two Markov

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Numerical substrate for the blockchain-consistency workspace.
 //!
 //! This crate is intentionally dependency-free so that every downstream

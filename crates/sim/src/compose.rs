@@ -211,7 +211,7 @@ impl SubState {
             StrategyKind::PrivateChain => SubState::Private(PrivateChainAdversary::new(delta)),
             StrategyKind::Balance => SubState::Balance(BalanceAdversary::new(delta)),
             StrategyKind::Selfish => SubState::Selfish(SelfishMiningAdversary::new(delta)),
-            StrategyKind::Composed(_) => unreachable!("rejected by Composition::new"),
+            StrategyKind::Composed(_) => unreachable!("rejected by Composition::new"), // detlint: allow(panic-macro) -- Composition::new rejects nested Composed kinds
         }
     }
 
@@ -352,7 +352,7 @@ impl ComposedAdversary {
                         continue;
                     }
                     let block = releases[i].block;
-                    let merging = releases[guard..]
+                    let merging = releases[guard..] // detlint: allow(panic-slice-index) -- inside `for i in guard..releases.len()`, so guard < len
                         .iter()
                         .any(|r| r.block == block && r.group == lagging);
                     if merging {
@@ -422,6 +422,7 @@ impl Adversary for ComposedAdversary {
         _successes: u64,
         _releases: &mut Vec<ReleaseDirective>,
     ) {
+        // detlint: allow(panic-macro) -- the engine drives composed adversaries through act_split only
         unreachable!(
             "ComposedAdversary is driven through act_split: the engine selects it \
              automatically for strategies whose sub_miner_counts() is Some"

@@ -74,7 +74,7 @@ impl ChainTracker {
     #[must_use]
     #[inline]
     pub fn tip(&self, group: usize) -> BlockId {
-        *self.chains[group].last().expect("chain contains its base")
+        *self.chains[group].last().expect("chain contains its base") // detlint: allow(panic-expect) -- every chain is created holding its base block and truncation keeps it
     }
 
     /// Current height of a group's chain.
@@ -146,8 +146,10 @@ impl ChainTracker {
         // directly extends the stored tip (ordinary chain growth, no
         // reorg). Skips the walk, the truncate and — with one group —
         // the whole cross-group bookkeeping.
+        // detlint: allow(panic-expect) -- every chain is created holding its base block and truncation keeps it
+        let stored_tip = *self.chains[group].last().expect("chain non-empty");
         if tree.height(tip) == base + self.chains[group].len() as u64
-            && tree.parent(tip) == *self.chains[group].last().expect("chain non-empty")
+            && tree.parent(tip) == stored_tip
         {
             self.chains[group].push(tip);
             if self.chains.len() == 2 {
@@ -157,7 +159,7 @@ impl ChainTracker {
                     .iter()
                     .map(|c| base + c.len() as u64 - 1)
                     .max()
-                    .expect("non-empty");
+                    .expect("non-empty"); // detlint: allow(panic-expect) -- chains has one entry per group and n_groups >= 1
                 let divergence = deepest - self.common_prefix_height;
                 self.max_divergence_depth = self.max_divergence_depth.max(divergence);
             }
@@ -199,7 +201,7 @@ impl ChainTracker {
                 .iter()
                 .map(|c| base + c.len() as u64 - 1)
                 .max()
-                .expect("non-empty");
+                .expect("non-empty"); // detlint: allow(panic-expect) -- chains has one entry per group and n_groups >= 1
             let divergence = deepest - self.common_prefix_height;
             self.max_divergence_depth = self.max_divergence_depth.max(divergence);
         }
@@ -207,7 +209,7 @@ impl ChainTracker {
 
     fn advance_common_prefix(&mut self) {
         let base = self.base_height;
-        let limit = base + self.chains.iter().map(Vec::len).min().expect("non-empty") as u64 - 1;
+        let limit = base + self.chains.iter().map(Vec::len).min().expect("non-empty") as u64 - 1; // detlint: allow(panic-expect) -- chains has one entry per group and n_groups >= 1
         let (a, b) = (&self.chains[0], &self.chains[1]);
         let mut cp = self.common_prefix_height;
         while cp < limit && a[(cp + 1 - base) as usize] == b[(cp + 1 - base) as usize] {

@@ -96,7 +96,7 @@ impl SuffixState {
         } else if index <= 2 * d {
             SuffixState::AfterLongGap((index - d - 1) as u64)
         } else {
-            panic!("suffix state index {index} out of range for Δ={delta}");
+            panic!("suffix state index {index} out of range for Δ={delta}"); // detlint: allow(panic-macro) -- callers enumerate indices below suffix_state_count
         }
     }
 
@@ -287,6 +287,7 @@ impl SuffixTracker {
         // consecutive, so the occupancy charge is a plain slice sweep.
         let stop = if idx < delta { delta } else { 2 * delta };
         let climb = (stop - idx).min(k);
+        // detlint: allow(panic-slice-index) -- idx + climb <= stop <= 2*delta, the last occupancy slot
         for slot in &mut self.occupancy[(idx + 1) as usize..=(idx + climb) as usize] {
             *slot += 1;
         }

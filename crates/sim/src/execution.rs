@@ -305,7 +305,7 @@ impl<A: Adversary> Simulation<A> {
         }
         new_config
             .validate()
-            .expect("reconfigured parameters must satisfy the model constraints");
+            .expect("reconfigured parameters must satisfy the model constraints"); // detlint: allow(panic-expect) -- scenario phases are validated by Scenario::new before any reconfigure
         self.config = new_config;
         let group_sizes = split_honest(self.tracker.n_groups(), self.config.n_honest());
         self.oracle

@@ -247,7 +247,7 @@ fn sample_scenario(master_seed: u64, case: u64) -> Scenario {
     let delta = 1 + rng.next_below(4);
     let c = [0.5, 1.0, 2.0, 4.0][rng.next_below(4) as usize];
     let nu = 0.05 * rng.next_below(10) as f64;
-    let base = SimConfig::from_c(n, delta, c, nu, rng.next_u64()).expect("generator: base config");
+    let base = SimConfig::from_c(n, delta, c, nu, rng.next_u64()).expect("generator: base config"); // detlint: allow(panic-expect) -- the generator samples n, delta, c, nu inside SimConfig accepted ranges
 
     let compositions: Vec<Composition> = (0..rng.next_below(3))
         .map(|_| sample_composition(rng))
@@ -281,6 +281,7 @@ fn sample_scenario(master_seed: u64, case: u64) -> Scenario {
             phase
         })
         .collect();
+    // detlint: allow(panic-expect) -- the generator builds phases and compositions within Scenario constraints
     Scenario::with_compositions(base, phases, compositions).expect("generator: scenario")
 }
 
@@ -301,7 +302,7 @@ fn sample_composition(rng: &mut SplitMix64) -> Composition {
     if subs.iter().all(|s| s.weight == 0) {
         subs[0].weight = 1;
     }
-    Composition::new(subs).expect("generator: composition")
+    Composition::new(subs).expect("generator: composition") // detlint: allow(panic-expect) -- a nonzero weight is forced two lines above
 }
 
 /// Checks every engine invariant (thread-count bit-identity,
@@ -319,7 +320,7 @@ fn sample_composition(rng: &mut SplitMix64) -> Composition {
 pub fn check_scenario(scenario: &Scenario) -> Result<(), (&'static str, String)> {
     // 1. Thread-count bit-identity over a small Monte-Carlo fan-out.
     let plan = ScenarioPlan::new(scenario.clone(), 2)
-        .expect("two trials")
+        .expect("two trials") // detlint: allow(panic-expect) -- trials = 2 is statically nonzero
         .thresholds(vec![6]);
     let single = plan.clone().with_threads(1).run();
     let double = plan.with_threads(2).run();

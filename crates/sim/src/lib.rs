@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! A round-based simulator of Nakamoto's blockchain protocol in the
 //! Δ-delay asynchronous network model of Pass–Seeman–Shelat, as
 //! formalised in Section III of the paper.

@@ -41,8 +41,8 @@ use crate::execution::Simulation;
 use crate::metrics::SimReport;
 use probability::rng::Xoshiro256PlusPlus;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant; // detlint: allow(det-wallclock) -- elapsed feeds the rounds_per_sec diagnostic only, never a stream or aggregate
 
 /// Critical value used by the sequential stopping rule: the per-wave
 /// Wilson half-width check runs at 95% confidence (z = 1.96), matching
@@ -370,6 +370,7 @@ where
     let next_trial = AtomicU64::new(0);
     let reports: Mutex<Vec<(u64, SimReport)>> = Mutex::new(Vec::with_capacity(trials as usize));
 
+    // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -383,14 +384,19 @@ where
                     local.push((trial, run_one(trial, streams[trial as usize].clone())));
                 }
                 if !local.is_empty() {
-                    reports.lock().expect("no poisoned workers").extend(local);
+                    reports
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(local);
                 }
             });
         }
     });
     let elapsed_secs = started.elapsed().as_secs_f64();
 
-    let mut reports = reports.into_inner().expect("no poisoned workers");
+    // A poisoned lock only means another worker panicked; that panic
+    // re-raises at scope join, so recovering the data here is sound.
+    let mut reports = reports.into_inner().unwrap_or_else(PoisonError::into_inner);
     debug_assert_eq!(reports.len() as u64, trials);
     // Ordered reduction: trial order, not completion order.
     reports.sort_unstable_by_key(|&(trial, _)| trial);
@@ -422,6 +428,7 @@ where
     let next_block = AtomicU64::new(0);
     let reports: Mutex<Vec<(u64, SimReport)>> = Mutex::new(Vec::with_capacity(streams.len()));
 
+    // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
     let started = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -433,20 +440,25 @@ where
                         break;
                     }
                     let end = (start + batch_width).min(trials);
-                    let block =
-                        run_block(base_trial + start, &streams[start as usize..end as usize]);
+                    let chunk = &streams[start as usize..end as usize]; // detlint: allow(panic-slice-index) -- end = min(start + width, trials) <= streams.len() by construction
+                    let block = run_block(base_trial + start, chunk);
                     debug_assert_eq!(block.len() as u64, end - start);
                     local.extend(block.into_iter().zip(start..end).map(|(r, t)| (t, r)));
                 }
                 if !local.is_empty() {
-                    reports.lock().expect("no poisoned workers").extend(local);
+                    reports
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(local);
                 }
             });
         }
     });
     let elapsed_secs = started.elapsed().as_secs_f64();
 
-    let mut reports = reports.into_inner().expect("no poisoned workers");
+    // A poisoned lock only means another worker panicked; that panic
+    // re-raises at scope join, so recovering the data here is sound.
+    let mut reports = reports.into_inner().unwrap_or_else(PoisonError::into_inner);
     debug_assert_eq!(reports.len() as u64, trials);
     // Ordered reduction: trial order, not completion order.
     reports.sort_unstable_by_key(|&(trial, _)| trial);
@@ -533,8 +545,8 @@ where
         plan.trials > 0 && plan.rounds > 0,
         "empty experiment: construct plans through TrialPlan::new"
     );
-    if plan.stop_half_width.is_some() {
-        return run_trials_adaptive(plan, make_adversary);
+    if let Some(target) = plan.stop_half_width {
+        return run_trials_adaptive(plan, target, make_adversary);
     }
     let width = plan.batch_width.max(1) as u64;
     if width == 1 {
@@ -606,14 +618,11 @@ where
 /// at every thread count and batch width. Trial `t` still runs on the
 /// master stream advanced `t` jumps: the master generator rolls forward
 /// wave by wave instead of being expanded up front.
-fn run_trials_adaptive<A, F>(plan: &TrialPlan, make_adversary: F) -> MonteCarloRun
+fn run_trials_adaptive<A, F>(plan: &TrialPlan, target: f64, make_adversary: F) -> MonteCarloRun
 where
     A: Adversary,
     F: Fn(u64) -> A + Sync,
 {
-    let target = plan
-        .stop_half_width
-        .expect("adaptive path requires stop_half_width");
     assert!(
         target > 0.0 && target < 1.0,
         "stop_half_width must lie in (0, 1), got {target}"

@@ -157,7 +157,7 @@ impl GapSampler {
             return self.n_total;
         }
         let Some(r1) = self.r1 else {
-            let total = Binomial::new(self.n_total, self.p).expect("validated at construction");
+            let total = Binomial::new(self.n_total, self.p).expect("validated at construction"); // detlint: allow(panic-expect) -- n_total and p were validated by SimConfig at construction
             return total.sample_positive(rng);
         };
         // Truncated BINV over k ≥ 1 with the mass ratios precomputed —
@@ -246,6 +246,7 @@ impl MiningOracle {
             if n == 0 {
                 None
             } else {
+                // detlint: allow(panic-expect) -- SimConfig validation bounds the hardness p to (0, 1]
                 Some(Binomial::new(n, p).expect("hardness validated by SimConfig"))
             }
         };

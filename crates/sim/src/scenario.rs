@@ -321,7 +321,7 @@ impl Scenario {
     /// Panics if `i` is out of range.
     #[must_use]
     pub fn detector_delta(&self, i: usize) -> u64 {
-        self.phases[..=i]
+        self.phases[..=i] // detlint: allow(panic-slice-index) -- documented # Panics contract: i must be a phase index
             .iter()
             .rev()
             .find_map(|p| p.detector_delta)
@@ -477,6 +477,7 @@ impl ScenarioAdversary {
     /// the eclipsed group faster than Δ.
     fn apply_release_floor(&self, releases: &mut [ReleaseDirective], start: usize) {
         if let Regime::Eclipse { .. } = self.regime {
+            // detlint: allow(panic-slice-index) -- start is a prior releases.len() snapshot, so start <= len
             for release in &mut releases[start..] {
                 let floor = self.regime.release_floor(self.delta, release.group);
                 release.delay = release.delay.max(floor);
@@ -524,6 +525,7 @@ impl Adversary for ScenarioAdversary {
                 self.selfish
                     .act(round, group_tips, tree, successes, releases);
             }
+            // detlint: allow(panic-macro) -- the engine routes Composed strategies through act_split only
             StrategyKind::Composed(_) => unreachable!(
                 "composed phases are driven through act_split: the engine re-derives \
                  the sub split at every phase boundary"
@@ -715,7 +717,7 @@ impl ScenarioRunner {
             .snapshots
             .last()
             .cloned()
-            .expect("a scenario has at least one phase");
+            .expect("a scenario has at least one phase"); // detlint: allow(panic-expect) -- Scenario::new rejects empty phase lists, so one snapshot exists
         let mut phase_reports = Vec::with_capacity(self.snapshots.len());
         let mut prev: Option<&SimReport> = None;
         for (i, snap) in self.snapshots.iter().enumerate() {

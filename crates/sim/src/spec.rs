@@ -344,7 +344,7 @@ fn strip_comment(line: &str) -> &str {
         } else if ch == '"' {
             in_string = true;
         } else if ch == '#' {
-            return &line[..at];
+            return &line[..at]; // detlint: allow(panic-slice-index) -- `at` comes from char_indices over this very str
         }
     }
     line
@@ -387,7 +387,7 @@ impl<'a> Cursor<'a> {
         SpecError::new(self.line, message.into())
     }
 
-    fn expect(&mut self, ch: char) -> Result<(), SpecError> {
+    fn expect_char(&mut self, ch: char) -> Result<(), SpecError> {
         self.skip_ws();
         if self.bump() == Some(ch) {
             Ok(())
@@ -402,7 +402,7 @@ impl<'a> Cursor<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, SpecError> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut out = String::new();
         loop {
             match self.bump() {
@@ -440,7 +440,7 @@ impl<'a> Cursor<'a> {
         if self.pos == start {
             return Err(self.err(format!("expected a key in `{}`", self.source.trim())));
         }
-        Ok(self.chars[start..self.pos].iter().collect())
+        Ok(self.chars[start..self.pos].iter().collect()) // detlint: allow(panic-slice-index) -- pos only advances while peek() is Some, so pos <= len
     }
 
     fn parse_value(&mut self) -> Result<SpecValue, SpecError> {
@@ -478,7 +478,7 @@ impl<'a> Cursor<'a> {
                         return Ok(SpecValue::Table(table));
                     }
                     let key = self.parse_key()?;
-                    self.expect('=')?;
+                    self.expect_char('=')?;
                     let value = self.parse_value()?;
                     table.insert(key, self.line, value)?;
                     self.skip_ws();
@@ -500,7 +500,7 @@ impl<'a> Cursor<'a> {
         while matches!(self.peek(), Some(c) if !matches!(c, ',' | ']' | '}' | ' ' | '\t')) {
             self.pos += 1;
         }
-        let token: String = self.chars[start..self.pos].iter().collect();
+        let token: String = self.chars[start..self.pos].iter().collect(); // detlint: allow(panic-slice-index) -- pos only advances while peek() is Some, so pos <= len
         match token.as_str() {
             "true" => return Ok(SpecValue::Bool(true)),
             "false" => return Ok(SpecValue::Bool(false)),
@@ -555,18 +555,18 @@ fn table_at_mut<'a>(
 ) -> Result<&'a mut SpecTable, SpecError> {
     let mut current = root;
     for segment in path {
-        if !current.entries.iter().any(|e| &e.key == segment) {
-            current.entries.push(SpecEntry {
-                key: segment.clone(),
-                line,
-                value: SpecValue::Table(SpecTable::default()),
-            });
-        }
-        let entry = current
-            .entries
-            .iter_mut()
-            .find(|e| &e.key == segment)
-            .expect("just ensured present");
+        let idx = match current.entries.iter().position(|e| &e.key == segment) {
+            Some(idx) => idx,
+            None => {
+                current.entries.push(SpecEntry {
+                    key: segment.clone(),
+                    line,
+                    value: SpecValue::Table(SpecTable::default()),
+                });
+                current.entries.len() - 1
+            }
+        };
+        let entry = &mut current.entries[idx];
         current = match &mut entry.value {
             SpecValue::Table(t) => t,
             SpecValue::Array(items) => match items.last_mut() {
@@ -608,7 +608,9 @@ fn parse_document(input: &str) -> Result<SpecTable, SpecError> {
             if !cursor.at_end() {
                 return Err(cursor.err("trailing characters after `]]` header"));
             }
-            let (last, parents) = path.split_last().expect("parse_path yields ≥ 1 segment");
+            let Some((last, parents)) = path.split_last() else {
+                return Err(SpecError::new(line_no, "empty `[[...]]` header path"));
+            };
             let parent = table_at_mut(&mut root, parents, line_no)?;
             match parent.entries.iter_mut().find(|e| &e.key == last) {
                 None => parent.entries.push(SpecEntry {
@@ -639,7 +641,9 @@ fn parse_document(input: &str) -> Result<SpecTable, SpecError> {
             if !cursor.at_end() {
                 return Err(cursor.err("trailing characters after `]` header"));
             }
-            let (last, parents) = path.split_last().expect("parse_path yields ≥ 1 segment");
+            let Some((last, parents)) = path.split_last() else {
+                return Err(SpecError::new(line_no, "empty `[...]` header path"));
+            };
             let parent = table_at_mut(&mut root, parents, line_no)?;
             if parent.entries.iter().any(|e| &e.key == last) {
                 return Err(SpecError::new(
@@ -656,7 +660,7 @@ fn parse_document(input: &str) -> Result<SpecTable, SpecError> {
         } else {
             let mut cursor = Cursor::new(line, line_no);
             let key = cursor.parse_key()?;
-            cursor.expect('=')?;
+            cursor.expect_char('=')?;
             let value = cursor.parse_value()?;
             if !cursor.at_end() {
                 return Err(cursor.err(format!("trailing characters after value for `{key}`")));

@@ -47,8 +47,8 @@ use crate::montecarlo::{effective_threads, trial_streams};
 use probability::rare_event::{product_estimate, LevelOutcome};
 use probability::rng::{RandomSource, SplitMix64};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant; // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
 
 /// Domain-separation tag mixed into `config.seed` for the stage-seed
 /// stream, keeping stage-≥2 replica streams distinct from the stage-1
@@ -146,13 +146,12 @@ impl SplittingPlan {
                 "a splitting plan needs at least one replica per level (effort = 0)",
             ));
         }
-        if self.thresholds.is_empty() {
+        let Some(&max_t) = self.thresholds.iter().max() else {
             return Err(ConfigError::new(
                 "a splitting plan needs at least one consistency threshold",
             ));
-        }
+        };
         if let Some(levels) = &self.levels {
-            let max_t = *self.thresholds.iter().max().expect("non-empty thresholds");
             for (i, &level) in levels.iter().enumerate() {
                 if level == 0 {
                     return Err(ConfigError::new("splitting levels must be ≥ 1"));
@@ -177,7 +176,9 @@ impl SplittingPlan {
     /// threshold, sorted and deduplicated.
     #[must_use]
     pub fn stage_levels(&self) -> Vec<u64> {
-        let max_t = *self.thresholds.iter().max().expect("non-empty thresholds");
+        let Some(&max_t) = self.thresholds.iter().max() else {
+            return Vec::new();
+        };
         let mut ladder: Vec<u64> = match &self.levels {
             None => (1..=max_t + 1).collect(),
             Some(levels) => {
@@ -299,12 +300,19 @@ where
                     local.push((replica, survivor, rounds));
                 }
                 if !local.is_empty() {
-                    collected.lock().expect("no poisoned workers").extend(local);
+                    collected
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .extend(local);
                 }
             });
         }
     });
-    let mut collected = collected.into_inner().expect("no poisoned workers");
+    // A poisoned lock only means another worker panicked; that panic
+    // re-raises at the scope join, so recovering the data here is sound.
+    let mut collected = collected
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
     debug_assert_eq!(collected.len() as u64, effort);
     // Ordered reduction: replica order, not completion order.
     collected.sort_unstable_by_key(|&(replica, _, _)| replica);
@@ -339,9 +347,10 @@ where
     F: Fn(u64) -> A + Sync,
 {
     plan.validate()
-        .expect("invalid splitting plan: construct through SplittingPlan::new");
+        .expect("invalid splitting plan: construct through SplittingPlan::new"); // detlint: allow(panic-expect) -- documented # Panics contract for post-construction field mutation
     let ladder = plan.stage_levels();
     let effort = plan.effort;
+    // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
     let started = Instant::now();
     let mut stage_seeder = SplitMix64::new(plan.config.seed ^ STAGE_SEED_TAG);
     let mut level_stats: Vec<LevelStats> = Vec::with_capacity(ladder.len());

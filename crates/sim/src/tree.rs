@@ -126,7 +126,7 @@ impl BlockTree {
     pub fn add_block(&mut self, parent: BlockId, round: Round, provenance: Provenance) -> BlockId {
         let parent_block = self.block(parent);
         let height = parent_block.height + 1;
-        let id = BlockId(u32::try_from(self.total_created()).expect("block id space overflow"));
+        let id = BlockId(u32::try_from(self.total_created()).expect("block id space overflow")); // detlint: allow(panic-expect) -- documented BlockId capacity limit: u32 suffices below ~1e10 rounds
         self.blocks.push(Block {
             id,
             parent,

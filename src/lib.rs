@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate re-exporting the full reproduction of
 //! *"An Analysis of Blockchain Consistency in Asynchronous Networks:
 //! Deriving a Neat Bound"* (Jun Zhao, ICDCS 2020).
