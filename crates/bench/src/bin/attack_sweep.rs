@@ -60,15 +60,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         for (ni, nu_cell) in sweep.axes[1].cells.iter().enumerate() {
             let at = (ci * n_nu + ni) * n_attacks;
-            let private = &results[at];
-            let balance = &results[at + 1];
+            let private = &results[at]
+                .wilson()
+                .expect("committed spec samples")
+                .aggregate;
+            let balance = &results[at + 1]
+                .wilson()
+                .expect("committed spec samples")
+                .aggregate;
             println!(
                 "{:>6} {:>9} {:>24} {:>9} {:>24}",
                 nu_cell.label,
-                private.run.aggregate.max_reorg_depth,
-                table::failure_cell(&private.run.aggregate, t_consistency, 1.96),
-                balance.run.aggregate.max_divergence_depth,
-                table::failure_cell(&balance.run.aggregate, t_consistency, 1.96),
+                private.max_reorg_depth,
+                table::failure_cell(private, t_consistency, 1.96),
+                balance.max_divergence_depth,
+                table::failure_cell(balance, t_consistency, 1.96),
             );
         }
     }

@@ -83,14 +83,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{:>7}", split.label);
         for col in 0..n_pairs {
             let cell = &results[row * n_pairs + col];
-            let w = cell
-                .run
-                .aggregate
+            let aggregate = &cell.wilson().expect("committed spec samples").aggregate;
+            let w = aggregate
                 .failure_interval(t_consistency, 1.96)
                 .expect("threshold was requested");
             print!(
                 " {:>6} {:>30}",
-                table::depth_cell(&cell.run.aggregate),
+                table::depth_cell(aggregate),
                 table::ci_cell(&w)
             );
         }

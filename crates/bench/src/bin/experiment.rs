@@ -70,11 +70,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let results = experiment::run_spec(&spec)?;
     experiment::print_table(&results);
-    let rounds: u64 = results
-        .iter()
-        .map(|r| r.rounds_per_trial * r.run.aggregate.trials)
-        .sum();
-    let elapsed: f64 = results.iter().map(|r| r.run.elapsed_secs).sum();
+    let rounds: u64 = results.iter().map(|r| r.estimate.simulated_rounds()).sum();
+    let elapsed: f64 = results.iter().map(|r| r.estimate.elapsed_secs()).sum();
     println!("\n{rounds} simulated rounds in {elapsed:.2} s");
 
     if let Some(out) = &args.out {

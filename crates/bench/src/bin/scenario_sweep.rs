@@ -89,14 +89,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{:>8}", power.label);
         for col in 0..n_windows {
             let cell = &results[row * n_windows + col];
-            let w = cell
-                .run
-                .aggregate
+            let aggregate = &cell.wilson().expect("committed spec samples").aggregate;
+            let w = aggregate
                 .failure_interval(t_consistency, 1.96)
                 .expect("threshold was requested");
             print!(
                 " {:>6} {:>23}",
-                table::depth_cell(&cell.run.aggregate),
+                table::depth_cell(aggregate),
                 table::ci_cell(&w)
             );
         }

@@ -1,7 +1,8 @@
 //! The spec-driven experiment runner: loads an [`ExperimentSpec`]
-//! (single run or sweep grid), fans every cell out on the shared
-//! Monte-Carlo engine, and reports each cell's empirical Wilson
-//! intervals **with the paper's analytic bounds overlaid**
+//! (single run or sweep grid), executes every cell on the backend the
+//! spec selects — sampled Wilson trials, rare-event splitting, or the
+//! exact Markov race solve — and reports each cell's estimate **with
+//! the paper's analytic bounds overlaid**
 //! ([`consistency_core::analytic`]) — as a human table and as
 //! machine-readable JSON.
 //!
@@ -10,15 +11,14 @@
 //! `compose_sweep` harnesses; the binaries only differ in how they
 //! pivot the flat cell list for display.
 
-use consistency_core::analytic::{self, AnalyticBounds, BoundVerdict};
+use consistency_core::analytic::{self, AnalyticBounds, BoundComparison, BoundVerdict};
+use nakamoto_sim::exact::{ExactEstimate, ExactRun};
 use nakamoto_sim::montecarlo::MonteCarloRun;
-use nakamoto_sim::spec::{
-    EstimatorKind, ExperimentCell, ExperimentMode, ExperimentSpec, SpecError,
-};
+use nakamoto_sim::spec::{Estimate, ExperimentCell, ExperimentMode, ExperimentSpec, SpecError};
 use nakamoto_sim::splitting::SplittingRun;
 
 /// One executed cell: its sweep labels, the concrete spec it ran, the
-/// Monte-Carlo result, and the analytic overlay (absent for the
+/// backend-tagged estimate, and the analytic overlay (absent for the
 /// adversary-free `ν = 0` baseline, which the bounds don't cover).
 #[derive(Debug, Clone)]
 pub struct CellResult {
@@ -26,20 +26,46 @@ pub struct CellResult {
     pub labels: Vec<String>,
     /// The concrete (sweep-free) spec this cell ran.
     pub spec: ExperimentSpec,
-    /// Rounds each trial simulated.
+    /// Rounds each trial simulated (bookkeeping only for exact cells).
     pub rounds_per_trial: u64,
-    /// The Monte-Carlo aggregate and wall-clock metrics.
-    pub run: MonteCarloRun,
-    /// The rare-event splitting estimate, when the cell selected
-    /// `estimator = "splitting"` (it runs *beside* the Wilson trials,
-    /// not instead of them).
-    pub splitting: Option<SplittingRun>,
+    /// The backend-tagged estimate the cell's plan produced.
+    pub estimate: Estimate,
     /// The paper's predictions for the cell's *binding* parameters:
     /// the `[base]` config for stationary cells, the highest-ν phase
     /// configuration for scenario cells (a bound computed from a calm
     /// base would say nothing about the attack window actually driving
     /// the cell's failure rate).
     pub analytic: Option<AnalyticBounds>,
+}
+
+impl CellResult {
+    /// The Wilson Monte-Carlo run, for cells that sampled one.
+    #[must_use]
+    pub fn wilson(&self) -> Option<&MonteCarloRun> {
+        match &self.estimate {
+            Estimate::Wilson(run) => Some(run),
+            _ => None,
+        }
+    }
+
+    /// The splitting run, for cells that selected the splitting
+    /// estimator.
+    #[must_use]
+    pub fn splitting(&self) -> Option<&SplittingRun> {
+        match &self.estimate {
+            Estimate::Splitting(run) => Some(run),
+            _ => None,
+        }
+    }
+
+    /// The exact Markov solve, for `backend = "markov"` cells.
+    #[must_use]
+    pub fn exact(&self) -> Option<&ExactRun> {
+        match &self.estimate {
+            Estimate::Exact(run) => Some(run),
+            _ => None,
+        }
+    }
 }
 
 /// Expands and runs every cell of a spec, in sweep order.
@@ -57,17 +83,13 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<Vec<CellResult>, SpecError> {
 ///
 /// Returns [`SpecError`] if the cell's plan fails validation.
 pub fn run_cell(cell: ExperimentCell) -> Result<CellResult, SpecError> {
-    let plan = cell.spec.plan()?;
-    let rounds_per_trial = plan.rounds_per_trial();
-    let run = plan.run();
-    let splitting = plan.run_splitting();
+    let outcome = cell.spec.plan()?.execute();
     let analytic = analytic::for_sim_config(&binding_config(&cell.spec)?);
     Ok(CellResult {
         labels: cell.labels,
         spec: cell.spec,
-        rounds_per_trial,
-        run,
-        splitting,
+        rounds_per_trial: outcome.rounds_per_trial,
+        estimate: outcome.estimate,
         analytic,
     })
 }
@@ -171,19 +193,22 @@ pub fn apply_budget(
     }
 }
 
-/// Prints the flat cell table: one row per cell with the depth, every
-/// threshold's Wilson CI, the splitting estimate with its relative
-/// error (when the cell selected the splitting estimator), and the
+/// Prints the flat cell table: one row per cell with the depth (for
+/// sampled cells), every threshold's estimate in the cell's backend —
+/// a Wilson 95% CI, a splitting estimate with its relative error, or
+/// the exact probability with its additive truncation bound — and the
 /// theorem-1 margin / consistency verdict columns of the analytic
-/// overlay. Splitting cells get an extra `vs race bound` column
-/// holding the three-standard-error verdict against the race-analysis
-/// failure scale at the largest threshold.
+/// overlay. Splitting and exact cells get an extra `vs race bound`
+/// column holding the verdict against the race-analysis failure scale
+/// at the largest threshold.
 pub fn print_table(results: &[CellResult]) {
     let thresholds: Vec<u64> = results
         .first()
         .map(|r| r.spec.run.thresholds.clone())
         .unwrap_or_default();
-    let has_splitting = results.iter().any(|r| r.splitting.is_some());
+    let has_race_column = results
+        .iter()
+        .any(|r| !matches!(r.estimate, Estimate::Wilson(_)));
     let label_width = results
         .iter()
         .map(|r| cell_name(r).len())
@@ -192,31 +217,22 @@ pub fn print_table(results: &[CellResult]) {
         .unwrap_or(4);
     print!("{:<label_width$} {:>6}", "cell", "depth");
     for t in &thresholds {
-        print!(" {:>23}", format!("P[¬{t}-cons] (95% CI)"));
+        print!(" {:>23}", format!("P[¬{t}-cons]"));
     }
-    if has_splitting {
-        for t in &thresholds {
-            print!(" {:>20}", format!("split P[¬{t}] (±re)"));
-        }
+    if has_race_column {
         print!(" {:>14}", "vs race bound");
     }
     println!(" {:>13} {:>10}", "thm1 margin", "consistent");
     for result in results {
-        print!(
-            "{:<label_width$} {:>6}",
-            cell_name(result),
-            crate::table::depth_cell(&result.run.aggregate)
+        let depth = result.wilson().map_or_else(
+            || "—".into(),
+            |run| crate::table::depth_cell(&run.aggregate).to_string(),
         );
+        print!("{:<label_width$} {:>6}", cell_name(result), depth);
         for t in &thresholds {
-            print!(
-                " {:>23}",
-                crate::table::failure_cell(&result.run.aggregate, *t, 1.96)
-            );
+            print!(" {:>23}", threshold_cell(result, *t));
         }
-        if has_splitting {
-            for t in &thresholds {
-                print!(" {:>20}", splitting_cell(result, *t));
-            }
+        if has_race_column {
             print!(" {:>14}", race_verdict_cell(result, &thresholds));
         }
         match &result.analytic {
@@ -230,35 +246,86 @@ pub fn print_table(results: &[CellResult]) {
     }
 }
 
-/// The splitting estimate for one threshold as a table cell:
-/// `estimate ±relative-error`, `0 (starved@ℓ)` for a starved chain, or
-/// `—` for a Wilson-only cell.
-fn splitting_cell(result: &CellResult, t: u64) -> String {
-    let Some(estimate) = result.splitting.as_ref().and_then(|s| s.estimate_at(t)) else {
-        return "—".into();
-    };
-    match (estimate.relative_error, estimate.starved_at) {
-        (Some(re), _) => format!("{:.3e} ±{:.0}%", estimate.probability, re * 100.0),
-        (None, Some(level)) => format!("0 (starved@{level})"),
-        (None, None) => "0".into(),
+/// One threshold's estimate as a table cell, in the backend the cell
+/// ran: a Wilson 95% CI, a splitting `estimate ±relative-error`
+/// (`0 (starved@ℓ)` for a starved chain), or the exact probability
+/// with its additive truncation bound.
+fn threshold_cell(result: &CellResult, t: u64) -> String {
+    match &result.estimate {
+        Estimate::Wilson(run) => crate::table::failure_cell(&run.aggregate, t, 1.96),
+        Estimate::Splitting(run) => {
+            let Some(estimate) = run.estimate_at(t) else {
+                return "—".into();
+            };
+            match (estimate.relative_error, estimate.starved_at) {
+                (Some(re), _) => format!("{:.3e} ±{:.0}%", estimate.probability, re * 100.0),
+                (None, Some(level)) => format!("0 (starved@{level})"),
+                (None, None) => "0".into(),
+            }
+        }
+        Estimate::Exact(run) => {
+            let Some(estimate) = run.estimate_at(t) else {
+                return "—".into();
+            };
+            format!(
+                "{:.6e} +≤{:.0e}",
+                estimate.probability, estimate.truncation_error
+            )
+        }
     }
 }
 
 /// The bound-vs-estimate verdict at the *largest* threshold — the cell
-/// the rare-event comparison is about; `—` when no splitting estimate
-/// or no race bound applies.
+/// the race-analysis comparison is about; `—` for Wilson cells or when
+/// no race bound applies. Splitting estimates are judged under the
+/// three-standard-error rule; exact answers under the sharper
+/// truncation-bound rule of [`compare_exact`].
 fn race_verdict_cell(result: &CellResult, thresholds: &[u64]) -> String {
-    let (Some(&t), Some(splitting)) = (thresholds.iter().max(), result.splitting.as_ref()) else {
+    let (Some(&t), Some(bounds)) = (thresholds.iter().max(), result.analytic.as_ref()) else {
         return "—".into();
     };
-    let (Some(bounds), Some(estimate)) = (result.analytic.as_ref(), splitting.estimate_at(t))
-    else {
-        return "—".into();
+    let comparison = match &result.estimate {
+        Estimate::Wilson(_) => return "—".into(),
+        Estimate::Splitting(run) => run.estimate_at(t).and_then(|estimate| {
+            bounds.compare_race_estimate(t, estimate.probability, estimate.standard_error())
+        }),
+        Estimate::Exact(run) => run
+            .estimate_at(t)
+            .and_then(|estimate| compare_exact(bounds, estimate)),
     };
-    match bounds.compare_race_estimate(t, estimate.probability, estimate.standard_error()) {
+    match comparison {
         Some(cmp) => verdict_token(cmp.verdict).into(),
         None => "—".into(),
     }
+}
+
+/// Relative float tolerance granted when comparing an exact solve
+/// against the closed-form race scale: the two compute the same
+/// quantity along different arithmetic routes (a linear solve vs a
+/// direct power), so they agree only to rounding — observed at a few
+/// ulps, bounded generously here.
+const EXACT_COMPARE_RTOL: f64 = 1e-9;
+
+/// The race-analysis comparison for an exact estimate. The capped
+/// solve provably under-counts the closed-form scale by at most the
+/// truncation bound, so no statistical hedge applies: after allowing
+/// that bound plus [`EXACT_COMPARE_RTOL`] of float slack, anything
+/// above the scale is a genuine disagreement (`ExceedsBound`), and
+/// everything else is `WithinBound` — never `Inconclusive`.
+fn compare_exact(bounds: &AnalyticBounds, estimate: &ExactEstimate) -> Option<BoundComparison> {
+    let bound = bounds.race_failure_scale(estimate.threshold)?;
+    let tolerance = estimate.truncation_error + EXACT_COMPARE_RTOL * bound;
+    let verdict = if estimate.probability <= bound + tolerance {
+        BoundVerdict::WithinBound
+    } else {
+        BoundVerdict::ExceedsBound
+    };
+    Some(BoundComparison {
+        bound,
+        estimate: estimate.probability,
+        standard_error: None,
+        verdict,
+    })
 }
 
 /// The JSON/table token for a [`BoundVerdict`].
@@ -310,18 +377,19 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-/// Renders the executed cells as a machine-readable JSON document:
-/// per-cell aggregates, Wilson intervals for every threshold, and the
-/// analytic-bound overlay (`analytic: null` for the ν = 0 baseline).
+/// Renders the executed cells as a machine-readable JSON document: a
+/// `montecarlo` / `splitting` / `exact` block per cell (exactly one of
+/// the three is non-null, matching the cell's backend-tagged
+/// estimate), and the analytic-bound overlay (`analytic: null` for the
+/// ν = 0 baseline).
 #[must_use]
 pub fn to_json(name: &str, results: &[CellResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"spec\": \"{}\",\n", json_escape(name)));
-    out.push_str("  \"schema\": \"experiment-v1\",\n");
+    out.push_str("  \"schema\": \"experiment-v2\",\n");
     out.push_str("  \"cells\": [\n");
     for (i, result) in results.iter().enumerate() {
-        let aggregate = &result.run.aggregate;
         out.push_str("    {\n");
         let labels: Vec<String> = result
             .labels
@@ -330,55 +398,64 @@ pub fn to_json(name: &str, results: &[CellResult]) -> String {
             .collect();
         out.push_str(&format!("      \"labels\": [{}],\n", labels.join(", ")));
         out.push_str(&format!("      \"seed\": {},\n", result.spec.base.seed));
-        out.push_str(&format!("      \"trials\": {},\n", aggregate.trials));
+        out.push_str(&format!(
+            "      \"backend\": \"{}\",\n",
+            result.estimate.backend()
+        ));
+        out.push_str(&format!(
+            "      \"estimator\": \"{}\",\n",
+            result.spec.run.estimator
+        ));
         out.push_str(&format!(
             "      \"rounds_per_trial\": {},\n",
             result.rounds_per_trial
         ));
-        out.push_str(&format!(
-            "      \"total_honest_blocks\": {},\n",
-            aggregate.total_honest_blocks
-        ));
-        out.push_str(&format!(
-            "      \"total_adversary_blocks\": {},\n",
-            aggregate.total_adversary_blocks
-        ));
-        out.push_str(&format!(
-            "      \"total_convergence_opportunities\": {},\n",
-            aggregate.total_convergence_opportunities
-        ));
-        out.push_str(&format!(
-            "      \"max_reorg_depth\": {},\n",
-            aggregate.max_reorg_depth
-        ));
-        out.push_str(&format!(
-            "      \"max_divergence_depth\": {},\n",
-            aggregate.max_divergence_depth
-        ));
-        out.push_str("      \"failures\": [");
-        for (j, &(t, failures)) in aggregate.failure_counts.iter().enumerate() {
-            if j > 0 {
-                out.push_str(", ");
+        match result.wilson() {
+            None => out.push_str("      \"montecarlo\": null,\n"),
+            Some(run) => {
+                let aggregate = &run.aggregate;
+                out.push_str("      \"montecarlo\": {\n");
+                out.push_str(&format!("        \"trials\": {},\n", aggregate.trials));
+                out.push_str(&format!(
+                    "        \"total_honest_blocks\": {},\n",
+                    aggregate.total_honest_blocks
+                ));
+                out.push_str(&format!(
+                    "        \"total_adversary_blocks\": {},\n",
+                    aggregate.total_adversary_blocks
+                ));
+                out.push_str(&format!(
+                    "        \"total_convergence_opportunities\": {},\n",
+                    aggregate.total_convergence_opportunities
+                ));
+                out.push_str(&format!(
+                    "        \"max_reorg_depth\": {},\n",
+                    aggregate.max_reorg_depth
+                ));
+                out.push_str(&format!(
+                    "        \"max_divergence_depth\": {},\n",
+                    aggregate.max_divergence_depth
+                ));
+                out.push_str("        \"failures\": [");
+                for (j, &(t, failures)) in aggregate.failure_counts.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let w = aggregate
+                        .failure_interval(t, 1.96)
+                        .expect("non-empty aggregate carries every plan threshold");
+                    out.push_str(&format!(
+                        "{{\"threshold\": {t}, \"failures\": {failures}, \"estimate\": {}, \"lo\": {}, \"hi\": {}}}",
+                        json_f64(w.estimate),
+                        json_f64(w.lo),
+                        json_f64(w.hi)
+                    ));
+                }
+                out.push_str("]\n");
+                out.push_str("      },\n");
             }
-            let w = aggregate
-                .failure_interval(t, 1.96)
-                .expect("non-empty aggregate carries every plan threshold");
-            out.push_str(&format!(
-                "{{\"threshold\": {t}, \"failures\": {failures}, \"estimate\": {}, \"lo\": {}, \"hi\": {}}}",
-                json_f64(w.estimate),
-                json_f64(w.lo),
-                json_f64(w.hi)
-            ));
         }
-        out.push_str("],\n");
-        out.push_str(&format!(
-            "      \"estimator\": \"{}\",\n",
-            match result.spec.run.estimator {
-                EstimatorKind::Wilson => "wilson",
-                EstimatorKind::Splitting => "splitting",
-            }
-        ));
-        match &result.splitting {
+        match result.splitting() {
             None => out.push_str("      \"splitting\": null,\n"),
             Some(splitting) => {
                 out.push_str("      \"splitting\": {\n");
@@ -422,6 +499,41 @@ pub fn to_json(name: &str, results: &[CellResult]) -> String {
                         estimate.relative_error.map_or("null".into(), json_f64),
                         estimate.standard_error().map_or("null".into(), json_f64),
                         estimate.starved_at.map_or("null".into(), |l| l.to_string()),
+                        comparison.map_or("null".into(), |c| json_f64(c.bound)),
+                        comparison.map_or("null".into(), |c| format!(
+                            "\"{}\"",
+                            verdict_token(c.verdict)
+                        )),
+                    ));
+                }
+                out.push_str("]\n");
+                out.push_str("      },\n");
+            }
+        }
+        match result.exact() {
+            None => out.push_str("      \"exact\": null,\n"),
+            Some(exact) => {
+                out.push_str("      \"exact\": {\n");
+                out.push_str(&format!("        \"q\": {},\n", json_f64(exact.q)));
+                out.push_str(&format!("        \"cap\": {},\n", exact.cap));
+                out.push_str("        \"estimates\": [");
+                for (j, estimate) in exact.estimates.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let comparison = result
+                        .analytic
+                        .as_ref()
+                        .and_then(|b| compare_exact(b, estimate));
+                    out.push_str(&format!(
+                        "{{\"threshold\": {}, \"probability\": {}, \"truncation_error\": {}, \
+                         \"upper\": {}, \"expected_race_steps\": {}, \"race_bound\": {}, \
+                         \"race_verdict\": {}}}",
+                        estimate.threshold,
+                        json_f64(estimate.probability),
+                        json_f64(estimate.truncation_error),
+                        json_f64(estimate.probability + estimate.truncation_error),
+                        json_f64(estimate.expected_race_steps),
                         comparison.map_or("null".into(), |c| json_f64(c.bound)),
                         comparison.map_or("null".into(), |c| format!(
                             "\"{}\"",
@@ -642,7 +754,8 @@ mod tests {
         let results = run_spec(&spec).unwrap();
         assert_eq!(results.len(), 1);
         let cell = &results[0];
-        assert_eq!(cell.run.aggregate.trials, 2);
+        let run = cell.wilson().expect("default backend samples trials");
+        assert_eq!(run.aggregate.trials, 2);
         assert_eq!(cell.rounds_per_trial, 500);
         let bounds = cell.analytic.as_ref().expect("ν > 0 carries bounds");
         assert!(bounds.theorem1_ln_margin.is_finite());
@@ -780,7 +893,7 @@ mod tests {
         let batched = run_spec(&batched_spec).unwrap();
         assert_eq!(scalar.len(), batched.len());
         for (s, b) in scalar.iter().zip(&batched) {
-            assert_eq!(s.run.aggregate, b.run.aggregate);
+            assert_eq!(s.wilson().unwrap().aggregate, b.wilson().unwrap().aggregate);
         }
     }
 
@@ -816,31 +929,75 @@ mod tests {
     "#;
 
     #[test]
-    fn splitting_cells_carry_both_estimators() {
+    fn splitting_cells_carry_the_splitting_estimate() {
         let spec = ExperimentSpec::parse(SPLITTING_SPEC).unwrap();
         let results = run_spec(&spec).unwrap();
         let cell = &results[0];
-        assert_eq!(cell.run.aggregate.trials, 2, "Wilson half still runs");
-        let splitting = cell.splitting.as_ref().expect("splitting selected");
+        assert!(cell.wilson().is_none(), "splitting replaces the trials");
+        let splitting = cell.splitting().expect("splitting selected");
         assert!(!splitting.levels.is_empty());
         assert_eq!(splitting.estimates.len(), 2);
         let json = to_json("splitting", &results);
         assert!(json_is_well_formed(&json), "malformed:\n{json}");
         assert!(json.contains("\"estimator\": \"splitting\""));
+        assert!(json.contains("\"montecarlo\": null"));
         assert!(json.contains("\"race_verdict\""));
         assert!(json.contains("\"race_bound\""));
         print_table(&results); // must not panic
     }
 
     #[test]
-    fn wilson_cells_have_null_splitting() {
+    fn wilson_cells_have_null_splitting_and_exact() {
         let spec = ExperimentSpec::parse(TINY_SPEC).unwrap();
         let results = run_spec(&spec).unwrap();
-        assert!(results[0].splitting.is_none());
+        assert!(results[0].splitting().is_none());
+        assert!(results[0].exact().is_none());
         let json = to_json("tiny", &results);
+        assert!(json.contains("\"backend\": \"montecarlo\""));
         assert!(json.contains("\"estimator\": \"wilson\""));
         assert!(json.contains("\"splitting\": null"));
+        assert!(json.contains("\"exact\": null"));
         assert!(json_is_well_formed(&json), "{json}");
+    }
+
+    const MARKOV_SPEC: &str = r#"
+        [experiment]
+        thresholds = [6, 12]
+        backend = "markov"
+
+        [base]
+        n_miners = 100
+        delta = 4
+        c = 3.0
+        adversary_fraction = 0.15
+        seed = 7
+
+        [stationary]
+        strategy = "private-chain"
+        rounds = 30000
+    "#;
+
+    #[test]
+    fn markov_cells_carry_the_exact_solve_with_a_within_bound_verdict() {
+        let spec = ExperimentSpec::parse(MARKOV_SPEC).unwrap();
+        let results = run_spec(&spec).unwrap();
+        let cell = &results[0];
+        assert!(cell.wilson().is_none(), "exact cells never sample");
+        let exact = cell.exact().expect("markov backend selected");
+        assert_eq!(exact.estimates.len(), 2);
+        // The capped solve under-counts the closed-form race scale, so
+        // the analytic comparison must come back within-bound.
+        assert_eq!(
+            race_verdict_cell(cell, &cell.spec.run.thresholds),
+            "within-bound"
+        );
+        let json = to_json("markov", &results);
+        assert!(json_is_well_formed(&json), "malformed:\n{json}");
+        assert!(json.contains("\"backend\": \"markov\""));
+        assert!(json.contains("\"montecarlo\": null"));
+        assert!(json.contains("\"truncation_error\""));
+        assert!(json.contains("\"race_verdict\": \"within-bound\""));
+        print_table(&results); // must not panic
     }
 
     /// `--trials` is the budget knob CI smokes with, so it must also

@@ -29,7 +29,7 @@ fn adaptive_sweep_meets_target_at_a_fraction_of_the_fixed_budget() {
     let mut adaptive_total = 0u64;
     for cell in &results {
         let name = experiment::cell_name(cell);
-        let aggregate = &cell.run.aggregate;
+        let aggregate = &cell.wilson().expect("adaptive cells sample").aggregate;
         adaptive_total += aggregate.trials;
         assert!(
             aggregate.trials < budget,

@@ -206,6 +206,7 @@ fn experiment_entry_runs_every_committed_spec() {
         "attack_sweep",
         "attack_window",
         "compose_sweep",
+        "markov_exact",
         "rare_event",
         "scenario_sweep",
         "theorem1_check",
@@ -239,6 +240,22 @@ fn experiment_entry_runs_every_committed_spec() {
             );
             let bounds = results[0].analytic.as_ref().expect("ν > 0 carries bounds");
             assert!(bounds.theorem1_holds, "c = 3 at ν = 0.3 is consistent");
+        }
+        if name == "markov_exact" {
+            // Budget overrides must leave the exact backend exact: the
+            // cell carries probabilities with truncation bounds, not a
+            // two-trial Wilson interval.
+            let exact = results[0].exact().expect("markov backend selected");
+            assert!(
+                exact.estimates.iter().all(|e| e.probability > 0.0
+                    && e.truncation_error.is_finite()
+                    && e.truncation_error < e.probability),
+                "{name}: exact estimates must dominate their truncation bounds"
+            );
+            assert!(
+                json.contains("\"backend\": \"markov\"") && json.contains("\"truncation_error\""),
+                "{name}: the JSON must carry the exact block:\n{json}"
+            );
         }
     }
 }

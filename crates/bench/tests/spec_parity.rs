@@ -25,7 +25,10 @@ fn spec_aggregates(source: &str, rounds: u64, trials: u64) -> Vec<TrialAggregate
     experiment::run_spec(&spec)
         .expect("committed spec runs")
         .into_iter()
-        .map(|cell| cell.run.aggregate)
+        .map(|cell| match cell.estimate {
+            nakamoto_sim::spec::Estimate::Wilson(run) => run.aggregate,
+            _ => panic!("the committed sweep specs sample Wilson trials"),
+        })
         .collect()
 }
 

@@ -1,0 +1,234 @@
+//! Finite-horizon lead-distribution truncation of the private-chain
+//! race.
+//!
+//! Where [`race`] solves the capped race to absorption,
+//! this module pushes the adversary's *lead distribution* — a point
+//! mass at the starting deficit — through a fixed number of race steps
+//! on the same capped chain and reads off how the probability mass has
+//! split: already absorbed at deficit 0 (a consistency violation),
+//! already absorbed at the cap (declared safe), or still in flight at
+//! an interior deficit.
+//!
+//! The point of the exercise is the error accounting. Classifying the
+//! infinite race's paths at the first exit of `(0, cap)` or at the
+//! horizon, whichever comes first, gives
+//!
+//! ```text
+//! p_∞ = violation + escaped·p_∞(cap) + Σ_d mass(d)·p_∞(d)
+//! ```
+//!
+//! and each residual catch-up probability `p_∞(d)` is dominated by the
+//! gambler's-ruin tail [`race::escape_tail_bound`]. The reported
+//! [`LeadTruncation::truncation_error`] is that dominated remainder,
+//! so `[violation, violation + truncation_error]` provably brackets
+//! the un-truncated violation probability at *every* horizon — the
+//! bound tightens as in-flight mass drains, recovering the absorbing
+//! answer in the limit.
+//!
+//! [`race::escape_tail_bound`]: crate::race::escape_tail_bound
+
+use crate::race::{self, escape_tail_bound};
+use crate::{Error, Result};
+
+/// Largest admissible horizon: one step of distribution evolution is
+/// `O(cap)`, so this ceiling keeps a full analysis around a
+/// millisecond even at [`race::MAX_CAP`].
+pub const MAX_STEPS: u64 = 1 << 20;
+
+/// The lead distribution after a fixed number of race steps, with a
+/// provable bound on the violation mass the truncation may still hide.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeadTruncation {
+    /// The consistency depth `T` the race starts behind.
+    pub threshold: u64,
+    /// The deficit at which the capped chain declares the race safe.
+    pub cap: u64,
+    /// Number of race steps the distribution was evolved.
+    pub steps: u64,
+    /// Mass absorbed at deficit 0 within the horizon: a certified
+    /// lower bound on the violation probability.
+    pub violation: f64,
+    /// Mass absorbed at the cap within the horizon.
+    pub escaped: f64,
+    /// Mass still at interior deficits, indexed from deficit 1 to
+    /// `cap − 1` (length `cap − 1`).
+    pub in_flight: Vec<f64>,
+    /// Rigorous upper bound on `p_∞ − violation`: the escaped and
+    /// in-flight masses weighted by their gambler's-ruin tails.
+    pub truncation_error: f64,
+}
+
+impl LeadTruncation {
+    /// Total in-flight mass.
+    #[must_use]
+    pub fn in_flight_mass(&self) -> f64 {
+        self.in_flight.iter().sum()
+    }
+
+    /// The interval `[violation, violation + truncation_error]`
+    /// guaranteed to contain the un-truncated violation probability
+    /// (upper end clamped to 1).
+    #[must_use]
+    pub fn bracket(&self) -> (f64, f64) {
+        (
+            self.violation,
+            (self.violation + self.truncation_error).min(1.0),
+        )
+    }
+}
+
+/// Evolves a point mass at deficit `threshold` through `steps` race
+/// steps on the capped chain and accounts for every unit of
+/// probability: absorbed-violating, absorbed-safe, or in flight —
+/// the latter two folded into a provable truncation-error bound.
+///
+/// # Errors
+///
+/// [`Error::BadShape`] when `q ∉ (0, 1)`, `threshold` is 0,
+/// `cap ≤ threshold`, `cap > MAX_CAP`, or `steps > MAX_STEPS`
+/// (chain-shape errors propagate from [`race::race_chain`]).
+///
+/// ```
+/// use markov::lead::lead_distribution;
+///
+/// let lead = lead_distribution(0.3, 4, 40, 4_000)?;
+/// // After 4000 steps essentially nothing is still in flight, so the
+/// // bracket has collapsed onto the absorbing answer.
+/// assert!(lead.in_flight_mass() < 1e-12);
+/// let (lo, hi) = lead.bracket();
+/// assert!(hi - lo < 1e-12);
+/// # Ok::<(), markov::Error>(())
+/// ```
+pub fn lead_distribution(q: f64, threshold: u64, cap: u64, steps: u64) -> Result<LeadTruncation> {
+    if threshold == 0 {
+        return Err(Error::BadShape {
+            message: "race threshold must be at least 1".into(),
+        });
+    }
+    if cap <= threshold {
+        return Err(Error::BadShape {
+            message: format!("race cap {cap} must exceed the threshold {threshold}"),
+        });
+    }
+    if steps > MAX_STEPS {
+        return Err(Error::BadShape {
+            message: format!("horizon {steps} exceeds the supported maximum {MAX_STEPS}"),
+        });
+    }
+    let chain = race::race_chain(q, cap)?;
+    let start = usize::try_from(threshold).expect("threshold < cap ≤ MAX_CAP fits usize");
+    let end = usize::try_from(cap).expect("cap ≤ MAX_CAP fits usize");
+    let n_steps = usize::try_from(steps).expect("steps ≤ MAX_STEPS fits usize");
+    let dist = chain.step_n(&chain.point_distribution(start), n_steps);
+    let in_flight: Vec<f64> = dist[1..end].to_vec();
+    let tail: f64 = in_flight
+        .iter()
+        .enumerate()
+        .map(|(i, &mass)| mass * escape_tail_bound(q, i as u64 + 1))
+        .sum();
+    Ok(LeadTruncation {
+        threshold,
+        cap,
+        steps,
+        violation: dist[0],
+        escaped: dist[end],
+        in_flight,
+        truncation_error: dist[end] * escape_tail_bound(q, cap) + tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::race::violation_probability;
+
+    #[test]
+    fn mass_is_conserved() {
+        let lead = lead_distribution(0.35, 3, 20, 57).unwrap();
+        let total = lead.violation + lead.escaped + lead.in_flight_mass();
+        assert!((total - 1.0).abs() < 1e-12, "total mass {total}");
+        assert_eq!(lead.in_flight.len(), 19);
+    }
+
+    #[test]
+    fn brackets_the_absorbing_answer_at_every_horizon() {
+        let q = 0.3;
+        let (z, cap) = (4, 30);
+        let absorbing = violation_probability(q, z, cap).unwrap();
+        for steps in [0, 1, 5, 25, 100, 1_000] {
+            let lead = lead_distribution(q, z, cap, steps).unwrap();
+            let (lo, hi) = lead.bracket();
+            assert!(
+                lo <= absorbing.probability + 1e-15,
+                "steps {steps}: lower end {lo} overshoots"
+            );
+            // The absorbing answer itself under-counts p_∞ by at most
+            // its own truncation error, so the lead bracket must reach
+            // at least that far.
+            assert!(
+                hi + 1e-15 >= absorbing.probability,
+                "steps {steps}: upper end {hi} falls short of {}",
+                absorbing.probability
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_the_absorbing_answer() {
+        let q = 0.3;
+        let (z, cap) = (4, 30);
+        let absorbing = violation_probability(q, z, cap).unwrap();
+        let lead = lead_distribution(q, z, cap, 10_000).unwrap();
+        assert!(lead.in_flight_mass() < 1e-12);
+        assert!((lead.violation - absorbing.probability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn violation_mass_is_monotone_in_the_horizon() {
+        let mut last = -1.0;
+        for steps in [0, 2, 8, 32, 128] {
+            let lead = lead_distribution(0.4, 2, 16, steps).unwrap();
+            assert!(lead.violation >= last, "absorbed mass only grows");
+            last = lead.violation;
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn zero_steps_is_the_pure_prior() {
+        let lead = lead_distribution(0.25, 5, 12, 0).unwrap();
+        assert_eq!(lead.violation, 0.0);
+        assert_eq!(lead.escaped, 0.0);
+        assert!((lead.in_flight[4] - 1.0).abs() < 1e-15, "point mass at 5");
+        // With everything in flight at deficit 5, the bound is exactly
+        // the tail from there.
+        assert!((lead.truncation_error - escape_tail_bound(0.25, 5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bound_tightens_as_mass_drains() {
+        let early = lead_distribution(0.3, 3, 24, 10).unwrap();
+        let late = lead_distribution(0.3, 3, 24, 1_000).unwrap();
+        assert!(late.truncation_error < early.truncation_error);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(matches!(
+            lead_distribution(0.3, 0, 10, 5),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            lead_distribution(0.3, 10, 10, 5),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            lead_distribution(1.5, 3, 10, 5),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            lead_distribution(0.3, 3, 10, MAX_STEPS + 1),
+            Err(Error::BadShape { .. })
+        ));
+    }
+}

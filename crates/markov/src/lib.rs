@@ -20,6 +20,10 @@
 //!   behind the paper's Inequality (19).
 //! * [`hitting`] — expected hitting and return times.
 //! * [`walk`] — random-walk sampling with occupancy statistics.
+//! * [`race`] / [`lead`] — the exact private-chain-race backends of the
+//!   spec-driven experiment layer: capped absorbing-race solves and
+//!   finite-horizon lead-distribution truncations, each carrying a
+//!   provable truncation-error bound.
 //!
 //! # Example
 //!
@@ -41,7 +45,9 @@ pub mod absorption;
 pub mod chain;
 pub mod concentration;
 pub mod hitting;
+pub mod lead;
 pub mod mixing;
+pub mod race;
 pub mod stationary;
 pub mod structure;
 pub mod walk;

@@ -1,0 +1,290 @@
+//! Exact private-chain race analysis on a capped absorbing chain.
+//!
+//! The paper reduces a `T`-consistency violation to the adversary's
+//! private chain catching up a deficit of `T` blocks while each new
+//! block extends the adversary's chain with probability `q` and the
+//! honest chain with probability `1 − q`. On the integer lattice of
+//! the adversary's *deficit* this is a birth–death chain: from deficit
+//! `d` the race moves to `d − 1` with probability `q` and to `d + 1`
+//! with probability `1 − q`. Deficit `0` — the adversary has caught up
+//! and can rewrite depth `T` — is absorbing, and this module caps the
+//! state space at a second absorbing deficit `cap`, turning the
+//! infinite race into a finite chain that [`absorption::analyze`]
+//! solves exactly.
+//!
+//! Capping truncates probability mass: a race that reaches `cap` is
+//! declared safe, while on the infinite chain it could still catch up
+//! later. The omitted mass is provably small — from deficit `cap` the
+//! infinite-chain catch-up probability is at most
+//! `min(1, (q/(1−q))^cap)` (the gambler's-ruin tail; see
+//! [`escape_tail_bound`]) — so every exact answer here carries a
+//! rigorous [`ExactRace::truncation_error`] rather than a heuristic
+//! "cap was probably large enough".
+//!
+//! [`absorption::analyze`]: crate::absorption::analyze
+
+use crate::absorption;
+use crate::chain::{MarkovChain, MarkovChainBuilder};
+use crate::{Error, Result};
+
+/// Largest admissible state cap: the absorbing solve is `O(cap³)`, and
+/// this ceiling keeps a single race analysis well under a millisecond.
+pub const MAX_CAP: u64 = 1024;
+
+/// One exact race analysis: the truncated violation probability plus a
+/// provable bound on what the truncation can hide.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactRace {
+    /// The consistency depth `T` the race starts behind.
+    pub threshold: u64,
+    /// The deficit at which the capped chain declares the race safe.
+    pub cap: u64,
+    /// Exact probability, on the capped chain, that the race is
+    /// absorbed at deficit 0 (a `T`-consistency violation).
+    pub probability: f64,
+    /// Rigorous upper bound on `p_infinite − probability`: the capped
+    /// chain only *under*-counts violations, and by at most this much.
+    pub truncation_error: f64,
+    /// Expected number of race steps until either absorption.
+    pub expected_steps: f64,
+}
+
+impl ExactRace {
+    /// The interval `[probability, probability + truncation_error]`
+    /// guaranteed to contain the un-truncated violation probability
+    /// (upper end clamped to 1).
+    #[must_use]
+    pub fn bracket(&self) -> (f64, f64) {
+        (
+            self.probability,
+            (self.probability + self.truncation_error).min(1.0),
+        )
+    }
+}
+
+/// Upper bound on the infinite-chain catch-up probability from a
+/// deficit of `d` blocks: `min(1, (q/(1−q))^d)`.
+///
+/// For `q < ½` this is the exact gambler's-ruin limit `ρ^d` with
+/// `ρ = q/(1−q) < 1`; for `q ≥ ½` the adversary eventually catches up
+/// with probability one and the bound degrades to the trivial `1`, so
+/// the bound is valid for every `q ∈ (0, 1)`. Computed in log space so
+/// deep deficits underflow gracefully to `0` instead of losing
+/// precision.
+#[must_use]
+pub fn escape_tail_bound(q: f64, d: u64) -> f64 {
+    if q >= 0.5 {
+        return 1.0;
+    }
+    // ρ^d = exp(d·(ln q − ln(1−q))); ln_1p keeps 1−q accurate near 0.
+    let ln_rho = q.ln() - (-q).ln_1p();
+    let d = d as f64;
+    (d * ln_rho).exp().min(1.0)
+}
+
+/// Builds the capped race chain: states `{0, …, cap}` are the
+/// adversary's deficit, `0` and `cap` are absorbing, and every interior
+/// deficit `d` steps to `d − 1` with probability `q` and `d + 1` with
+/// probability `1 − q`.
+///
+/// # Errors
+///
+/// [`Error::BadShape`] when `q` is outside `(0, 1)` or non-finite, or
+/// `cap` is below 2 or above [`MAX_CAP`].
+pub fn race_chain(q: f64, cap: u64) -> Result<MarkovChain> {
+    if !q.is_finite() || q <= 0.0 || q >= 1.0 {
+        return Err(Error::BadShape {
+            message: format!("race share q = {q} must lie strictly inside (0, 1)"),
+        });
+    }
+    if !(2..=MAX_CAP).contains(&cap) {
+        return Err(Error::BadShape {
+            message: format!("race cap {cap} must lie in [2, {MAX_CAP}]"),
+        });
+    }
+    let h = usize::try_from(cap).expect("cap ≤ MAX_CAP fits usize");
+    let mut b = MarkovChainBuilder::new(h + 1);
+    b.add(0, 0, 1.0)?;
+    b.add(h, h, 1.0)?;
+    for d in 1..h {
+        b.add(d, d - 1, q)?;
+        b.add(d, d + 1, 1.0 - q)?;
+    }
+    b.build()
+}
+
+/// Solves the capped race exactly: the probability that, starting `T`
+/// blocks behind, the adversary's deficit hits `0` before `cap`,
+/// together with the provable truncation error and the expected race
+/// length.
+///
+/// The truncation error is `P[hit cap first] · escape_tail_bound(q,
+/// cap)`: decomposing the infinite race at the first exit of
+/// `(0, cap)` gives `p_∞ = p_capped + P[hit cap first] · p_∞(cap)`,
+/// and [`escape_tail_bound`] dominates `p_∞(cap)`.
+///
+/// # Errors
+///
+/// [`Error::BadShape`] when `q ∉ (0, 1)`, `threshold` is 0, or
+/// `cap ≤ threshold` / `cap > MAX_CAP` (propagated from
+/// [`race_chain`]).
+///
+/// ```
+/// use markov::race::violation_probability;
+///
+/// // 30% effective adversary, depth 6, cap far beyond the threshold:
+/// // the capped answer matches the closed form (3/7)^6 tightly.
+/// let race = violation_probability(0.3, 6, 70)?;
+/// let closed = (0.3f64 / 0.7).powi(6);
+/// assert!((race.probability - closed).abs() <= race.truncation_error + 1e-15);
+/// assert!(race.truncation_error < 1e-20);
+/// # Ok::<(), markov::Error>(())
+/// ```
+pub fn violation_probability(q: f64, threshold: u64, cap: u64) -> Result<ExactRace> {
+    if threshold == 0 {
+        return Err(Error::BadShape {
+            message: "race threshold must be at least 1".into(),
+        });
+    }
+    if cap <= threshold {
+        return Err(Error::BadShape {
+            message: format!("race cap {cap} must exceed the threshold {threshold}"),
+        });
+    }
+    let chain = race_chain(q, cap)?;
+    let analysis = absorption::analyze(&chain)?;
+    let start = usize::try_from(threshold).expect("threshold < cap ≤ MAX_CAP fits usize");
+    let end = usize::try_from(cap).expect("cap ≤ MAX_CAP fits usize");
+    let escaped = analysis.probability(start, end);
+    Ok(ExactRace {
+        threshold,
+        cap,
+        probability: analysis.probability(start, 0),
+        truncation_error: escaped * escape_tail_bound(q, cap),
+        expected_steps: analysis.steps_from(start),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Gambler's-ruin closed form on the capped chain:
+    /// `(r^{h−z} − 1)/(r^h − 1)` with `r = (1−q)/q`.
+    fn ruin_closed_form(q: f64, z: u64, h: u64) -> f64 {
+        let r = (1.0 - q) / q;
+        (r.powi((h - z) as i32) - 1.0) / (r.powi(h as i32) - 1.0)
+    }
+
+    #[test]
+    fn matches_gamblers_ruin_closed_form() {
+        for &(q, z, h) in &[(0.2, 3, 12), (0.35, 5, 20), (0.45, 2, 9)] {
+            let race = violation_probability(q, z, h).unwrap();
+            let exact = ruin_closed_form(q, z, h);
+            assert!(
+                (race.probability - exact).abs() < 1e-12,
+                "q={q} z={z} h={h}: {} vs {exact}",
+                race.probability
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_the_infinite_closed_form_within_the_bound() {
+        let q = 0.3_f64;
+        let z = 4;
+        let p_inf = (q / (1.0 - q)).powi(z as i32);
+        for cap in [6, 10, 20, 60] {
+            let race = violation_probability(q, z, cap).unwrap();
+            assert!(
+                race.probability <= p_inf + 1e-15,
+                "truncation only under-counts"
+            );
+            assert!(
+                p_inf - race.probability <= race.truncation_error + 1e-15,
+                "cap {cap}: gap {} exceeds the reported bound {}",
+                p_inf - race.probability,
+                race.truncation_error
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_error_vanishes_with_the_cap() {
+        let loose = violation_probability(0.25, 5, 10).unwrap();
+        let tight = violation_probability(0.25, 5, 80).unwrap();
+        assert!(tight.truncation_error < loose.truncation_error);
+        assert!(tight.truncation_error < 1e-30);
+    }
+
+    #[test]
+    fn supercritical_share_reports_the_trivial_tail() {
+        // q ≥ ½: the adversary wins the infinite race almost surely, so
+        // the bound cannot do better than the full escaped mass.
+        let race = violation_probability(0.6, 3, 12).unwrap();
+        assert_eq!(escape_tail_bound(0.6, 12), 1.0);
+        let escaped = 1.0 - race.probability; // birth–death: all mass absorbs
+        assert!((race.truncation_error - escaped).abs() < 1e-12);
+        let (lo, hi) = race.bracket();
+        assert!(
+            lo <= 1.0 && (hi - 1.0).abs() < 1e-12,
+            "p_∞ = 1 is bracketed"
+        );
+    }
+
+    #[test]
+    fn expected_steps_are_positive_and_grow_with_the_cap() {
+        let short = violation_probability(0.4, 3, 8).unwrap();
+        let long = violation_probability(0.4, 3, 40).unwrap();
+        assert!(short.expected_steps > 0.0);
+        assert!(long.expected_steps > short.expected_steps);
+    }
+
+    #[test]
+    fn tail_bound_is_monotone_and_log_space_safe() {
+        assert!(escape_tail_bound(0.2, 5) > escape_tail_bound(0.2, 10));
+        assert_eq!(escape_tail_bound(0.5, 7), 1.0);
+        // Deep deficits underflow to exactly zero instead of NaN.
+        let deep = escape_tail_bound(0.01, 1000);
+        assert!((0.0..1e-300).contains(&deep));
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(matches!(
+            violation_probability(0.0, 3, 10),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            violation_probability(1.0, 3, 10),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            violation_probability(f64::NAN, 3, 10),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            violation_probability(0.3, 0, 10),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            violation_probability(0.3, 10, 10),
+            Err(Error::BadShape { .. })
+        ));
+        assert!(matches!(
+            violation_probability(0.3, 3, MAX_CAP + 1),
+            Err(Error::BadShape { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_is_the_expected_birth_death_structure() {
+        let chain = race_chain(0.3, 5).unwrap();
+        assert_eq!(chain.n_states(), 6);
+        assert_eq!(chain.prob(0, 0), 1.0);
+        assert_eq!(chain.prob(5, 5), 1.0);
+        assert!((chain.prob(2, 1) - 0.3).abs() < 1e-15);
+        assert!((chain.prob(2, 3) - 0.7).abs() < 1e-15);
+        assert_eq!(chain.prob(2, 2), 0.0);
+    }
+}

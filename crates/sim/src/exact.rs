@@ -1,0 +1,259 @@
+//! The exact `markov` backend of the spec-driven experiment layer.
+//!
+//! Instead of sampling trials, this backend models the stationary
+//! private-chain cell as the absorbing race of [`markov::race`]: each
+//! new block extends the adversary's private chain with the *effective*
+//! adversarial share `q_eff = pνn / (pνn + ᾱ^{2Δ}α₁)` (adversary block
+//! rate vs convergence-opportunity rate, the ratio the paper's Lemma 1
+//! implies for the Δ-delay model) and the honest chain otherwise. A
+//! `T`-consistency failure is absorption at deficit 0, solved exactly
+//! on a chain capped at `max(T) + RACE_CAP_MARGIN`, and every answer
+//! carries the race module's provable truncation-error bound — the
+//! capped solve under-counts the infinite race by at most that much.
+//!
+//! The derivation of `q_eff` duplicates `consistency_core`'s
+//! `effective_adversary_share` (the core crate sits *above* this one in
+//! the dependency graph, so the simulator cannot call it); a
+//! cross-check test in `consistency_core` pins the two implementations
+//! to each other.
+
+use crate::config::{ConfigError, SimConfig};
+use markov::race;
+use std::time::Instant; // detlint: allow(det-wallclock) -- elapsed feeds the per-cell timing diagnostic only, never an estimate
+
+/// How far past the largest threshold the race chain's safe-side
+/// absorbing barrier sits. In any consistent regime (`q_eff` well below
+/// ½) the omitted tail `(q/(1−q))^cap` at 64 extra states is far below
+/// `f64` resolution, so the default cap never dominates an answer.
+pub const RACE_CAP_MARGIN: u64 = 64;
+
+/// Largest threshold the exact backend accepts: the cap must stay
+/// within [`markov::race::MAX_CAP`] after adding [`RACE_CAP_MARGIN`].
+pub const MAX_THRESHOLD: u64 = race::MAX_CAP - RACE_CAP_MARGIN;
+
+/// The effective adversarial block share `q_eff = pνn / (pνn +
+/// ᾱ^{2Δ}α₁)` for a simulator configuration, mirroring
+/// `consistency_core::catchup::effective_adversary_share` on
+/// [`ProtocolParams`]-equivalent inputs.
+///
+/// Returns `None` when the configuration is outside the race analysis:
+/// an adversary-free baseline (`ν = 0`) or a convergence rate that
+/// underflows to zero relative to the adversary rate.
+///
+/// [`ProtocolParams`]: SimConfig
+#[must_use]
+pub fn effective_adversary_share(cfg: &SimConfig) -> Option<f64> {
+    let nu = cfg.adversary_fraction;
+    if nu <= 0.0 {
+        return None;
+    }
+    let n = cfg.n_miners as f64;
+    let p = cfg.hardness;
+    let mu_n = (1.0 - nu) * n;
+    let nu_n = nu * n;
+    // Theorem 1's rates, in log space (Eqs. 27 and 44): ln ᾱ = µn·ln(1−p),
+    // ln α₁ = ln(pµn) + (µn−1)·ln(1−p), conv = ᾱ^{2Δ}·α₁, adv = pνn.
+    let ln_alpha_bar = mu_n * (-p).ln_1p();
+    let ln_alpha1 = (p * mu_n).ln() + (mu_n - 1.0) * (-p).ln_1p();
+    let ln_conv = 2.0 * cfg.delta as f64 * ln_alpha_bar + ln_alpha1;
+    let adv = p * nu_n;
+    let conv = ln_conv.exp();
+    if conv == 0.0 {
+        return None;
+    }
+    Some(adv / (adv + conv))
+}
+
+/// One threshold's exact answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExactEstimate {
+    /// The consistency threshold `T`.
+    pub threshold: u64,
+    /// Exact `T`-violation probability on the capped race chain.
+    pub probability: f64,
+    /// Provable upper bound on the violation mass the cap truncates
+    /// away (the un-truncated probability lies in
+    /// `[probability, probability + truncation_error]`).
+    pub truncation_error: f64,
+    /// Expected race length (blocks until either absorption).
+    pub expected_race_steps: f64,
+}
+
+/// Result of one exact-backend cell: per-threshold answers plus the
+/// race parameters they were computed from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactRun {
+    /// The effective adversarial share the race ran at.
+    pub q: f64,
+    /// The capped chain's safe-side absorbing deficit.
+    pub cap: u64,
+    /// Per-threshold answers, in the spec's threshold order.
+    pub estimates: Vec<ExactEstimate>,
+    /// Wall-clock seconds the solve took (diagnostic only).
+    pub elapsed_secs: f64,
+}
+
+impl ExactRun {
+    /// The estimate for one threshold, if the run computed it.
+    #[must_use]
+    pub fn estimate_at(&self, threshold: u64) -> Option<&ExactEstimate> {
+        self.estimates.iter().find(|e| e.threshold == threshold)
+    }
+}
+
+/// A validated, runnable exact-backend cell (the `markov` analogue of
+/// [`TrialPlan`]).
+///
+/// [`TrialPlan`]: crate::montecarlo::TrialPlan
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExactPlan {
+    /// The configuration the plan was built from.
+    pub config: SimConfig,
+    /// The effective adversarial share `q_eff`.
+    pub q: f64,
+    /// The race chain's cap (`max(thresholds) + RACE_CAP_MARGIN`).
+    pub cap: u64,
+    /// Thresholds to answer, in spec order.
+    pub thresholds: Vec<u64>,
+    /// The spec's stationary horizon, carried for uniform reporting
+    /// (the exact answer itself is horizon-free).
+    pub rounds: u64,
+}
+
+impl ExactPlan {
+    /// Builds a validated exact plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for an invalid configuration, a
+    /// configuration outside the race analysis (`ν = 0` or a
+    /// convergence-rate underflow — see [`effective_adversary_share`]),
+    /// no thresholds, or a threshold outside `[1, MAX_THRESHOLD]`.
+    pub fn new(config: SimConfig, thresholds: Vec<u64>, rounds: u64) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let q = effective_adversary_share(&config).ok_or_else(|| {
+            ConfigError::new(
+                "the markov backend needs an adversary inside the race analysis \
+                 (ν > 0 and a non-underflowing convergence rate)",
+            )
+        })?;
+        if thresholds.is_empty() {
+            return Err(ConfigError::new(
+                "the markov backend needs at least one consistency threshold",
+            ));
+        }
+        let max_t = *thresholds.iter().max().expect("non-empty"); // detlint: allow(panic-expect) -- emptiness rejected two lines above
+        if thresholds.contains(&0) || max_t > MAX_THRESHOLD {
+            return Err(ConfigError::new(format!(
+                "markov-backend thresholds must lie in [1, {MAX_THRESHOLD}]"
+            )));
+        }
+        Ok(ExactPlan {
+            config,
+            q,
+            cap: max_t + RACE_CAP_MARGIN,
+            thresholds,
+            rounds,
+        })
+    }
+
+    /// Solves every threshold exactly on the capped race chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the race solve fails for inputs
+    /// [`ExactPlan::new`] validated — a programming error, not a data
+    /// error.
+    #[must_use]
+    pub fn run(&self) -> ExactRun {
+        // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
+        let started = Instant::now();
+        let estimates = self
+            .thresholds
+            .iter()
+            .map(|&threshold| {
+                let race = race::violation_probability(self.q, threshold, self.cap)
+                    .expect("ExactPlan::new validated the race inputs"); // detlint: allow(panic-expect) -- new() checked q ∈ (0, 1) and thresholds within the cap range
+                ExactEstimate {
+                    threshold,
+                    probability: race.probability,
+                    truncation_error: race.truncation_error,
+                    expected_race_steps: race.expected_steps,
+                }
+            })
+            .collect();
+        ExactRun {
+            q: self.q,
+            cap: self.cap,
+            estimates,
+            elapsed_secs: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consistent_config() -> SimConfig {
+        SimConfig::from_c(100, 4, 3.0, 0.15, 7).unwrap()
+    }
+
+    #[test]
+    fn effective_share_is_subcritical_in_the_consistent_region() {
+        let q = effective_adversary_share(&consistent_config()).unwrap();
+        assert!(q > 0.0 && q < 0.5, "q_eff = {q}");
+    }
+
+    #[test]
+    fn effective_share_is_none_without_an_adversary() {
+        let cfg = SimConfig::from_c(100, 4, 3.0, 0.0, 7).unwrap();
+        assert!(effective_adversary_share(&cfg).is_none());
+    }
+
+    #[test]
+    fn exact_run_matches_the_race_module_directly() {
+        let plan = ExactPlan::new(consistent_config(), vec![6, 12], 1000).unwrap();
+        let run = plan.run();
+        assert_eq!(run.cap, 12 + RACE_CAP_MARGIN);
+        for estimate in &run.estimates {
+            let race = race::violation_probability(plan.q, estimate.threshold, plan.cap).unwrap();
+            assert_eq!(estimate.probability, race.probability);
+            assert_eq!(estimate.truncation_error, race.truncation_error);
+        }
+        let e6 = run.estimate_at(6).unwrap();
+        let e12 = run.estimate_at(12).unwrap();
+        assert!(e6.probability > e12.probability && e12.probability > 0.0);
+        assert!(run.estimate_at(7).is_none());
+    }
+
+    #[test]
+    fn exact_answers_track_the_closed_form_race_scale() {
+        // In the consistent region the capped answer must sit within
+        // its truncation bound of the closed form (q/(1−q))^T.
+        let plan = ExactPlan::new(consistent_config(), vec![8], 1000).unwrap();
+        let run = plan.run();
+        let e = run.estimate_at(8).unwrap();
+        let closed = (plan.q / (1.0 - plan.q)).powi(8);
+        assert!(e.probability <= closed + 1e-18);
+        assert!(closed - e.probability <= e.truncation_error + 1e-18);
+    }
+
+    #[test]
+    fn rejects_out_of_range_plans() {
+        let cfg = consistent_config();
+        assert!(ExactPlan::new(cfg, Vec::new(), 10).is_err());
+        assert!(ExactPlan::new(cfg, vec![0], 10).is_err());
+        assert!(ExactPlan::new(cfg, vec![MAX_THRESHOLD + 1], 10).is_err());
+        let baseline = SimConfig::from_c(100, 4, 3.0, 0.0, 7).unwrap();
+        assert!(ExactPlan::new(baseline, vec![6], 10).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let plan = ExactPlan::new(consistent_config(), vec![6, 12], 1000).unwrap();
+        let a = plan.run();
+        let b = plan.run();
+        assert_eq!(a.estimates, b.estimates);
+    }
+}

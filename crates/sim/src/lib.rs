@@ -61,6 +61,7 @@ pub mod compose;
 pub mod config;
 pub mod consistency;
 pub mod events;
+pub mod exact;
 pub mod execution;
 pub mod fuzz;
 pub mod metrics;

@@ -9,11 +9,14 @@
 //! hard-coded per binary:
 //!
 //! * `[experiment]` — trials, worker threads, consistency thresholds,
-//!   and the failure-probability estimator: `estimator = "wilson"`
+//!   the failure-probability estimator: `estimator = "wilson"`
 //!   (default, plain Monte-Carlo with Wilson intervals) or
 //!   `"splitting"` (the fixed-effort multilevel-splitting rare-event
 //!   estimator of [`crate::splitting`], tuned by `splitting_levels`
-//!   and `splitting_effort` and restricted to `[stationary]` specs);
+//!   and `splitting_effort` and restricted to `[stationary]` specs),
+//!   and the backend: `backend = "montecarlo"` (default, sampling) or
+//!   `"markov"` (the exact absorbing-race solver of [`crate::exact`],
+//!   restricted to stationary private-chain cells);
 //! * `[base]` — the [`SimConfig`] every cell starts from (`c` may be
 //!   given instead of `hardness`, mirroring the paper's axis);
 //! * either `[[phase]]` tables (a time-varying [`Scenario`]) **or** a
@@ -37,7 +40,7 @@
 //! # Example
 //!
 //! ```
-//! use nakamoto_sim::spec::ExperimentSpec;
+//! use nakamoto_sim::spec::{Estimate, ExperimentSpec};
 //!
 //! let spec = ExperimentSpec::parse(
 //!     r#"
@@ -64,16 +67,22 @@
 //!     adversary_fraction = 0.4
 //!     "#,
 //! )?;
-//! let run = spec.plan()?.run();
+//! let outcome = spec.plan()?.execute();
+//! let Estimate::Wilson(run) = outcome.estimate else {
+//!     panic!("the default backend samples Wilson trials")
+//! };
 //! assert_eq!(run.aggregate.trials, 4);
 //! # Ok::<(), nakamoto_sim::spec::SpecError>(())
 //! ```
 //!
-//! Selecting the splitting estimator adds a second, rare-event-capable
-//! estimate beside the Wilson one ([`ExperimentPlan::run_splitting`]):
+//! Every plan runs through the same entry point —
+//! [`ExperimentPlan::execute`] — and the resulting [`CellOutcome`]
+//! tags its estimate with the backend that produced it. Selecting the
+//! splitting estimator swaps the Wilson estimate for the rare-event
+//! one:
 //!
 //! ```
-//! use nakamoto_sim::spec::ExperimentSpec;
+//! use nakamoto_sim::spec::{Estimate, ExperimentSpec};
 //!
 //! let spec = ExperimentSpec::parse(
 //!     r#"
@@ -95,15 +104,52 @@
 //!     rounds = 400
 //!     "#,
 //! )?;
-//! let splitting = spec.plan()?.run_splitting().expect("splitting selected");
+//! let Estimate::Splitting(splitting) = spec.plan()?.execute().estimate else {
+//!     panic!("splitting selected")
+//! };
 //! let estimate = splitting.estimate_at(4).expect("threshold 4 estimated");
 //! assert!(estimate.probability >= 0.0 && estimate.probability <= 1.0);
+//! # Ok::<(), nakamoto_sim::spec::SpecError>(())
+//! ```
+//!
+//! The `markov` backend answers stationary private-chain cells exactly
+//! — no sampling, and a provable truncation-error bound beside every
+//! probability:
+//!
+//! ```
+//! use nakamoto_sim::spec::{Estimate, ExperimentSpec};
+//!
+//! let spec = ExperimentSpec::parse(
+//!     r#"
+//!     [experiment]
+//!     thresholds = [6, 12]
+//!     backend = "markov"
+//!
+//!     [base]
+//!     n_miners = 100
+//!     delta = 4
+//!     c = 3.0
+//!     adversary_fraction = 0.15
+//!     seed = 7
+//!
+//!     [stationary]
+//!     strategy = "private-chain"
+//!     rounds = 30000
+//!     "#,
+//! )?;
+//! let Estimate::Exact(run) = spec.plan()?.execute().estimate else {
+//!     panic!("markov backend selected")
+//! };
+//! let exact = run.estimate_at(12).expect("threshold 12 solved");
+//! assert!(exact.probability > 0.0 && exact.probability < 1e-5);
+//! assert!(exact.truncation_error < exact.probability);
 //! # Ok::<(), nakamoto_sim::spec::SpecError>(())
 //! ```
 
 use crate::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
 use crate::compose::{ComposedAdversary, Composition, SubSpec};
 use crate::config::SimConfig;
+use crate::exact::{ExactPlan, ExactRun};
 use crate::montecarlo::{MonteCarloRun, TrialPlan};
 use crate::scenario::{PhaseSpec, Regime, Scenario, ScenarioPlan, StrategyKind};
 use crate::selfish::SelfishMiningAdversary;
@@ -732,7 +778,34 @@ pub fn parse_regime(token: &str) -> Option<Regime> {
 // The experiment model
 // ---------------------------------------------------------------------
 
-/// Which failure-probability estimator a spec selects.
+/// An unrecognised spec token for one of the closed vocabularies
+/// ([`EstimatorKind`], [`BackendKind`]) — the shared `FromStr` error,
+/// so codec, patch, and CLI paths emit one message shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownToken {
+    /// What kind of token was expected (e.g. `"estimator"`).
+    pub what: &'static str,
+    /// The offending token.
+    pub token: String,
+    /// The accepted vocabulary, ready for the error message.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for UnknownToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} `{}` (expected {})",
+            self.what, self.token, self.expected
+        )
+    }
+}
+
+impl std::error::Error for UnknownToken {}
+
+/// Which failure-probability estimator a spec selects (the sampling
+/// backend's two flavours; the `markov` backend computes exact values
+/// and takes no estimator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EstimatorKind {
     /// Plain Monte-Carlo trials with Wilson score intervals (the
@@ -740,28 +813,72 @@ pub enum EstimatorKind {
     #[default]
     Wilson,
     /// Fixed-effort multilevel splitting over the consistency depth
-    /// ([`crate::splitting`]); resolves theorem-scale rarities. Runs
-    /// *beside* the Wilson trials, not instead of them, so the table
-    /// and JSON always carry both views.
+    /// ([`crate::splitting`]); resolves theorem-scale rarities.
     Splitting,
 }
 
-/// The spec token for an estimator: `"wilson"` or `"splitting"`.
-#[must_use]
-pub fn estimator_token(kind: EstimatorKind) -> &'static str {
-    match kind {
-        EstimatorKind::Wilson => "wilson",
-        EstimatorKind::Splitting => "splitting",
+impl fmt::Display for EstimatorKind {
+    /// The spec token: `"wilson"` or `"splitting"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EstimatorKind::Wilson => "wilson",
+            EstimatorKind::Splitting => "splitting",
+        })
     }
 }
 
-/// Parses an estimator token; `None` if the token names no estimator.
-#[must_use]
-pub fn parse_estimator(token: &str) -> Option<EstimatorKind> {
-    match token {
-        "wilson" => Some(EstimatorKind::Wilson),
-        "splitting" => Some(EstimatorKind::Splitting),
-        _ => None,
+impl std::str::FromStr for EstimatorKind {
+    type Err = UnknownToken;
+
+    fn from_str(token: &str) -> Result<Self, Self::Err> {
+        match token {
+            "wilson" => Ok(EstimatorKind::Wilson),
+            "splitting" => Ok(EstimatorKind::Splitting),
+            _ => Err(UnknownToken {
+                what: "estimator",
+                token: token.into(),
+                expected: "\"wilson\" or \"splitting\"",
+            }),
+        }
+    }
+}
+
+/// Which computational backend answers a spec's cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// The sampling engines (the default): Monte-Carlo trials with the
+    /// Wilson or splitting estimator.
+    #[default]
+    MonteCarlo,
+    /// The exact absorbing-race solver of [`crate::exact`]: no
+    /// sampling, a provable truncation-error bound beside every
+    /// answer. Stationary private-chain cells only.
+    Markov,
+}
+
+impl fmt::Display for BackendKind {
+    /// The spec token: `"montecarlo"` or `"markov"`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BackendKind::MonteCarlo => "montecarlo",
+            BackendKind::Markov => "markov",
+        })
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = UnknownToken;
+
+    fn from_str(token: &str) -> Result<Self, Self::Err> {
+        match token {
+            "montecarlo" => Ok(BackendKind::MonteCarlo),
+            "markov" => Ok(BackendKind::Markov),
+            _ => Err(UnknownToken {
+                what: "backend",
+                token: token.into(),
+                expected: "\"montecarlo\" or \"markov\"",
+            }),
+        }
     }
 }
 
@@ -790,7 +907,10 @@ pub struct RunSettings {
     pub threads: usize,
     /// Consistency thresholds `T` tallied per trial (default none).
     pub thresholds: Vec<u64>,
-    /// Failure-probability estimator (default Wilson).
+    /// Computational backend (default Monte-Carlo sampling).
+    pub backend: BackendKind,
+    /// Failure-probability estimator (default Wilson; sampling backend
+    /// only).
     pub estimator: EstimatorKind,
     /// Level-schedule knobs for the splitting estimator.
     pub splitting: SplittingSettings,
@@ -810,6 +930,7 @@ impl Default for RunSettings {
             trials: 1,
             threads: 0,
             thresholds: Vec::new(),
+            backend: BackendKind::default(),
             estimator: EstimatorKind::default(),
             splitting: SplittingSettings::default(),
             batch_width: 1,
@@ -908,6 +1029,61 @@ pub struct ExperimentCell {
     pub spec: ExperimentSpec,
 }
 
+/// A backend-tagged failure-probability estimate: the one result type
+/// every experiment cell produces, whichever engine answered it.
+#[derive(Debug, Clone)]
+pub enum Estimate {
+    /// Monte-Carlo trials with Wilson score intervals.
+    Wilson(MonteCarloRun),
+    /// The multilevel-splitting rare-event estimator.
+    Splitting(SplittingRun),
+    /// The exact absorbing-race solve, with per-threshold truncation
+    /// bounds.
+    Exact(ExactRun),
+}
+
+impl Estimate {
+    /// The backend that produced this estimate.
+    #[must_use]
+    pub fn backend(&self) -> BackendKind {
+        match self {
+            Estimate::Wilson(_) | Estimate::Splitting(_) => BackendKind::MonteCarlo,
+            Estimate::Exact(_) => BackendKind::Markov,
+        }
+    }
+
+    /// Wall-clock seconds the estimate took to compute.
+    #[must_use]
+    pub fn elapsed_secs(&self) -> f64 {
+        match self {
+            Estimate::Wilson(run) => run.elapsed_secs,
+            Estimate::Splitting(run) => run.elapsed_secs,
+            Estimate::Exact(run) => run.elapsed_secs,
+        }
+    }
+
+    /// Total simulated rounds behind the estimate (0 for the exact
+    /// backend, which samples nothing).
+    #[must_use]
+    pub fn simulated_rounds(&self) -> u64 {
+        match self {
+            Estimate::Wilson(run) => run.aggregate.total_rounds(),
+            Estimate::Splitting(run) => run.total_rounds,
+            Estimate::Exact(_) => 0,
+        }
+    }
+}
+
+/// The result of executing one experiment cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The backend-tagged estimate.
+    pub estimate: Estimate,
+    /// Rounds each trial simulates (the scenario total or the
+    /// stationary horizon; bookkeeping only for the exact backend).
+    pub rounds_per_trial: u64,
+}
+
 /// A runnable plan built from a concrete spec.
 #[derive(Debug, Clone)]
 pub enum ExperimentPlan {
@@ -922,23 +1098,42 @@ pub enum ExperimentPlan {
         /// Composition table for `composed(i)` strategies.
         compositions: Vec<Composition>,
         /// The splitting plan when the spec selects
-        /// `estimator = "splitting"` (runs beside the trial plan).
+        /// `estimator = "splitting"` (replaces the Wilson estimate).
         splitting: Option<SplittingPlan>,
     },
+    /// An exact absorbing-race solve (`backend = "markov"`).
+    Exact(ExactPlan),
 }
 
 impl ExperimentPlan {
-    /// Runs the plan on the shared Monte-Carlo engine. This is the
-    /// Wilson-estimator half of the run; when the spec selects the
-    /// splitting estimator, [`ExperimentPlan::run_splitting`] runs the
-    /// rare-event half beside it.
+    /// Executes the plan on whichever backend the spec selected and
+    /// returns the backend-tagged outcome: Wilson Monte-Carlo by
+    /// default, the splitting estimator when
+    /// `estimator = "splitting"`, the exact race solve when
+    /// `backend = "markov"`.
     ///
     /// # Panics
     ///
     /// Panics if a `composed(i)` strategy indexes past the composition
     /// table — [`ExperimentSpec::plan`] validates this at construction.
     #[must_use]
-    pub fn run(&self) -> MonteCarloRun {
+    pub fn execute(&self) -> CellOutcome {
+        let estimate = match self {
+            ExperimentPlan::Scenario(plan) => Estimate::Wilson(plan.run()),
+            ExperimentPlan::Stationary {
+                splitting: Some(_), ..
+            } => Estimate::Splitting(self.run_splitting()),
+            ExperimentPlan::Stationary { .. } => Estimate::Wilson(self.run_montecarlo()),
+            ExperimentPlan::Exact(plan) => Estimate::Exact(plan.run()),
+        };
+        CellOutcome {
+            estimate,
+            rounds_per_trial: self.rounds_per_trial(),
+        }
+    }
+
+    /// The Wilson Monte-Carlo half of a sampling plan.
+    fn run_montecarlo(&self) -> MonteCarloRun {
         match self {
             ExperimentPlan::Scenario(plan) => plan.run(),
             ExperimentPlan::Stationary {
@@ -959,20 +1154,13 @@ impl ExperimentPlan {
                     }
                 }
             }
+            ExperimentPlan::Exact(_) => unreachable!("exact plans never sample"), // detlint: allow(panic-macro) -- execute() routes Exact plans to ExactPlan::run, never here
         }
     }
 
-    /// Runs the splitting estimator the spec selected, dispatching the
-    /// strategy exactly as [`ExperimentPlan::run`] does. Returns `None`
-    /// for scenario plans and for specs that kept the default Wilson
-    /// estimator.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a `composed(i)` strategy indexes past the composition
-    /// table — [`ExperimentSpec::plan`] validates this at construction.
-    #[must_use]
-    pub fn run_splitting(&self) -> Option<SplittingRun> {
+    /// The splitting half of a sampling plan, dispatching the strategy
+    /// exactly as [`ExperimentPlan::run_montecarlo`] does.
+    fn run_splitting(&self) -> SplittingRun {
         let ExperimentPlan::Stationary {
             strategy,
             compositions,
@@ -980,10 +1168,10 @@ impl ExperimentPlan {
             ..
         } = self
         else {
-            return None;
+            unreachable!("execute() only routes splitting plans here"); // detlint: allow(panic-macro) -- sole caller matches Stationary with splitting Some first
         };
         let delta = splitting.config.delta;
-        Some(match *strategy {
+        match *strategy {
             StrategyKind::Honest => splitting.run(|_| ImmediateReleaseAdversary::new()),
             StrategyKind::PrivateChain => splitting.run(|_| PrivateChainAdversary::new(delta)),
             StrategyKind::Balance => splitting.run(|_| BalanceAdversary::new(delta)),
@@ -992,7 +1180,7 @@ impl ExperimentPlan {
                 let composition = compositions[i].clone();
                 splitting.run(move |_| ComposedAdversary::new(delta, composition.clone()))
             }
-        })
+        }
     }
 
     /// Rounds each trial simulates (the scenario total, or the
@@ -1002,6 +1190,7 @@ impl ExperimentPlan {
         match self {
             ExperimentPlan::Scenario(plan) => plan.scenario.total_rounds(),
             ExperimentPlan::Stationary { plan, .. } => plan.rounds,
+            ExperimentPlan::Exact(plan) => plan.rounds,
         }
     }
 }
@@ -1086,6 +1275,43 @@ impl SplittingPlan {
     }
 }
 
+impl ExactPlan {
+    /// Builds the exact-backend plan a `backend = "markov"` spec
+    /// describes: the effective adversarial share from `[base]`, the
+    /// spec's thresholds, and a race cap of
+    /// `max(thresholds) + RACE_CAP_MARGIN`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] for scenario-mode specs, stationary
+    /// strategies other than `"private-chain"` (the race chain models
+    /// exactly that attack), a selected splitting estimator, missing or
+    /// out-of-range thresholds, and configurations outside the race
+    /// analysis (`ν = 0` or a convergence-rate underflow).
+    ///
+    /// [`RACE_CAP_MARGIN`]: crate::exact::RACE_CAP_MARGIN
+    pub fn from_spec(spec: &ExperimentSpec) -> Result<Self, SpecError> {
+        let ExperimentMode::Stationary { strategy, rounds } = &spec.mode else {
+            return Err(SpecError::whole(
+                "`backend = \"markov\"` needs a [stationary] table; scenario cells only support `backend = \"montecarlo\"`",
+            ));
+        };
+        if !matches!(strategy, StrategyKind::PrivateChain) {
+            return Err(SpecError::whole(format!(
+                "`backend = \"markov\"` models the private-chain race; strategy `{}` needs `backend = \"montecarlo\"`",
+                strategy_token(*strategy)
+            )));
+        }
+        if spec.run.estimator != EstimatorKind::Wilson {
+            return Err(SpecError::whole(
+                "`backend = \"markov\"` computes exact probabilities; `estimator = \"splitting\"` needs `backend = \"montecarlo\"`",
+            ));
+        }
+        ExactPlan::new(spec.base, spec.run.thresholds.clone(), *rounds)
+            .map_err(|e| SpecError::whole(e.to_string()))
+    }
+}
+
 impl ExperimentSpec {
     /// Parses and validates a spec document.
     ///
@@ -1098,6 +1324,7 @@ impl ExperimentSpec {
 
         // [experiment]
         let mut run = RunSettings::default();
+        let mut backend_line = None;
         if let Some((_, mut table)) = root.take_table("experiment")? {
             if let Some((line, trials)) = table.take_u64("trials")? {
                 if trials == 0 {
@@ -1127,14 +1354,15 @@ impl ExperimentSpec {
                     .collect::<Result<_, _>>()?;
             }
             if let Some((line, token)) = table.take_str("estimator")? {
-                run.estimator = parse_estimator(&token).ok_or_else(|| {
-                    SpecError::new(
-                        line,
-                        format!(
-                            "unknown estimator `{token}` (expected \"wilson\" or \"splitting\")"
-                        ),
-                    )
-                })?;
+                run.estimator = token
+                    .parse()
+                    .map_err(|e: UnknownToken| SpecError::new(line, e.to_string()))?;
+            }
+            if let Some((line, token)) = table.take_str("backend")? {
+                run.backend = token
+                    .parse()
+                    .map_err(|e: UnknownToken| SpecError::new(line, e.to_string()))?;
+                backend_line = Some(line);
             }
             if let Some((line, items)) = table.take_array("splitting_levels")? {
                 let levels = items
@@ -1417,6 +1645,33 @@ impl ExperimentSpec {
             }
         };
 
+        // Positioned rejection of the markov backend outside its
+        // tractable regime (validate() re-checks the same conditions
+        // without positions for patched specs).
+        if run.backend == BackendKind::Markov {
+            let line = backend_line.unwrap_or(0);
+            match &mode {
+                ExperimentMode::Scenario(_) => {
+                    return Err(SpecError::new(
+                        line,
+                        "`backend = \"markov\"` needs a [stationary] table; scenario cells only support `backend = \"montecarlo\"`",
+                    ))
+                }
+                ExperimentMode::Stationary { strategy, .. }
+                    if !matches!(strategy, StrategyKind::PrivateChain) =>
+                {
+                    return Err(SpecError::new(
+                        line,
+                        format!(
+                            "`backend = \"markov\"` models the private-chain race; strategy `{}` needs `backend = \"montecarlo\"`",
+                            strategy_token(*strategy)
+                        ),
+                    ))
+                }
+                ExperimentMode::Stationary { .. } => {}
+            }
+        }
+
         // [sweep]
         let sweep = match root.take_table("sweep")? {
             None => None,
@@ -1527,6 +1782,12 @@ impl ExperimentSpec {
                 }
             }
         }
+        if self.run.backend == BackendKind::Markov {
+            // Surfaces scenario-mode and strategy conflicts, estimator
+            // conflicts, and out-of-range thresholds with the exact
+            // plan's own checks.
+            ExactPlan::from_spec(self)?;
+        }
         if self.run.estimator == EstimatorKind::Splitting {
             // Surfaces scenario-mode conflicts, missing thresholds, and
             // bad level schedules with the splitting plan's own checks.
@@ -1596,6 +1857,9 @@ impl ExperimentSpec {
             }
             ExperimentMode::Stationary { strategy, .. } => {
                 self.validate()?;
+                if self.run.backend == BackendKind::Markov {
+                    return Ok(ExperimentPlan::Exact(ExactPlan::from_spec(self)?));
+                }
                 let splitting = match self.run.estimator {
                     EstimatorKind::Wilson => None,
                     EstimatorKind::Splitting => Some(SplittingPlan::from_spec(self)?),
@@ -1746,9 +2010,18 @@ impl ExperimentSpec {
                 let SpecValue::Str(token) = value else {
                     return Err(bad_value("estimator string"));
                 };
-                self.run.estimator = parse_estimator(token).ok_or_else(|| {
-                    SpecError::whole(format!("patch `{path}`: unknown estimator `{token}`"))
-                })?;
+                self.run.estimator = token
+                    .parse()
+                    .map_err(|e: UnknownToken| SpecError::whole(format!("patch `{path}`: {e}")))?;
+                Ok(())
+            }
+            ["experiment", "backend"] => {
+                let SpecValue::Str(token) = value else {
+                    return Err(bad_value("backend string"));
+                };
+                self.run.backend = token
+                    .parse()
+                    .map_err(|e: UnknownToken| SpecError::whole(format!("patch `{path}`: {e}")))?;
                 Ok(())
             }
             ["experiment", "splitting_effort"] => {
@@ -1915,10 +2188,16 @@ impl ExperimentSpec {
             let list: Vec<String> = self.run.thresholds.iter().map(u64::to_string).collect();
             out.push_str(&format!("thresholds = [{}]\n", list.join(", ")));
         }
+        if self.run.backend != BackendKind::MonteCarlo {
+            out.push_str(&format!(
+                "backend = {}\n",
+                emit_str(&self.run.backend.to_string())
+            ));
+        }
         if self.run.estimator != EstimatorKind::Wilson {
             out.push_str(&format!(
                 "estimator = {}\n",
-                emit_str(estimator_token(self.run.estimator))
+                emit_str(&self.run.estimator.to_string())
             ));
         }
         if let Some(levels) = &self.run.splitting.levels {
@@ -2180,25 +2459,34 @@ mod tests {
         assert_eq!(plan.effort, spec.run.trials);
     }
 
+    /// Unwraps the Wilson variant of an executed cell.
+    fn wilson(outcome: CellOutcome) -> MonteCarloRun {
+        let Estimate::Wilson(run) = outcome.estimate else {
+            panic!("expected a Wilson estimate, got {:?}", outcome.estimate)
+        };
+        run
+    }
+
     #[test]
-    fn splitting_spec_plans_both_estimators() {
+    fn splitting_spec_executes_the_splitting_estimator() {
         let spec = ExperimentSpec::parse(SPLITTING_SPEC).unwrap();
-        let plan = spec.plan().unwrap();
-        let run = plan.run_splitting().expect("splitting estimator selected");
+        let outcome = spec.plan().unwrap().execute();
+        assert_eq!(outcome.estimate.backend(), BackendKind::MonteCarlo);
+        let Estimate::Splitting(run) = outcome.estimate else {
+            panic!("splitting estimator selected")
+        };
         let ladder: Vec<u64> = run.levels.iter().map(|s| s.level).collect();
         assert_eq!(ladder, vec![2, 5, 9]);
         assert!(run.estimate_at(4).is_some());
         assert!(run.estimate_at(8).is_some());
-        // The Wilson half still runs beside it.
-        let wilson = plan.run();
-        assert_eq!(wilson.aggregate.trials, 2);
     }
 
     #[test]
-    fn wilson_specs_have_no_splitting_plan() {
+    fn wilson_specs_execute_the_wilson_estimator() {
         let spec = ExperimentSpec::parse(STATIONARY_SPEC).unwrap();
         assert_eq!(spec.run.estimator, EstimatorKind::Wilson);
-        assert!(spec.plan().unwrap().run_splitting().is_none());
+        let run = wilson(spec.plan().unwrap().execute());
+        assert_eq!(run.aggregate.trials, 2);
     }
 
     #[test]
@@ -2330,7 +2618,7 @@ mod tests {
     #[test]
     fn stationary_spec_runs_the_bare_adversary() {
         let spec = ExperimentSpec::parse(STATIONARY_SPEC).unwrap();
-        let run = spec.plan().unwrap().run();
+        let run = wilson(spec.plan().unwrap().execute());
         let by_hand = TrialPlan::new(spec.base, 1000, 2)
             .unwrap()
             .thresholds(vec![12])
@@ -2351,8 +2639,8 @@ mod tests {
         let mut scalar = scalar;
         scalar.run.trials = 6;
         assert_eq!(
-            scalar.plan().unwrap().run().aggregate,
-            batched.plan().unwrap().run().aggregate,
+            wilson(scalar.plan().unwrap().execute()).aggregate,
+            wilson(batched.plan().unwrap().execute()).aggregate,
         );
     }
 
@@ -2394,7 +2682,7 @@ mod tests {
         let spec = ExperimentSpec::parse(&source).unwrap();
         let reparsed = ExperimentSpec::parse(&spec.to_toml()).unwrap();
         assert_eq!(spec, reparsed);
-        let run = spec.plan().unwrap().run();
+        let run = wilson(spec.plan().unwrap().execute());
         assert!(
             run.aggregate.trials < 4096,
             "a 0.2 half-width is cheap; the rule must stop early (ran {})",
@@ -2559,11 +2847,28 @@ mod tests {
         } else {
             None
         };
+        let backend = if nu > 0.0
+            && !thresholds.is_empty()
+            && estimator == EstimatorKind::Wilson
+            && matches!(
+                mode,
+                ExperimentMode::Stationary {
+                    strategy: StrategyKind::PrivateChain,
+                    ..
+                }
+            )
+            && rng.next_below(3) == 0
+        {
+            BackendKind::Markov
+        } else {
+            BackendKind::MonteCarlo
+        };
         let spec = ExperimentSpec {
             run: RunSettings {
                 trials: 1 + rng.next_below(8),
                 threads: rng.next_below(3) as usize,
                 thresholds,
+                backend,
                 estimator,
                 splitting,
                 batch_width,
@@ -2731,6 +3036,174 @@ mod tests {
             .apply_patch("base.bogus", &SpecValue::Int(1))
             .unwrap_err();
         assert!(err.message.contains("base.bogus"), "{err}");
+    }
+
+    const MARKOV_SPEC: &str = r#"
+        [experiment]
+        thresholds = [6, 12]
+        backend = "markov"
+
+        [base]
+        n_miners = 100
+        delta = 4
+        c = 3.0
+        adversary_fraction = 0.15
+        seed = 7
+
+        [stationary]
+        strategy = "private-chain"
+        rounds = 30000
+    "#;
+
+    #[test]
+    fn markov_spec_executes_the_exact_backend() {
+        let spec = ExperimentSpec::parse(MARKOV_SPEC).unwrap();
+        assert_eq!(spec.run.backend, BackendKind::Markov);
+        let plan = spec.plan().unwrap();
+        assert_eq!(plan.rounds_per_trial(), 30000);
+        let outcome = plan.execute();
+        assert_eq!(outcome.estimate.backend(), BackendKind::Markov);
+        assert_eq!(outcome.estimate.simulated_rounds(), 0);
+        let Estimate::Exact(run) = outcome.estimate else {
+            panic!("markov backend selected")
+        };
+        assert_eq!(run.cap, 12 + crate::exact::RACE_CAP_MARGIN);
+        // The solve matches the race module called directly.
+        let direct = markov::race::violation_probability(run.q, 6, run.cap).unwrap();
+        let e6 = run.estimate_at(6).unwrap();
+        assert_eq!(e6.probability, direct.probability);
+        assert_eq!(e6.truncation_error, direct.truncation_error);
+        let e12 = run.estimate_at(12).unwrap();
+        assert!(e6.probability > e12.probability && e12.probability > 0.0);
+        assert!(e12.truncation_error < e12.probability);
+    }
+
+    #[test]
+    fn markov_spec_round_trips_and_patches() {
+        let spec = ExperimentSpec::parse(MARKOV_SPEC).unwrap();
+        let reparsed = ExperimentSpec::parse(&spec.to_toml()).unwrap();
+        assert_eq!(spec, reparsed);
+
+        // The backend is sweep-patchable in both directions.
+        let mut patched = spec.clone();
+        patched
+            .apply_patch("experiment.backend", &SpecValue::Str("montecarlo".into()))
+            .unwrap();
+        assert_eq!(patched.run.backend, BackendKind::MonteCarlo);
+        patched
+            .apply_patch("experiment.backend", &SpecValue::Str("markov".into()))
+            .unwrap();
+        assert_eq!(patched.run.backend, BackendKind::Markov);
+        patched.validate().unwrap();
+        let err = patched
+            .apply_patch("experiment.backend", &SpecValue::Str("quantum".into()))
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown backend"), "{err}");
+    }
+
+    #[test]
+    fn markov_backend_sweeps_against_montecarlo() {
+        let source = MARKOV_SPEC.to_owned()
+            + "\n[sweep]\nseed = 5\n\n[[sweep.axis]]\nlabel = \"backend\"\n\n[[sweep.axis.cell]]\nlabel = \"exact\"\n\n[[sweep.axis.cell]]\nlabel = \"sampled\"\npatch = { \"experiment.backend\" = \"montecarlo\", \"experiment.trials\" = 2, \"stationary.rounds\" = 200 }\n";
+        let spec = ExperimentSpec::parse(&source).unwrap();
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(matches!(
+            cells[0].spec.plan().unwrap().execute().estimate,
+            Estimate::Exact(_)
+        ));
+        assert!(matches!(
+            cells[1].spec.plan().unwrap().execute().estimate,
+            Estimate::Wilson(_)
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_backend_with_position() {
+        let source = MARKOV_SPEC.replace("\"markov\"", "\"quantum\"");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.line > 0, "{err}");
+        assert!(
+            err.message
+                .contains("unknown backend `quantum` (expected \"montecarlo\" or \"markov\")"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_markov_for_scenario_specs_with_position() {
+        let source = SCENARIO_SPEC.replace(
+            "thresholds = [6, 12]",
+            "thresholds = [6, 12]\n        backend = \"markov\"",
+        );
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.line > 0, "scenario rejection carries a position: {err}");
+        assert!(err.message.contains("[stationary]"), "{err}");
+    }
+
+    #[test]
+    fn rejects_markov_for_non_private_chain_strategies() {
+        for strategy in ["honest", "balance", "selfish"] {
+            let source = MARKOV_SPEC.replace("\"private-chain\"", &format!("\"{strategy}\""));
+            let err = ExperimentSpec::parse(&source).unwrap_err();
+            assert!(err.line > 0, "{strategy}: {err}");
+            assert!(
+                err.message.contains("private-chain race"),
+                "{strategy}: {err}"
+            );
+        }
+        // Composed strategies too — the race model knows one attack.
+        let source = MARKOV_SPEC.replace("\"private-chain\"", "\"composed(0)\"").replace(
+            "[stationary]",
+            "[[composition]]\nsubs = [{ strategy = \"balance\", weight = 1 }]\n\n        [stationary]",
+        );
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("composed(0)"), "{err}");
+    }
+
+    #[test]
+    fn rejects_markov_with_the_splitting_estimator() {
+        let source = MARKOV_SPEC.replace(
+            "backend = \"markov\"",
+            "backend = \"markov\"\n        estimator = \"splitting\"",
+        );
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("exact probabilities"), "{err}");
+    }
+
+    #[test]
+    fn rejects_markov_without_thresholds_or_adversary() {
+        let source = MARKOV_SPEC.replace("thresholds = [6, 12]\n", "");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("threshold"), "{err}");
+
+        let source = MARKOV_SPEC.replace("adversary_fraction = 0.15", "adversary_fraction = 0.0");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("race analysis"), "{err}");
+
+        let source = MARKOV_SPEC.replace("thresholds = [6, 12]", "thresholds = [0]");
+        let err = ExperimentSpec::parse(&source).unwrap_err();
+        assert!(err.message.contains("thresholds must lie in"), "{err}");
+    }
+
+    #[test]
+    fn estimator_and_backend_tokens_round_trip() {
+        for kind in [EstimatorKind::Wilson, EstimatorKind::Splitting] {
+            assert_eq!(kind.to_string().parse(), Ok(kind));
+        }
+        for kind in [BackendKind::MonteCarlo, BackendKind::Markov] {
+            assert_eq!(kind.to_string().parse(), Ok(kind));
+        }
+        let err = "bootstrap".parse::<EstimatorKind>().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown estimator `bootstrap` (expected \"wilson\" or \"splitting\")"
+        );
+        let err = "exact".parse::<BackendKind>().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown backend `exact` (expected \"montecarlo\" or \"markov\")"
+        );
     }
 
     #[test]
