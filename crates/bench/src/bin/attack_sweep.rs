@@ -17,6 +17,7 @@
 
 use consistency_bench::{cli, experiment, table};
 use consistency_core::{numax, pss};
+use nakamoto_sim::executor;
 use nakamoto_sim::spec::ExperimentSpec;
 
 /// The committed golden spec this binary is the pivot-table view of.
@@ -26,8 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = cli::Args::parse(
         "attack_sweep [rounds-per-trial] [trials]",
         2,
-        &["--threads"],
+        &["--threads", "--jobs"],
     )?;
+    if let Some(jobs) = args.jobs {
+        if !executor::configure_global_width(jobs) {
+            eprintln!("--jobs: the executor pool already exists; the width is unchanged");
+        }
+    }
     let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
     let rounds = args.pos_u64(0)?.unwrap_or(30_000);
     let trials = args.pos_u64(1)?;

@@ -7,10 +7,11 @@
 //!
 //! * `bench_sim` — measure and print the table.
 //! * `bench_sim --write PATH` — measure and (re)write the JSON baseline.
-//! * `bench_sim --check PATH` — run the short check workloads (scalar
-//!   and lockstep-batch) and exit non-zero if either throughput
-//!   regressed more than 25% versus the committed baseline's
-//!   `check_rounds_per_sec` / `check_batch_rounds_per_sec`.
+//! * `bench_sim --check PATH` — run the short check workloads (scalar,
+//!   lockstep-batch, and the end-to-end spec grid) and exit non-zero
+//!   if any throughput regressed more than 25% versus the committed
+//!   baseline's `check_rounds_per_sec` / `check_batch_rounds_per_sec`
+//!   / `check_grid_rounds_per_sec`.
 //!
 //! The `bench_sim/v2` schema adds lockstep-batch rows (width
 //! [`BATCH_WIDTH`]) for the two single-thread workloads. The batch
@@ -19,14 +20,29 @@
 //! rounds/sec is expected to track the scalar number — the row exists
 //! to catch wave-overhead regressions, not to advertise a speedup.
 //!
+//! The `bench_sim/v3` schema adds the **end-to-end grid row**: the
+//! committed `attack_sweep.toml` golden spec through
+//! `consistency_bench::experiment::run_spec`, i.e. the full path the
+//! `experiment` binary takes — spec expansion, all cells submitted at
+//! once to the shared `nakamoto_sim::executor` pool, analytic overlay.
+//! On the 1-CPU reference container this pins the executor's overhead
+//! (inline fast path, no pool) to within the regression gate; on a
+//! multi-core host the same row records the cell-pipelining speedup
+//! the ROADMAP's re-measure item asks for.
+//!
 //! Budgets and expected runtime: see EXPERIMENTS.md.
 
+use consistency_bench::experiment;
 use nakamoto_sim::adversary::{BalanceAdversary, ImmediateReleaseAdversary, PrivateChainAdversary};
 use nakamoto_sim::config::SimConfig;
 use nakamoto_sim::execution::run_simulation_with;
 use nakamoto_sim::montecarlo::TrialPlan;
+use nakamoto_sim::spec::ExperimentSpec;
 use probability::rng::{RandomSource, SplitMix64};
 use std::time::Instant;
+
+/// The committed golden spec the end-to-end grid row runs.
+const GRID_SPEC: &str = include_str!("../../../../examples/specs/attack_sweep.toml");
 
 /// Pre-overhaul engine numbers (boxed dispatch, per-round binomial
 /// sampling, unbounded arena) measured on the reference 1-CPU container
@@ -125,6 +141,21 @@ fn attack_sweep_grid(threads: usize) -> (f64, u64) {
     (t.elapsed().as_secs_f64(), total)
 }
 
+/// The end-to-end grid workload: the committed `attack_sweep.toml`
+/// golden spec through `experiment::run_spec` at the given per-trial
+/// budget — spec expansion, the analytic overlay, and every cell
+/// submitted at once to the shared executor pool. Returns (wall
+/// seconds, cells, total simulated rounds).
+fn spec_grid(rounds: u64, trials: u64) -> (f64, usize, u64) {
+    let mut spec = ExperimentSpec::parse(GRID_SPEC).expect("committed spec parses");
+    experiment::apply_budget(&mut spec, Some(rounds), Some(trials), Some(1), None, None);
+    let t = Instant::now();
+    let results = experiment::run_spec(&spec).expect("committed spec runs");
+    let wall = t.elapsed().as_secs_f64();
+    let total = results.iter().map(|r| r.estimate.simulated_rounds()).sum();
+    (wall, results.len(), total)
+}
+
 /// The short CI check workload: 1M private-chain rounds at c = 3,
 /// single thread, best of 3. Returns rounds/sec.
 fn check_throughput() -> f64 {
@@ -140,6 +171,19 @@ fn check_batch_throughput() -> f64 {
     ROUNDS as f64 / best_of(3, || private_chain_c3_batch(ROUNDS / BATCH_WIDTH))
 }
 
+/// The grid CI check workload: the golden-spec grid at a ~1M-round
+/// budget (10k rounds × 2 trials × 54 cells), best of 3. Returns
+/// rounds/sec end to end.
+fn check_grid_throughput() -> f64 {
+    let mut total = 0u64;
+    let wall = best_of(3, || {
+        let (w, _, r) = spec_grid(10_000, 2);
+        total = r;
+        w
+    });
+    total as f64 / wall
+}
+
 struct Baseline {
     private_rps: f64,
     private_batch_rps: f64,
@@ -147,8 +191,12 @@ struct Baseline {
     immediate_batch_rps: f64,
     sweep_walls: Vec<(usize, f64)>,
     sweep_rounds: u64,
+    grid_wall: f64,
+    grid_cells: usize,
+    grid_rounds: u64,
     check_rps: f64,
     check_batch_rps: f64,
+    check_grid_rps: f64,
     cpus: usize,
 }
 
@@ -173,8 +221,17 @@ fn measure() -> Baseline {
             (threads, wall)
         })
         .collect();
+    let mut grid_cells = 0;
+    let mut grid_rounds = 0;
+    let grid_wall = best_of(2, || {
+        let (w, cells, r) = spec_grid(30_000, 5);
+        grid_cells = cells;
+        grid_rounds = r;
+        w
+    });
     let check_rps = check_throughput();
     let check_batch_rps = check_batch_throughput();
+    let check_grid_rps = check_grid_throughput();
     Baseline {
         private_rps,
         private_batch_rps,
@@ -182,8 +239,12 @@ fn measure() -> Baseline {
         immediate_batch_rps,
         sweep_walls,
         sweep_rounds,
+        grid_wall,
+        grid_cells,
+        grid_rounds,
         check_rps,
         check_batch_rps,
+        check_grid_rps,
         cpus,
     }
 }
@@ -232,12 +293,23 @@ fn print_table(b: &Baseline) {
         );
     }
     println!(
+        "{:<28} {:>15.3}s {:>16.0} {:>9}",
+        format!("spec grid ({} cells, e2e)", b.grid_cells),
+        b.grid_wall,
+        b.grid_rounds as f64 / b.grid_wall,
+        "-"
+    );
+    println!(
         "{:<28} {:>16.0} {:>16} {:>9}",
         "check workload (CI smoke)", b.check_rps, "-", "-"
     );
     println!(
         "{:<28} {:>16.0} {:>16} {:>9}",
         "check batch workload", b.check_batch_rps, "-", "-"
+    );
+    println!(
+        "{:<28} {:>16.0} {:>16} {:>9}",
+        "check grid workload", b.check_grid_rps, "-", "-"
     );
 }
 
@@ -255,7 +327,7 @@ fn to_json(b: &Baseline) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"schema\": \"bench_sim/v2\",\n  \"regenerate\": \"cargo run --release -p \
+        "{{\n  \"schema\": \"bench_sim/v3\",\n  \"regenerate\": \"cargo run --release -p \
          consistency_bench --bin bench_sim -- --write BENCH_sim.json\",\n  \"host_cpus\": {},\n  \
          \"batch_width\": {BATCH_WIDTH},\n  \
          \"seed_baseline\": {{\n    \"description\": \"pre-overhaul engine: boxed dispatch, \
@@ -270,7 +342,11 @@ fn to_json(b: &Baseline) -> String {
          \"immediate_n1000_speedup_vs_seed\": {:.2},\n  \
          \"immediate_n1000_batch_rounds_per_sec\": {:.0},\n  \
          \"immediate_n1000_batch_vs_scalar\": {:.2},\n  \"attack_sweep\": [\n{}\n  ],\n  \
+         \"grid_attack_sweep\": {{\n    \"spec\": \"examples/specs/attack_sweep.toml\",\n    \
+         \"cells\": {},\n    \"wall_secs\": {:.4},\n    \"total_rounds\": {},\n    \
+         \"rounds_per_sec\": {:.0}\n  }},\n  \
          \"check_rounds_per_sec\": {:.0},\n  \"check_batch_rounds_per_sec\": {:.0},\n  \
+         \"check_grid_rounds_per_sec\": {:.0},\n  \
          \"check_regression_floor\": {:.2}\n}}\n",
         b.cpus,
         SEED_PRIVATE_C3_RPS,
@@ -285,8 +361,13 @@ fn to_json(b: &Baseline) -> String {
         b.immediate_batch_rps,
         b.immediate_batch_rps / b.immediate_rps,
         sweep.join(",\n"),
+        b.grid_cells,
+        b.grid_wall,
+        b.grid_rounds,
+        b.grid_rounds as f64 / b.grid_wall,
         b.check_rps,
         b.check_batch_rps,
+        b.check_grid_rps,
         CHECK_FLOOR,
     )
 }
@@ -337,6 +418,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     failed |= ratio < floor;
                 }
                 None => println!("check batch workload: no committed row (pre-v2 baseline)"),
+            }
+            // End-to-end grid row: gated under the same floor. Absent
+            // from a pre-v3 baseline, in which case the gate is skipped.
+            match json_number(&committed, "check_grid_rounds_per_sec") {
+                Some(grid_baseline) => {
+                    let fresh = check_grid_throughput();
+                    let ratio = fresh / grid_baseline;
+                    println!(
+                        "check grid workload: {fresh:.0} rounds/sec vs committed \
+                         {grid_baseline:.0} (ratio {ratio:.2}, floor {floor:.2})"
+                    );
+                    failed |= ratio < floor;
+                }
+                None => println!("check grid workload: no committed row (pre-v3 baseline)"),
             }
             if failed {
                 eprintln!(

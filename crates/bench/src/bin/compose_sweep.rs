@@ -28,6 +28,7 @@
 use consistency_bench::{cli, experiment, table};
 use nakamoto_sim::compose::{ComposedAdversary, Composition, SubSpec};
 use nakamoto_sim::execution::Simulation;
+use nakamoto_sim::executor;
 use nakamoto_sim::scenario::StrategyKind;
 use nakamoto_sim::spec::ExperimentSpec;
 
@@ -35,7 +36,16 @@ use nakamoto_sim::spec::ExperimentSpec;
 const SPEC: &str = include_str!("../../../../examples/specs/compose_sweep.toml");
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let args = cli::Args::parse("compose_sweep [rounds] [trials]", 2, &["--threads"])?;
+    let args = cli::Args::parse(
+        "compose_sweep [rounds] [trials]",
+        2,
+        &["--threads", "--jobs"],
+    )?;
+    if let Some(jobs) = args.jobs {
+        if !executor::configure_global_width(jobs) {
+            eprintln!("--jobs: the executor pool already exists; the width is unchanged");
+        }
+    }
     let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
     let rounds = args.pos_u64(0)?.unwrap_or(20_000);
     let trials = args.pos_u64(1)?;

@@ -1,28 +1,35 @@
 //! The **unified spec-driven experiment harness**: loads any `.toml`
 //! experiment spec (single run or sweep grid — see
 //! `nakamoto_sim::spec` for the schema and `examples/specs/` for
-//! committed examples), fans every cell out on the parallel
-//! Monte-Carlo engine, and prints the cell table with empirical 95%
-//! Wilson intervals **and** the paper's analytic bounds overlaid.
-//! With `--out`, also writes the machine-readable JSON document.
+//! committed examples), submits every cell at once to the shared
+//! executor pool so independent cells pipeline across the same
+//! workers, and prints the cell table with empirical 95% Wilson
+//! intervals **and** the paper's analytic bounds overlaid. With
+//! `--out`, also writes the machine-readable JSON document.
 //!
 //! ```text
 //! cargo run --release -p consistency_bench --bin experiment -- \
-//!     <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] [--batch W] [--out PATH]
+//!     <spec.toml> [--rounds N] [--trials N] [--threads N] [--jobs N] \
+//!     [--seed S] [--batch W] [--out PATH] [--verbose]
 //! ```
 //!
 //! `--rounds`/`--trials` override the spec's budgets (CI smokes every
 //! committed spec this way), `--seed` overrides the base master seed
 //! (sweep cells still derive theirs from the sweep stream), `--batch`
 //! overrides the lockstep batch width (stationary specs only; the
-//! aggregates are bit-identical at every width), `--out` writes JSON.
-//! Budgets and expected runtimes: see EXPERIMENTS.md.
+//! aggregates are bit-identical at every width), `--jobs` fixes the
+//! process-wide executor pool width (cells complete in any order, but
+//! the table, totals, and JSON are byte-identical at every job count),
+//! `--verbose` streams per-cell completions and the executor's
+//! counters to stderr, `--out` writes JSON. Budgets and expected
+//! runtimes: see EXPERIMENTS.md.
 
 use consistency_bench::{cli, experiment};
+use nakamoto_sim::executor;
 use nakamoto_sim::spec::ExperimentSpec;
 
-const USAGE: &str = "experiment <spec.toml> [--rounds N] [--trials N] [--threads N] [--seed S] \
-                     [--batch W] [--out PATH]";
+const USAGE: &str = "experiment <spec.toml> [--rounds N] [--trials N] [--threads N] [--jobs N] \
+                     [--seed S] [--batch W] [--out PATH] [--verbose]";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = cli::Args::parse(
@@ -32,11 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "--rounds",
             "--trials",
             "--threads",
+            "--jobs",
             "--seed",
             "--batch",
             "--out",
+            "--verbose",
         ],
     )?;
+    if let Some(jobs) = args.jobs {
+        if !executor::configure_global_width(jobs) {
+            eprintln!("--jobs: the executor pool already exists; the width is unchanged");
+        }
+    }
     let path = args
         .positionals
         .first()
@@ -68,11 +82,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let results = experiment::run_spec(&spec)?;
+    let verbose = args.verbose;
+    let jobs = args.jobs.unwrap_or(0);
+    let results = experiment::run_spec_streaming(&spec, jobs, |index, cell| {
+        if verbose {
+            // Completion order, to stderr: the stdout table and JSON
+            // stay byte-identical with and without --verbose.
+            eprintln!(
+                "cell {}/{cells} done: [{}]",
+                index + 1,
+                cell.labels.join(", ")
+            );
+        }
+    })?;
     experiment::print_table(&results);
     let rounds: u64 = results.iter().map(|r| r.estimate.simulated_rounds()).sum();
     let elapsed: f64 = results.iter().map(|r| r.estimate.elapsed_secs()).sum();
     println!("\n{rounds} simulated rounds in {elapsed:.2} s");
+    if verbose {
+        let stats = executor::global_stats();
+        eprintln!(
+            "executor: pool width {} ({} pool(s) created), {} thread(s) spawned, \
+             {} job(s) queued + {} inline, {} task(s) executed, {} steal(s)",
+            executor::global_width(),
+            executor::global_pools_created(),
+            stats.threads_spawned,
+            stats.jobs_submitted,
+            stats.jobs_inline,
+            stats.tasks_executed,
+            stats.steals,
+        );
+    }
 
     if let Some(out) = &args.out {
         std::fs::write(out, experiment::to_json(&name, &results))

@@ -22,6 +22,7 @@
 //! Budgets and expected runtime: see EXPERIMENTS.md.
 
 use consistency_bench::{cli, experiment, table};
+use nakamoto_sim::executor;
 use nakamoto_sim::scenario::{run_scenario, PhaseSpec, Regime, Scenario, StrategyKind};
 use nakamoto_sim::spec::ExperimentSpec;
 use probability::rng::{RandomSource, SplitMix64};
@@ -33,8 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = cli::Args::parse(
         "scenario_sweep [rounds-per-phase] [trials]",
         2,
-        &["--threads"],
+        &["--threads", "--jobs"],
     )?;
+    if let Some(jobs) = args.jobs {
+        if !executor::configure_global_width(jobs) {
+            eprintln!("--jobs: the executor pool already exists; the width is unchanged");
+        }
+    }
     let mut spec = ExperimentSpec::parse(SPEC).expect("committed spec parses");
     let rounds_per_phase = args.pos_u64(0)?.unwrap_or(20_000);
     let trials = args.pos_u64(1)?;

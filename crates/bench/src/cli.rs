@@ -19,11 +19,13 @@
 //! ```
 
 /// Flags a binary may opt into (`Args::parse`'s `allowed` list).
-/// Value-taking: `--threads N`, `--seed N`, `--budget N`, `--rounds N`,
-/// `--trials N`, `--batch N`, `--out PATH`, `--replay PATH`,
-/// `--write [PATH]`, `--check [PATH]`. Boolean: `--seed-from-env`.
+/// Value-taking: `--threads N`, `--jobs N`, `--seed N`, `--budget N`,
+/// `--rounds N`, `--trials N`, `--batch N`, `--out PATH`,
+/// `--replay PATH`, `--write [PATH]`, `--check [PATH]`. Boolean:
+/// `--seed-from-env`, `--verbose`.
 pub const KNOWN_FLAGS: &[&str] = &[
     "--threads",
+    "--jobs",
     "--seed",
     "--budget",
     "--rounds",
@@ -34,6 +36,7 @@ pub const KNOWN_FLAGS: &[&str] = &[
     "--write",
     "--check",
     "--seed-from-env",
+    "--verbose",
 ];
 
 /// Flags whose value may be omitted (a following flag or end-of-args
@@ -41,15 +44,19 @@ pub const KNOWN_FLAGS: &[&str] = &[
 const OPTIONAL_VALUE_FLAGS: &[&str] = &["--write", "--check"];
 
 /// Boolean flags (no value).
-const BOOL_FLAGS: &[&str] = &["--seed-from-env"];
+const BOOL_FLAGS: &[&str] = &["--seed-from-env", "--verbose"];
 
 /// Parsed command line: positionals in order plus the recognised flags.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Args {
     /// Non-flag arguments, in order.
     pub positionals: Vec<String>,
-    /// `--threads N`: worker threads (0 = one per CPU).
+    /// `--threads N`: pool slots per cell's trial fan-out (0 = the
+    /// shared pool's width).
     pub threads: Option<usize>,
+    /// `--jobs N`: width of the process-wide executor pool — the only
+    /// OS-thread knob (0 = one worker per CPU).
+    pub jobs: Option<usize>,
     /// `--seed N`: master-seed override.
     pub seed: Option<u64>,
     /// `--budget N`: case/iteration budget.
@@ -71,6 +78,9 @@ pub struct Args {
     pub check: Option<Option<String>>,
     /// `--seed-from-env`: take the seed from the environment.
     pub seed_from_env: bool,
+    /// `--verbose`: stream per-cell completions and executor counters
+    /// to stderr.
+    pub verbose: bool,
 }
 
 impl Args {
@@ -122,7 +132,11 @@ impl Args {
                 return Err(format!("unknown argument `{arg}`; usage: {usage}"));
             }
             if BOOL_FLAGS.contains(&arg.as_str()) {
-                parsed.seed_from_env = true;
+                match arg.as_str() {
+                    "--seed-from-env" => parsed.seed_from_env = true,
+                    "--verbose" => parsed.verbose = true,
+                    _ => unreachable!("BOOL_FLAGS ⊆ KNOWN_FLAGS"),
+                }
                 continue;
             }
             let value = if OPTIONAL_VALUE_FLAGS.contains(&arg.as_str()) {
@@ -155,6 +169,11 @@ impl Args {
                             "`--threads` does not fit usize: {}",
                             value.unwrap_or_default()
                         )
+                    })?);
+                }
+                "--jobs" => {
+                    parsed.jobs = Some(usize::try_from(number(&value)?).map_err(|_| {
+                        format!("`--jobs` does not fit usize: {}", value.unwrap_or_default())
                     })?);
                 }
                 "--seed" => parsed.seed = Some(number(&value)?),
@@ -301,6 +320,21 @@ mod tests {
         let args = Args::parse_from(["--check", "--seed-from-env"], "u", 0, ALL).unwrap();
         assert_eq!(args.check, Some(None));
         assert!(args.seed_from_env);
+    }
+
+    #[test]
+    fn jobs_and_verbose_flags_parse() {
+        let args = Args::parse_from(["--jobs", "4", "--verbose"], "u", 0, ALL).unwrap();
+        assert_eq!(args.jobs, Some(4));
+        assert!(args.verbose);
+        assert!(
+            !args.seed_from_env,
+            "--verbose must not leak into other bools"
+        );
+        let err = Args::parse_from(["--jobs"], "u", 0, ALL).unwrap_err();
+        assert!(err.contains("needs a value"), "{err}");
+        let err = Args::parse_from(["--jobs", "many"], "u", 0, ALL).unwrap_err();
+        assert!(err.contains("unsigned integer"), "{err}");
     }
 
     #[test]

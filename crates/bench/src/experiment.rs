@@ -13,9 +13,11 @@
 
 use consistency_core::analytic::{self, AnalyticBounds, BoundComparison, BoundVerdict};
 use nakamoto_sim::exact::{ExactEstimate, ExactRun};
+use nakamoto_sim::executor::{self, TaskKind};
 use nakamoto_sim::montecarlo::MonteCarloRun;
 use nakamoto_sim::spec::{Estimate, ExperimentCell, ExperimentMode, ExperimentSpec, SpecError};
 use nakamoto_sim::splitting::SplittingRun;
+use std::sync::Arc;
 
 /// One executed cell: its sweep labels, the concrete spec it ran, the
 /// backend-tagged estimate, and the analytic overlay (absent for the
@@ -68,13 +70,64 @@ impl CellResult {
     }
 }
 
-/// Expands and runs every cell of a spec, in sweep order.
+/// Expands and runs every cell of a spec, returning results in sweep
+/// order. All cells are submitted to the shared executor pool at once
+/// (see [`run_spec_streaming`]); on a one-worker pool this degenerates
+/// to the historical sequential walk.
 ///
 /// # Errors
 ///
 /// Returns [`SpecError`] if expansion or per-cell validation fails.
 pub fn run_spec(spec: &ExperimentSpec) -> Result<Vec<CellResult>, SpecError> {
-    spec.expand()?.into_iter().map(run_cell).collect()
+    run_spec_streaming(spec, 0, |_, _| {})
+}
+
+/// Expands a spec and submits **all cells at once** as one composite
+/// job on the shared [`nakamoto_sim::executor`] pool, so independent
+/// cells pipeline across the same workers and grid wall-clock
+/// approaches `max(cell)` instead of `sum(cell)` on a multi-core host.
+///
+/// `jobs` bounds how many cells occupy pool slots concurrently; `0`
+/// uses the pool's own width (the `--jobs` CLI flag routes here).
+/// Cells *complete* in an arbitrary order — `on_cell(index, &result)`
+/// fires in completion order for streaming progress — but the returned
+/// `Vec` is always in sweep order, and each cell's estimate is a pure
+/// function of its own spec, so the results (and any JSON rendered
+/// from them) are byte-identical to the sequential walk at every job
+/// count.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if expansion or per-cell validation fails
+/// (the earliest failing cell in sweep order wins).
+pub fn run_spec_streaming<C>(
+    spec: &ExperimentSpec,
+    jobs: usize,
+    mut on_cell: C,
+) -> Result<Vec<CellResult>, SpecError>
+where
+    C: FnMut(usize, &CellResult),
+{
+    let cells = spec.expand()?;
+    let total = cells.len() as u64;
+    let width = if jobs == 0 {
+        executor::global_width()
+    } else {
+        jobs
+    };
+    let cells = Arc::new(cells);
+    let results = executor::run_ordered_with(
+        total,
+        width,
+        TaskKind::Composite,
+        move |i| run_cell(cells[i as usize].clone()),
+        |i, result: &Result<CellResult, SpecError>| {
+            if let Ok(cell) = result {
+                on_cell(i as usize, cell);
+            }
+        },
+    );
+    results.into_iter().collect()
 }
 
 /// Runs one concrete cell.
@@ -894,6 +947,62 @@ mod tests {
         assert_eq!(scalar.len(), batched.len());
         for (s, b) in scalar.iter().zip(&batched) {
             assert_eq!(s.wilson().unwrap().aggregate, b.wilson().unwrap().aggregate);
+        }
+    }
+
+    const SWEEP_SPEC: &str = r#"
+        [experiment]
+        trials = 2
+        thresholds = [12]
+
+        [base]
+        n_miners = 100
+        delta = 4
+        c = 2.0
+        adversary_fraction = 0.25
+        seed = 11
+
+        [stationary]
+        strategy = "private-chain"
+        rounds = 400
+
+        [sweep]
+        seed = 5
+
+        [[sweep.axis]]
+        label = "nu"
+
+        [[sweep.axis.cell]]
+        label = "0.15"
+        patch = { "base.adversary_fraction" = 0.15 }
+
+        [[sweep.axis.cell]]
+        label = "0.25"
+        patch = { "base.adversary_fraction" = 0.25 }
+
+        [[sweep.axis.cell]]
+        label = "0.35"
+        patch = { "base.adversary_fraction" = 0.35 }
+    "#;
+
+    /// Pipelining grid cells across the shared pool is an
+    /// execution-strategy change only: the rendered JSON document must
+    /// be byte-identical at every job count, and the streaming callback
+    /// must see every cell exactly once.
+    #[test]
+    fn grid_json_is_byte_identical_at_every_job_count() {
+        let spec = ExperimentSpec::parse(SWEEP_SPEC).unwrap();
+        let sequential = run_spec_streaming(&spec, 1, |_, _| {}).unwrap();
+        assert_eq!(sequential.len(), 3);
+        let reference = to_json("sweep", &sequential);
+        for jobs in [2, 4, 8] {
+            let mut streamed = vec![0u32; sequential.len()];
+            let results = run_spec_streaming(&spec, jobs, |i, _| streamed[i] += 1).unwrap();
+            assert!(
+                streamed.iter().all(|&c| c == 1),
+                "jobs {jobs}: {streamed:?}"
+            );
+            assert_eq!(to_json("sweep", &results), reference, "jobs {jobs}");
         }
     }
 

@@ -128,11 +128,11 @@ fn compose_sweep_entry() {
     let plan = TrialPlan::new(cfg, ROUNDS, 3)
         .expect("non-empty plan")
         .thresholds(vec![12]);
-    let mixed = plan.run(|_| ComposedAdversary::new(cfg.delta, composition(1, 1)));
+    let mixed = plan.run(move |_| ComposedAdversary::new(cfg.delta, composition(1, 1)));
     assert_eq!(mixed.aggregate.trials, 3);
     assert!(mixed.aggregate.total_adversary_blocks > 0);
-    let pure_edge = plan.run(|_| ComposedAdversary::new(cfg.delta, composition(1, 0)));
-    let bare = plan.run(|_| BalanceAdversary::new(cfg.delta));
+    let pure_edge = plan.run(move |_| ComposedAdversary::new(cfg.delta, composition(1, 0)));
+    let bare = plan.run(move |_| BalanceAdversary::new(cfg.delta));
     assert_eq!(
         pure_edge.aggregate, bare.aggregate,
         "the 1:0 row must reproduce the bare strategy"

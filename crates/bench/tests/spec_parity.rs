@@ -53,9 +53,9 @@ fn attack_sweep_spec_path_is_bit_identical_to_the_pre_spec_loop() {
                     .expect("non-empty plan")
                     .thresholds(vec![t_consistency]);
                 if balance {
-                    plan.run(|_| BalanceAdversary::new(delta))
+                    plan.run(move |_| BalanceAdversary::new(delta))
                 } else {
-                    plan.run(|_| PrivateChainAdversary::new(delta))
+                    plan.run(move |_| PrivateChainAdversary::new(delta))
                 }
             };
             assert_eq!(
@@ -152,7 +152,7 @@ fn compose_sweep_spec_path_is_bit_identical_to_the_pre_spec_loop() {
             let run = TrialPlan::new(cfg, ROUNDS, TRIALS)
                 .expect("non-empty plan")
                 .thresholds(vec![t_consistency])
-                .run(|_| ComposedAdversary::new(cfg.delta, composition.clone()));
+                .run(move |_| ComposedAdversary::new(cfg.delta, composition.clone()));
             assert_eq!(
                 via_spec[at],
                 run.aggregate,

@@ -1,0 +1,21 @@
+//! Negative fixture: thread-flavoured text that is not a raw spawn.
+//! Doc prose naming `std::thread::scope` must not fire, nor comments,
+//! strings, or unrelated paths that merely contain the ident.
+
+/// The executor replaced every `thread::spawn` call site.
+pub fn pool_width(thread: usize) -> usize {
+    // one pool per process owns every thread::scope in the workspace
+    let spawn = thread + 1;
+    let doc = "thread::scope(|s| s.spawn(...))";
+    doc.len() + spawn
+}
+
+pub mod thread {
+    pub fn sleep_rounds() -> u64 {
+        0
+    }
+}
+
+pub fn not_a_spawn() -> u64 {
+    thread::sleep_rounds()
+}

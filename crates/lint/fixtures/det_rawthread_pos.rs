@@ -1,0 +1,21 @@
+//! Positive fixture: raw thread creation outside the executor module.
+
+pub fn scoped_fan_out(work: &[u64]) -> u64 {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            total = work.iter().sum::<u64>();
+        });
+    });
+    total
+}
+
+pub fn detached_worker() {
+    let handle = std::thread::spawn(|| 1 + 1);
+    drop(handle);
+}
+
+pub fn named_worker() {
+    let builder = std::thread::Builder::new();
+    drop(builder);
+}

@@ -64,6 +64,13 @@ pub struct Policy {
     pub entropy_crates: Vec<String>,
     /// Crates where `det-float-sum` applies.
     pub float_sum_crates: Vec<String>,
+    /// Crates where `det-rawthread` applies (raw `thread::scope`/
+    /// `thread::spawn`/`thread::Builder` forbidden in favour of the
+    /// shared executor pool).
+    pub rawthread_crates: Vec<String>,
+    /// Workspace-relative files exempt from `det-rawthread` — the
+    /// executor module itself, which owns every raw spawn.
+    pub rawthread_exempt: Vec<String>,
     /// Crates where the P (panic-hygiene) rules apply.
     pub panic_crates: Vec<String>,
     /// Workspace-relative crate-root files that must carry
@@ -90,6 +97,8 @@ impl Policy {
             wallclock_crates: sealed.clone(),
             entropy_crates: sealed,
             float_sum_crates: sim_core(),
+            rawthread_crates: vec!["sim".into(), "bench".into()],
+            rawthread_exempt: vec!["crates/sim/src/executor.rs".into()],
             panic_crates: sim_core(),
             forbid_unsafe_roots: vec![
                 "src/lib.rs".into(),
@@ -139,6 +148,8 @@ impl Policy {
             wallclock: has(&self.wallclock_crates),
             entropy: has(&self.entropy_crates),
             float_sum: has(&self.float_sum_crates),
+            rawthread: has(&self.rawthread_crates)
+                && !self.rawthread_exempt.iter().any(|p| p == rel),
             panic_hygiene: has(&self.panic_crates),
             forbid_unsafe: self.forbid_unsafe_roots.iter().any(|r| r == rel),
         })
@@ -281,13 +292,26 @@ mod tests {
     fn policy_scopes_match_the_contract() {
         let p = Policy::workspace_default();
         let sim = p.rules_for("crates/sim/src/oracle.rs").unwrap();
-        assert!(sim.collections && sim.panic_hygiene && sim.float_sum);
+        assert!(sim.collections && sim.panic_hygiene && sim.float_sum && sim.rawthread);
         let markov = p.rules_for("crates/markov/src/chain.rs").unwrap();
         assert!(markov.collections && !markov.panic_hygiene && !markov.float_sum);
+        assert!(!markov.rawthread, "rawthread scopes to sim and bench only");
         let prob = p.rules_for("crates/probability/src/rng.rs").unwrap();
         assert!(!prob.collections && prob.wallclock && prob.entropy);
         let bench = p.rules_for("crates/bench/src/cli.rs").unwrap();
-        assert!(bench.is_empty(), "bench lib is harness code: {bench:?}");
+        assert!(
+            bench.rawthread,
+            "bench lib must route fan-outs through the executor"
+        );
+        assert!(
+            !bench.collections && !bench.panic_hygiene && !bench.float_sum,
+            "bench lib is otherwise harness code: {bench:?}"
+        );
+        let executor = p.rules_for("crates/sim/src/executor.rs").unwrap();
+        assert!(
+            !executor.rawthread,
+            "the executor module owns the raw spawns"
+        );
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub const RULE_IDS: &[&str] = &[
     "det-wallclock",
     "det-entropy",
     "det-float-sum",
+    "det-rawthread",
     // P — panic hygiene.
     "panic-unwrap",
     "panic-expect",
@@ -48,6 +49,10 @@ pub struct RuleSet {
     pub entropy: bool,
     /// `det-float-sum`: no float `.sum()`/`.product()`.
     pub float_sum: bool,
+    /// `det-rawthread`: no `thread::scope`/`thread::spawn`/
+    /// `thread::Builder` — all worker threads belong to the shared
+    /// `nakamoto_sim::executor` pool.
+    pub rawthread: bool,
     /// `panic-unwrap` + `panic-expect` + `panic-macro` +
     /// `panic-slice-index`.
     pub panic_hygiene: bool,
@@ -70,6 +75,7 @@ impl RuleSet {
             wallclock: true,
             entropy: true,
             float_sum: true,
+            rawthread: true,
             panic_hygiene: true,
             forbid_unsafe: false,
         }
@@ -228,6 +234,28 @@ pub fn check_tokens(
                         "`{}` injects ambient state (OS entropy / environment) into \
                          simulation/estimator code; thread the seed or config through instead",
                         t.text
+                    ),
+                    waivers,
+                );
+            }
+        }
+        if rules.rawthread {
+            let raw_spawn = t.text == "thread"
+                && next.is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|n| {
+                    n.is_ident("scope") || n.is_ident("spawn") || n.is_ident("Builder")
+                });
+            if raw_spawn {
+                let what = &toks[i + 3].text;
+                emit(
+                    "det-rawthread",
+                    t.line,
+                    t.col,
+                    format!(
+                        "`thread::{what}` creates raw OS threads outside the shared pool; \
+                         submit the work to `nakamoto_sim::executor` instead \
+                         (one pool per process owns every worker thread)"
                     ),
                     waivers,
                 );

@@ -71,6 +71,12 @@ fn det_float_sum() {
 }
 
 #[test]
+fn det_rawthread() {
+    assert_fires("det_rawthread_pos.rs", lib_rules(), &["det-rawthread"]);
+    assert_clean("det_rawthread_neg.rs", lib_rules());
+}
+
+#[test]
 fn panic_unwrap() {
     assert_fires("panic_unwrap_pos.rs", lib_rules(), &["panic-unwrap"]);
     assert_clean("panic_unwrap_neg.rs", lib_rules());

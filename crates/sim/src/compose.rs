@@ -711,7 +711,7 @@ mod tests {
     #[test]
     fn composed_aggregate_independent_of_thread_count() {
         let cfg = SimConfig::from_c(80, 3, 1.0, 0.4, 61).unwrap();
-        let make = || {
+        let make = move || {
             ComposedAdversary::new(
                 cfg.delta,
                 composition(&[
@@ -724,11 +724,11 @@ mod tests {
         let plan = TrialPlan::new(cfg, 5_000, 8)
             .unwrap()
             .thresholds(vec![0, 6, 12]);
-        let reference = plan.clone().with_threads(1).run(|_| make());
+        let reference = plan.clone().with_threads(1).run(move |_| make());
         assert_eq!(reference.aggregate.trials, 8);
         assert!(reference.aggregate.total_adversary_blocks > 0);
         for threads in [2usize, 4, 8] {
-            let other = plan.clone().with_threads(threads).run(|_| make());
+            let other = plan.clone().with_threads(threads).run(move |_| make());
             assert_eq!(
                 reference.aggregate, other.aggregate,
                 "composed aggregate differs at {threads} threads"

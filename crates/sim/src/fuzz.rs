@@ -13,7 +13,8 @@
 //! zero-weight passengers included) and checks, per case:
 //!
 //! 1. **Thread-count bit-identity** — a two-trial [`ScenarioPlan`]
-//!    aggregate is bit-identical at 1 and 2 worker threads.
+//!    aggregate is bit-identical at 1, 2, 4, and 8 worker slots of the
+//!    shared executor pool.
 //! 2. **Pruning-liveness** — a pruned run and an unpruned run of the
 //!    same scenario produce identical final and per-phase reports, and
 //!    the pruned tree never holds more blocks than the unpruned one.
@@ -318,20 +319,24 @@ fn sample_composition(rng: &mut SplitMix64) -> Composition {
 /// Returns the violated invariant's name and a human-readable mismatch
 /// description.
 pub fn check_scenario(scenario: &Scenario) -> Result<(), (&'static str, String)> {
-    // 1. Thread-count bit-identity over a small Monte-Carlo fan-out.
+    // 1. Thread-count bit-identity over a small Monte-Carlo fan-out:
+    // the slot counts cover inline (1), and pooled widths narrower
+    // than, equal to, and wider than the trial count (2, 4, 8).
     let plan = ScenarioPlan::new(scenario.clone(), 2)
         .expect("two trials") // detlint: allow(panic-expect) -- trials = 2 is statically nonzero
         .thresholds(vec![6]);
     let single = plan.clone().with_threads(1).run();
-    let double = plan.with_threads(2).run();
-    if single.aggregate != double.aggregate {
-        return Err((
-            "thread-count bit-identity",
-            format!(
-                "aggregates diverge between 1 and 2 threads: {:?} vs {:?}",
-                single.aggregate, double.aggregate
-            ),
-        ));
+    for threads in [2, 4, 8] {
+        let pooled = plan.clone().with_threads(threads).run();
+        if single.aggregate != pooled.aggregate {
+            return Err((
+                "thread-count bit-identity",
+                format!(
+                    "aggregates diverge between 1 and {threads} threads: {:?} vs {:?}",
+                    single.aggregate, pooled.aggregate
+                ),
+            ));
+        }
     }
 
     // 2 + 3. One pruned run stepped phase by phase (snapshots feed the

@@ -63,6 +63,7 @@ pub mod consistency;
 pub mod events;
 pub mod exact;
 pub mod execution;
+pub mod executor;
 pub mod fuzz;
 pub mod metrics;
 pub mod montecarlo;

@@ -13,8 +13,9 @@
 //!   from the master seed alone and trial results are reduced in trial
 //!   order, so [`run_trials`] returns a bit-identical
 //!   [`TrialAggregate`] for 1, 2 or 64 worker threads.
-//! * **No new dependencies** — plain `std::thread::scope` workers over
-//!   an atomic work counter; no rayon, no channels.
+//! * **No new dependencies** — trial slots submitted to the shared
+//!   [`crate::executor`] pool (plain `std`, per-worker deques over an
+//!   atomic work counter); no rayon, no channels.
 //!
 //! # Example
 //!
@@ -38,10 +39,10 @@ use crate::adversary::Adversary;
 use crate::batch::BatchSimulation;
 use crate::config::{ConfigError, SimConfig};
 use crate::execution::Simulation;
+use crate::executor::{self, TaskKind};
 use crate::metrics::SimReport;
 use probability::rng::Xoshiro256PlusPlus;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::Instant; // detlint: allow(det-wallclock) -- elapsed feeds the rounds_per_sec diagnostic only, never a stream or aggregate
 
 /// Critical value used by the sequential stopping rule: the per-wave
@@ -172,7 +173,7 @@ impl TrialPlan {
     pub fn run<A, F>(&self, make_adversary: F) -> MonteCarloRun
     where
         A: Adversary,
-        F: Fn(u64) -> A + Sync,
+        F: Fn(u64) -> A + Send + Sync + 'static,
     {
         run_trials(self, make_adversary)
     }
@@ -348,121 +349,76 @@ pub(crate) fn trial_streams(master_seed: u64, trials: u64) -> Vec<Xoshiro256Plus
 
 /// The deterministic fan-out shared by [`run_trials`] and the scenario
 /// layer's `ScenarioPlan`: runs `run_one(trial, stream)` for every
-/// trial over `std::thread::scope` workers pulling from an atomic work
-/// counter, and returns the reports **in trial order** together with
-/// the wall-clock seconds and the worker count actually used.
+/// trial as one ordered job on the shared [`crate::executor`] pool,
+/// and returns the reports **in trial order** together with the
+/// wall-clock seconds and the job width actually used.
 ///
 /// Trial `t`'s stream is the master generator advanced by `t` jumps,
 /// and the reduction order is the trial index, so the result is a pure
-/// function of `(master_seed, run_one)` — never of thread count or
-/// scheduling.
+/// function of `(master_seed, run_one)` — never of pool width, job
+/// width, or scheduling.
 pub(crate) fn fan_out_reports<F>(
     master_seed: u64,
     trials: u64,
     requested_threads: usize,
-    run_one: &F,
+    run_one: F,
 ) -> (Vec<SimReport>, f64, usize)
 where
-    F: Fn(u64, Xoshiro256PlusPlus) -> SimReport + Sync,
+    F: Fn(u64, Xoshiro256PlusPlus) -> SimReport + Send + Sync + 'static,
 {
     let threads = effective_threads(requested_threads, trials);
-    let streams = trial_streams(master_seed, trials);
-    let next_trial = AtomicU64::new(0);
-    let reports: Mutex<Vec<(u64, SimReport)>> = Mutex::new(Vec::with_capacity(trials as usize));
+    let streams = Arc::new(trial_streams(master_seed, trials));
 
     // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local: Vec<(u64, SimReport)> = Vec::new();
-                loop {
-                    let trial = next_trial.fetch_add(1, Ordering::Relaxed);
-                    if trial >= trials {
-                        break;
-                    }
-                    local.push((trial, run_one(trial, streams[trial as usize].clone())));
-                }
-                if !local.is_empty() {
-                    reports
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .extend(local);
-                }
-            });
-        }
+    let reports = executor::run_ordered(trials, threads, TaskKind::Leaf, move |trial| {
+        run_one(trial, streams[trial as usize].clone())
     });
     let elapsed_secs = started.elapsed().as_secs_f64();
-
-    // A poisoned lock only means another worker panicked; that panic
-    // re-raises at scope join, so recovering the data here is sound.
-    let mut reports = reports.into_inner().unwrap_or_else(PoisonError::into_inner);
     debug_assert_eq!(reports.len() as u64, trials);
-    // Ordered reduction: trial order, not completion order.
-    reports.sort_unstable_by_key(|&(trial, _)| trial);
-    let reports = reports.into_iter().map(|(_, report)| report).collect();
     (reports, elapsed_secs, threads)
 }
 
 /// Block-pulling variant of [`fan_out_reports`] for the lockstep batch
-/// engine: workers pull *blocks* of `batch_width` consecutive trials
-/// from the atomic counter and hand each block's streams to
-/// `run_block`, which returns one report per stream in stream order.
-/// Trial `base_trial + i` runs on `streams[i]`, and the reduction is in
-/// trial order, so the result is a pure function of the streams — never
-/// of thread count or batch width. With `batch_width == 1` the pull
+/// engine: each job unit is a *block* of `batch_width` consecutive
+/// trials whose streams are handed to `run_block`, which returns one
+/// report per stream in stream order. Trial `base_trial + i` runs on
+/// `streams[i]`, and blocks cover consecutive trial ranges in block
+/// order, so flattening block results in unit order *is* the
+/// trial-order reduction — a pure function of the streams, never of
+/// pool width or batch width. With `batch_width == 1` the unit
 /// sequence is exactly [`fan_out_reports`]'s.
 pub(crate) fn fan_out_report_blocks<F>(
-    streams: &[Xoshiro256PlusPlus],
+    streams: Vec<Xoshiro256PlusPlus>,
     base_trial: u64,
     requested_threads: usize,
     batch_width: u64,
-    run_block: &F,
+    run_block: Arc<F>,
 ) -> (Vec<SimReport>, f64, usize)
 where
-    F: Fn(u64, &[Xoshiro256PlusPlus]) -> Vec<SimReport> + Sync,
+    F: Fn(u64, &[Xoshiro256PlusPlus]) -> Vec<SimReport> + Send + Sync + 'static,
 {
     let trials = streams.len() as u64;
     let batch_width = batch_width.max(1);
-    let threads = effective_threads(requested_threads, trials.div_ceil(batch_width));
-    let next_block = AtomicU64::new(0);
-    let reports: Mutex<Vec<(u64, SimReport)>> = Mutex::new(Vec::with_capacity(streams.len()));
+    let blocks = trials.div_ceil(batch_width);
+    let threads = effective_threads(requested_threads, blocks);
+    let streams = Arc::new(streams);
 
     // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
     let started = Instant::now();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local: Vec<(u64, SimReport)> = Vec::new();
-                loop {
-                    let start = next_block.fetch_add(batch_width, Ordering::Relaxed);
-                    if start >= trials {
-                        break;
-                    }
-                    let end = (start + batch_width).min(trials);
-                    let chunk = &streams[start as usize..end as usize]; // detlint: allow(panic-slice-index) -- end = min(start + width, trials) <= streams.len() by construction
-                    let block = run_block(base_trial + start, chunk);
-                    debug_assert_eq!(block.len() as u64, end - start);
-                    local.extend(block.into_iter().zip(start..end).map(|(r, t)| (t, r)));
-                }
-                if !local.is_empty() {
-                    reports
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .extend(local);
-                }
-            });
-        }
+    let block_reports = executor::run_ordered(blocks, threads, TaskKind::Leaf, move |block| {
+        let start = block * batch_width;
+        let end = (start + batch_width).min(trials);
+        let chunk = &streams[start as usize..end as usize]; // detlint: allow(panic-slice-index) -- end = min(start + width, trials) <= streams.len() by construction
+        let reports = run_block(base_trial + start, chunk);
+        debug_assert_eq!(reports.len() as u64, end - start);
+        reports
     });
     let elapsed_secs = started.elapsed().as_secs_f64();
 
-    // A poisoned lock only means another worker panicked; that panic
-    // re-raises at scope join, so recovering the data here is sound.
-    let mut reports = reports.into_inner().unwrap_or_else(PoisonError::into_inner);
+    // Ordered reduction: block order is trial order.
+    let reports: Vec<SimReport> = block_reports.into_iter().flatten().collect();
     debug_assert_eq!(reports.len() as u64, trials);
-    // Ordered reduction: trial order, not completion order.
-    reports.sort_unstable_by_key(|&(trial, _)| trial);
-    let reports = reports.into_iter().map(|(_, report)| report).collect();
     (reports, elapsed_secs, threads)
 }
 
@@ -512,11 +468,14 @@ pub(crate) fn aggregate_reports(
     aggregate
 }
 
-/// Runs `plan.trials` independent simulations over `std::thread::scope`
-/// workers and reduces their reports in trial order.
+/// Runs `plan.trials` independent simulations as one ordered job on
+/// the shared [`crate::executor`] pool and reduces their reports in
+/// trial order.
 ///
 /// `make_adversary` builds a fresh strategy for trial `t`; it runs on
-/// worker threads, so it must be `Sync` (it is called once per trial).
+/// pool workers, so it must be `Send + Sync + 'static` (it is called
+/// once per trial). `plan.threads` bounds how many pool slots the job
+/// occupies — it no longer spawns OS threads of its own.
 ///
 /// With `plan.batch_width > 1`, workers pull blocks of consecutive
 /// trials and advance them through the lockstep [`BatchSimulation`];
@@ -539,7 +498,7 @@ pub(crate) fn aggregate_reports(
 pub fn run_trials<A, F>(plan: &TrialPlan, make_adversary: F) -> MonteCarloRun
 where
     A: Adversary,
-    F: Fn(u64) -> A + Sync,
+    F: Fn(u64) -> A + Send + Sync + 'static,
 {
     assert!(
         plan.trials > 0 && plan.rounds > 0,
@@ -551,13 +510,15 @@ where
     let width = plan.batch_width.max(1) as u64;
     if width == 1 {
         // Scalar path: one trial per pull, the historical engine.
-        let run_one = |trial: u64, rng: Xoshiro256PlusPlus| {
-            let mut sim = Simulation::with_rng(plan.config, make_adversary(trial), rng);
-            sim.run(plan.rounds);
+        let config = plan.config;
+        let rounds = plan.rounds;
+        let run_one = move |trial: u64, rng: Xoshiro256PlusPlus| {
+            let mut sim = Simulation::with_rng(config, make_adversary(trial), rng);
+            sim.run(rounds);
             sim.report()
         };
         let (reports, elapsed_secs, threads) =
-            fan_out_reports(plan.config.seed, plan.trials, plan.threads, &run_one);
+            fan_out_reports(plan.config.seed, plan.trials, plan.threads, run_one);
         let aggregate = aggregate_reports(&reports, plan.rounds, &plan.consistency_thresholds);
         let total_rounds = aggregate.total_rounds();
         return MonteCarloRun {
@@ -568,9 +529,9 @@ where
         };
     }
     let streams = trial_streams(plan.config.seed, plan.trials);
-    let run_block = batch_block_runner(plan, &make_adversary);
+    let run_block = batch_block_runner(plan, Arc::new(make_adversary));
     let (reports, elapsed_secs, threads) =
-        fan_out_report_blocks(&streams, 0, plan.threads, width, &run_block);
+        fan_out_report_blocks(streams, 0, plan.threads, width, run_block);
     let aggregate = aggregate_reports(&reports, plan.rounds, &plan.consistency_thresholds);
     let total_rounds = aggregate.total_rounds();
     MonteCarloRun {
@@ -583,26 +544,28 @@ where
 
 /// Builds the block runner shared by the fixed-budget and adaptive
 /// paths: trial `first + i` becomes lane `i` of a lockstep batch.
-fn batch_block_runner<'p, A, F>(
-    plan: &'p TrialPlan,
-    make_adversary: &'p F,
-) -> impl Fn(u64, &[Xoshiro256PlusPlus]) -> Vec<SimReport> + Sync + 'p
+fn batch_block_runner<A, F>(
+    plan: &TrialPlan,
+    make_adversary: Arc<F>,
+) -> Arc<impl Fn(u64, &[Xoshiro256PlusPlus]) -> Vec<SimReport> + Send + Sync + 'static>
 where
     A: Adversary,
-    F: Fn(u64) -> A + Sync,
+    F: Fn(u64) -> A + Send + Sync + 'static,
 {
-    move |first: u64, streams: &[Xoshiro256PlusPlus]| {
+    let config = plan.config;
+    let rounds = plan.rounds;
+    Arc::new(move |first: u64, streams: &[Xoshiro256PlusPlus]| {
         let lanes = streams
             .iter()
             .enumerate()
             .map(|(i, rng)| {
-                Simulation::with_rng(plan.config, make_adversary(first + i as u64), rng.clone())
+                Simulation::with_rng(config, make_adversary(first + i as u64), rng.clone())
             })
             .collect();
         let mut batch = BatchSimulation::new(lanes);
-        batch.run(plan.rounds);
+        batch.run(rounds);
         batch.reports()
-    }
+    })
 }
 
 /// Sequential-stopping fan-out: runs trials in deterministic waves of
@@ -621,7 +584,7 @@ where
 fn run_trials_adaptive<A, F>(plan: &TrialPlan, target: f64, make_adversary: F) -> MonteCarloRun
 where
     A: Adversary,
-    F: Fn(u64) -> A + Sync,
+    F: Fn(u64) -> A + Send + Sync + 'static,
 {
     assert!(
         target > 0.0 && target < 1.0,
@@ -637,7 +600,7 @@ where
     } else {
         plan.check_every
     };
-    let run_block = batch_block_runner(plan, &make_adversary);
+    let run_block = batch_block_runner(plan, Arc::new(make_adversary));
 
     let mut master = Xoshiro256PlusPlus::seed_from_u64(plan.config.seed);
     let mut reports: Vec<SimReport> = Vec::new();
@@ -658,8 +621,13 @@ where
             })
             .collect();
         let base = reports.len() as u64;
-        let (wave_reports, secs, threads) =
-            fan_out_report_blocks(&wave_streams, base, plan.threads, width, &run_block);
+        let (wave_reports, secs, threads) = fan_out_report_blocks(
+            wave_streams,
+            base,
+            plan.threads,
+            width,
+            Arc::clone(&run_block),
+        );
         elapsed_secs += secs;
         threads_used = threads_used.max(threads);
         for report in &wave_reports {
@@ -689,14 +657,15 @@ where
     }
 }
 
-/// Worker count for a fan-out: `requested`, or one per available CPU
-/// when `requested == 0` (falling back to 1 if detection fails), capped
-/// by the trial count — and never zero, so the fan-out cannot degenerate
-/// into an empty `std::thread::scope` that hangs the reduction on an
-/// empty report set.
+/// Job width for a fan-out: `requested`, or the shared executor pool's
+/// width when `requested == 0` (the pool sizes itself to the available
+/// CPUs unless `--jobs` fixed it), capped by the trial count — and
+/// never zero. This is a *slot* count on the global pool, not an OS
+/// thread count: concurrent plans cannot oversubscribe the host, they
+/// only queue more work on the same workers.
 pub(crate) fn effective_threads(requested: usize, trials: u64) -> usize {
     let available = if requested == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        executor::global_width()
     } else {
         requested
     };

@@ -831,14 +831,15 @@ impl ScenarioPlan {
             self.trials > 0,
             "empty experiment: construct plans through ScenarioPlan::new"
         );
-        let run_one = |_trial: u64, rng: Xoshiro256PlusPlus| {
-            run_scenario_with_rng(&self.scenario, rng).final_report
+        let scenario = std::sync::Arc::new(self.scenario.clone());
+        let run_one = move |_trial: u64, rng: Xoshiro256PlusPlus| {
+            run_scenario_with_rng(&scenario, rng).final_report
         };
         let (reports, elapsed_secs, threads) = fan_out_reports(
             self.scenario.base().seed,
             self.trials,
             self.threads,
-            &run_one,
+            run_one,
         );
         let aggregate = aggregate_reports(
             &reports,

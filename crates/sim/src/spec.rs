@@ -1145,9 +1145,11 @@ impl ExperimentPlan {
                 let delta = plan.config.delta;
                 match *strategy {
                     StrategyKind::Honest => plan.run(|_| ImmediateReleaseAdversary::new()),
-                    StrategyKind::PrivateChain => plan.run(|_| PrivateChainAdversary::new(delta)),
-                    StrategyKind::Balance => plan.run(|_| BalanceAdversary::new(delta)),
-                    StrategyKind::Selfish => plan.run(|_| SelfishMiningAdversary::new(delta)),
+                    StrategyKind::PrivateChain => {
+                        plan.run(move |_| PrivateChainAdversary::new(delta))
+                    }
+                    StrategyKind::Balance => plan.run(move |_| BalanceAdversary::new(delta)),
+                    StrategyKind::Selfish => plan.run(move |_| SelfishMiningAdversary::new(delta)),
                     StrategyKind::Composed(i) => {
                         let composition = compositions[i].clone();
                         plan.run(move |_| ComposedAdversary::new(delta, composition.clone()))
@@ -1173,9 +1175,9 @@ impl ExperimentPlan {
         let delta = splitting.config.delta;
         match *strategy {
             StrategyKind::Honest => splitting.run(|_| ImmediateReleaseAdversary::new()),
-            StrategyKind::PrivateChain => splitting.run(|_| PrivateChainAdversary::new(delta)),
-            StrategyKind::Balance => splitting.run(|_| BalanceAdversary::new(delta)),
-            StrategyKind::Selfish => splitting.run(|_| SelfishMiningAdversary::new(delta)),
+            StrategyKind::PrivateChain => splitting.run(move |_| PrivateChainAdversary::new(delta)),
+            StrategyKind::Balance => splitting.run(move |_| BalanceAdversary::new(delta)),
+            StrategyKind::Selfish => splitting.run(move |_| SelfishMiningAdversary::new(delta)),
             StrategyKind::Composed(i) => {
                 let composition = compositions[i].clone();
                 splitting.run(move |_| ComposedAdversary::new(delta, composition.clone()))
@@ -2619,10 +2621,11 @@ mod tests {
     fn stationary_spec_runs_the_bare_adversary() {
         let spec = ExperimentSpec::parse(STATIONARY_SPEC).unwrap();
         let run = wilson(spec.plan().unwrap().execute());
+        let delta = spec.base.delta;
         let by_hand = TrialPlan::new(spec.base, 1000, 2)
             .unwrap()
             .thresholds(vec![12])
-            .run(|_| PrivateChainAdversary::new(spec.base.delta));
+            .run(move |_| PrivateChainAdversary::new(delta));
         assert_eq!(run.aggregate, by_hand.aggregate);
     }
 

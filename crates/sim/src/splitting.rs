@@ -43,11 +43,11 @@
 use crate::adversary::Adversary;
 use crate::config::{ConfigError, SimConfig};
 use crate::execution::Simulation;
+use crate::executor::{self, TaskKind};
 use crate::montecarlo::{effective_threads, trial_streams};
 use probability::rare_event::{product_estimate, LevelOutcome};
 use probability::rng::{RandomSource, SplitMix64};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::Instant; // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
 
 /// Domain-separation tag mixed into `config.seed` for the stage-seed
@@ -196,8 +196,8 @@ impl SplittingPlan {
     /// Runs the plan; see [`run_splitting`].
     pub fn run<A, F>(&self, make_adversary: F) -> SplittingRun
     where
-        A: Adversary + Clone + Send + Sync,
-        F: Fn(u64) -> A + Sync,
+        A: Adversary + Clone + Send + Sync + 'static,
+        F: Fn(u64) -> A + Send + Sync + 'static,
     {
         run_splitting(self, make_adversary)
     }
@@ -269,57 +269,27 @@ impl SplittingRun {
 }
 
 /// One stage's fan-out: runs `run_one(replica)` for every replica index
-/// over `std::thread::scope` workers pulling from an atomic counter and
+/// as one ordered job on the shared [`crate::executor`] pool and
 /// reduces the results **in replica order** (the mirror of
 /// `fan_out_reports`, carrying engine states instead of reports).
 /// Returns the survivors (index order, `None` for replicas that missed
-/// the level), the rounds simulated, and the worker count used.
+/// the level), the rounds simulated, and the job width used.
 fn fan_out_stage<A, F>(
     effort: u64,
     requested_threads: usize,
-    run_one: &F,
+    run_one: F,
 ) -> (Vec<Option<Simulation<A>>>, u64, usize)
 where
-    A: Adversary + Clone + Send + Sync,
-    F: Fn(u64) -> (Option<Simulation<A>>, u64) + Sync,
+    A: Adversary + Clone + Send + Sync + 'static,
+    F: Fn(u64) -> (Option<Simulation<A>>, u64) + Send + Sync + 'static,
 {
     let threads = effective_threads(requested_threads, effort);
-    let next_replica = AtomicU64::new(0);
-    type Slot<A> = (u64, Option<Simulation<A>>, u64);
-    let collected: Mutex<Vec<Slot<A>>> = Mutex::new(Vec::with_capacity(effort as usize));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut local: Vec<Slot<A>> = Vec::new();
-                loop {
-                    let replica = next_replica.fetch_add(1, Ordering::Relaxed);
-                    if replica >= effort {
-                        break;
-                    }
-                    let (survivor, rounds) = run_one(replica);
-                    local.push((replica, survivor, rounds));
-                }
-                if !local.is_empty() {
-                    collected
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .extend(local);
-                }
-            });
-        }
-    });
-    // A poisoned lock only means another worker panicked; that panic
-    // re-raises at the scope join, so recovering the data here is sound.
-    let mut collected = collected
-        .into_inner()
-        .unwrap_or_else(PoisonError::into_inner);
-    debug_assert_eq!(collected.len() as u64, effort);
-    // Ordered reduction: replica order, not completion order.
-    collected.sort_unstable_by_key(|&(replica, _, _)| replica);
+    let slots = executor::run_ordered(effort, threads, TaskKind::Leaf, run_one);
+    debug_assert_eq!(slots.len() as u64, effort);
     let mut rounds_total = 0u64;
-    let survivors = collected
+    let survivors = slots
         .into_iter()
-        .map(|(_, survivor, rounds)| {
+        .map(|(survivor, rounds)| {
             rounds_total += rounds;
             survivor
         })
@@ -343,11 +313,12 @@ where
 /// state after construction (see [`SplittingPlan::validate`]).
 pub fn run_splitting<A, F>(plan: &SplittingPlan, make_adversary: F) -> SplittingRun
 where
-    A: Adversary + Clone + Send + Sync,
-    F: Fn(u64) -> A + Sync,
+    A: Adversary + Clone + Send + Sync + 'static,
+    F: Fn(u64) -> A + Send + Sync + 'static,
 {
     plan.validate()
         .expect("invalid splitting plan: construct through SplittingPlan::new"); // detlint: allow(panic-expect) -- documented # Panics contract for post-construction field mutation
+    let make_adversary = Arc::new(make_adversary);
     let ladder = plan.stage_levels();
     let effort = plan.effort;
     // detlint: allow(det-wallclock) -- wall time is reported, not mixed into results
@@ -364,15 +335,18 @@ where
             // adversary factory, same engine entry as `run_trials` — a
             // degenerate (single-stage) schedule reproduces the plain
             // Monte-Carlo failure count bit for bit.
-            let streams = trial_streams(plan.config.seed, effort);
-            let run_one = |replica: u64| {
+            let streams = Arc::new(trial_streams(plan.config.seed, effort));
+            let make_adversary = Arc::clone(&make_adversary);
+            let config = plan.config;
+            let rounds = plan.rounds;
+            let run_one = move |replica: u64| {
                 let rng = streams[replica as usize].clone();
-                let mut sim = Simulation::with_rng(plan.config, make_adversary(replica), rng);
-                let hit = sim.run_until_depth(plan.rounds, level);
+                let mut sim = Simulation::with_rng(config, make_adversary(replica), rng);
+                let hit = sim.run_until_depth(rounds, level);
                 let consumed = sim.round();
                 (hit.then_some(sim), consumed)
             };
-            fan_out_stage(effort, plan.threads, &run_one)
+            fan_out_stage(effort, plan.threads, run_one)
         } else {
             // Later stages: resample entrance states with replacement
             // and restart each clone on its own disjoint stream. Both
@@ -384,16 +358,19 @@ where
             let parents: Vec<usize> = (0..effort)
                 .map(|_| selection.next_below(entrants.len() as u64) as usize)
                 .collect();
-            let streams = trial_streams(stage_seed, effort);
-            let run_one = |replica: u64| {
-                let mut sim = entrants[parents[replica as usize]].clone();
+            let parents = Arc::new(parents);
+            let streams = Arc::new(trial_streams(stage_seed, effort));
+            let entrance = Arc::new(std::mem::take(&mut entrants));
+            let rounds = plan.rounds;
+            let run_one = move |replica: u64| {
+                let mut sim = entrance[parents[replica as usize]].clone();
                 let entered_at = sim.round();
                 sim.reseed_mining(streams[replica as usize].clone());
-                let hit = sim.run_until_depth(plan.rounds, level);
+                let hit = sim.run_until_depth(rounds, level);
                 let consumed = sim.round() - entered_at;
                 (hit.then_some(sim), consumed)
             };
-            fan_out_stage(effort, plan.threads, &run_one)
+            fan_out_stage(effort, plan.threads, run_one)
         };
         threads_used = threads_used.max(threads);
         total_rounds += stage_rounds;

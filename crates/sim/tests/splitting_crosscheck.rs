@@ -21,13 +21,13 @@ fn crosscheck<A, F>(
     effort: u64,
     make_adversary: F,
 ) where
-    A: Adversary + Clone + Send + Sync,
-    F: Fn(u64) -> A + Sync,
+    A: Adversary + Clone + Send + Sync + 'static,
+    F: Fn(u64) -> A + Clone + Send + Sync + 'static,
 {
     let reference = TrialPlan::new(cfg, rounds, ref_trials)
         .expect("valid reference plan")
         .thresholds(vec![threshold])
-        .run(&make_adversary);
+        .run(make_adversary.clone());
     let failures = reference
         .aggregate
         .failures_at(threshold)
@@ -42,7 +42,7 @@ fn crosscheck<A, F>(
 
     let splitting = SplittingPlan::new(cfg, rounds, effort, vec![threshold])
         .expect("valid splitting plan")
-        .run(&make_adversary);
+        .run(make_adversary);
     let estimate = splitting
         .estimate_at(threshold)
         .expect("threshold estimated");

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &nu in &[0.1, 0.2, 0.3, 0.4, 0.45] {
         let cfg = SimConfig::from_c(n, delta, c, nu, 2020)?;
         let plan = TrialPlan::new(cfg, rounds, trials)?.thresholds(vec![t_consistency]);
-        let run = plan.run(|_| PrivateChainAdversary::new(delta));
+        let run = plan.run(move |_| PrivateChainAdversary::new(delta));
         let wilson = run
             .aggregate
             .failure_interval(t_consistency, 1.96)
